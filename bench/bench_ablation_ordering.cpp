@@ -1,0 +1,81 @@
+// Ablation/extension: ordering x format interaction.
+//
+// Table 1 shows format choice depends on matrix structure; structure
+// itself is malleable — a bandwidth-reducing ordering (Reverse
+// Cuthill-McKee, George & Liu [10] in the paper's references) can move a
+// matrix from the "Diagonal format explodes" regime into its sweet spot.
+// This bench scrambles a grid matrix, then measures each format's SpMV
+// before and after RCM.
+#include <functional>
+#include <iostream>
+
+#include "formats/formats.hpp"
+#include "support/rng.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+#include "workloads/rcm.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace bernoulli;
+
+double best_seconds(const std::function<void()>& fn) {
+  double best = 1e30, spent = 0;
+  int reps = 0;
+  while (reps < 3 || (spent < 0.05 && reps < 300)) {
+    WallTimer t;
+    fn();
+    double s = t.seconds();
+    best = std::min(best, s);
+    spent += s;
+    ++reps;
+  }
+  return best;
+}
+
+double rate(const formats::Coo& a, formats::Kind k) {
+  formats::AnyFormat f(k, a);
+  Vector x(static_cast<std::size_t>(a.cols()), 1.0);
+  Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+  double secs = best_seconds([&] { f.spmv(x, y); });
+  return 2.0 * static_cast<double>(a.nnz()) / secs / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: RCM ordering x storage format ===\n"
+            << "(gr_30_30 grid Laplacian, randomly scrambled, then RCM'd;\n"
+            << " SpMV MFLOPS per format)\n\n";
+
+  formats::Coo grid = workloads::suite_matrix("gr_30_30").matrix;
+  SplitMix64 rng(9);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(grid.rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>(i);
+  for (std::size_t i = shuffle.size(); i > 1; --i)
+    std::swap(shuffle[i - 1], shuffle[rng.next_below(i)]);
+  formats::Coo scrambled = workloads::permute_symmetric(grid, shuffle);
+  formats::Coo restored =
+      workloads::permute_symmetric(scrambled,
+                                   workloads::rcm_ordering(scrambled));
+
+  std::cout << "bandwidth: natural " << workloads::bandwidth(grid)
+            << ", scrambled " << workloads::bandwidth(scrambled)
+            << ", after RCM " << workloads::bandwidth(restored) << "\n\n";
+
+  TextTable table({"format", "natural", "scrambled", "RCM-restored"});
+  for (formats::Kind k : formats::sparse_kinds()) {
+    table.new_row();
+    table.add(formats::kind_name(k));
+    table.add(rate(grid, k), 1);
+    table.add(rate(scrambled, k), 1);
+    table.add(rate(restored, k), 1);
+  }
+  std::cout << table.str()
+            << "\nDiagonal collapses under scrambling (skylines span the "
+               "matrix) and recovers\nafter RCM; index-based formats are "
+               "largely ordering-insensitive.\n";
+  return 0;
+}

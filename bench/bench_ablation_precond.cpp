@@ -1,0 +1,71 @@
+// Ablation/extension: diagonal (Jacobi) vs incomplete-Cholesky
+// preconditioning — the paper's §6 "ongoing work" direction (incomplete
+// factorizations and triangular solves), implemented in src/solvers/ic.*.
+//
+// Reports CG iteration counts and time-to-solution on the paper's grid
+// family; IC(0) trades a more expensive application (two triangular
+// solves) for far fewer iterations.
+#include <functional>
+#include <iostream>
+
+#include "solvers/cg.hpp"
+#include "solvers/ic.hpp"
+#include "support/rng.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+#include "workloads/grid.hpp"
+
+int main() {
+  using namespace bernoulli;
+
+  std::cout << "=== Ablation: Jacobi-CG vs ICCG (tolerance 1e-10) ===\n\n";
+
+  TextTable table({"grid", "n", "CG iters", "CG ms", "ICCG iters", "ICCG ms",
+                   "iter ratio"});
+  for (index_t side : {6, 10, 14, 18}) {
+    auto g = workloads::grid3d_7pt(side, side, side, 1, 61);
+    formats::Csr a = formats::Csr::from_coo(g.matrix);
+    const auto n = static_cast<std::size_t>(a.rows());
+
+    SplitMix64 rng(7);
+    Vector x_true(n);
+    for (auto& v : x_true) v = rng.next_double(-1.0, 1.0);
+    Vector b(n);
+    formats::spmv(a, x_true, b);
+
+    solvers::CgOptions opts;
+    opts.max_iterations = 2000;
+    opts.tolerance = 1e-10;
+
+    Vector x1(n, 0.0);
+    WallTimer t1;
+    auto jac = solvers::cg(a, b, x1, opts);
+    double jac_ms = t1.seconds() * 1e3;
+
+    WallTimer t2;
+    auto ic = solvers::IncompleteCholesky::factor(a);
+    Vector x2(n, 0.0);
+    auto iccg = solvers::cg_preconditioned(
+        a, b, x2,
+        [&](ConstVectorView r, VectorView z) { ic.apply(r, z); }, opts);
+    double ic_ms = t2.seconds() * 1e3;  // includes the factorization
+
+    table.new_row();
+    std::ostringstream dims;
+    dims << side << "^3";
+    table.add(dims.str());
+    table.add(static_cast<long long>(n));
+    table.add(jac.iterations);
+    table.add(jac_ms, 1);
+    table.add(iccg.iterations);
+    table.add(ic_ms, 1);
+    table.add(static_cast<double>(jac.iterations) /
+                  static_cast<double>(iccg.iterations),
+              2);
+  }
+  std::cout << table.str()
+            << "\n(ICCG time includes the IC(0) factorization; on these "
+               "diagonally dominant\nproblems Jacobi is already strong, so "
+               "the iteration ratio is the headline.)\n";
+  return 0;
+}

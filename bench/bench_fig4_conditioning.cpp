@@ -1,0 +1,63 @@
+// Figure 4: effect of problem conditioning (iteration count) on the
+// relative performance of the Indirect-Mixed and Bernoulli-Mixed
+// implementations.
+//
+// The plotted quantity is (k + r_I) / (k + r_B) where k is the CG
+// iteration count, and r_I, r_B are the measured inspector overheads (in
+// units of one executor iteration) of the Indirect-Mixed and
+// Bernoulli-Mixed implementations, for P = 8 and P = 64 (paper Eq. 25).
+// The paper reads off the crossovers: iterations needed for Indirect-Mixed
+// to come within 10% / 20% of Bernoulli-Mixed.
+#include <iostream>
+
+#include "common.hpp"
+#include "support/text_table.hpp"
+
+int main() {
+  using namespace bernoulli;
+  using spmd::Variant;
+
+  std::cout << "=== Figure 4: (k + r_I) / (k + r_B) vs iteration count ===\n\n";
+
+  const int iterations = 10;
+  std::map<int, std::pair<double, double>> ratios;  // P -> (r_B, r_I)
+  for (int P : {8, 64}) {
+    bench::Problem prob = bench::build_problem(P);
+    auto mixed =
+        bench::measure_variant_calibrated(prob, P, Variant::kBernoulliMixed, iterations);
+    auto indirect =
+        bench::measure_variant_calibrated(prob, P, Variant::kIndirectMixed, iterations);
+    ratios[P] = {mixed.inspector_ratio, indirect.inspector_ratio};
+    std::cerr << "  [P=" << P << " measured: r_B=" << mixed.inspector_ratio
+              << " r_I=" << indirect.inspector_ratio << "]\n";
+  }
+
+  TextTable table({"iterations k", "ratio (P=8)", "ratio (P=64)"});
+  for (int k = 5; k <= 100; k += 5) {
+    table.new_row();
+    table.add(k);
+    for (int P : {8, 64}) {
+      auto [rb, ri] = ratios[P];
+      table.add((k + ri) / (k + rb), 3);
+    }
+  }
+  std::cout << table.str() << '\n';
+
+  for (int P : {8, 64}) {
+    auto [rb, ri] = ratios[P];
+    auto crossover = [&](double within) {
+      // Smallest k with (k + r_I)/(k + r_B) <= 1 + within.
+      for (int k = 1; k <= 100000; ++k)
+        if ((k + ri) / (k + rb) <= 1.0 + within) return k;
+      return -1;
+    };
+    std::cout << "P=" << P << ": r_B=" << rb << "  r_I=" << ri
+              << "  within 20% at k=" << crossover(0.20)
+              << ", within 10% at k=" << crossover(0.10) << '\n';
+  }
+  std::cout << "\nExpected shape (paper): ratios well above 1 at small k, "
+               "decaying toward 1;\nhigher curve for larger P; paper's "
+               "crossovers were k=21/43 (P=8) and k=39/77\n(P=64) for "
+               "20%/10%.\n";
+  return 0;
+}

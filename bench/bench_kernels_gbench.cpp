@@ -1,0 +1,86 @@
+// google-benchmark microbenchmarks of the per-format SpMV kernels — the
+// code the Bernoulli compiler generates (kernel library) — on a regular
+// stencil and an irregular circuit matrix.
+#include <benchmark/benchmark.h>
+
+#include "formats/bsr.hpp"
+#include "formats/formats.hpp"
+#include "workloads/grid.hpp"
+#include "workloads/suite.hpp"
+
+namespace {
+
+using namespace bernoulli;
+
+const formats::Coo& regular_matrix() {
+  static formats::Coo m = workloads::suite_matrix("sherman1").matrix;
+  return m;
+}
+
+const formats::Coo& irregular_matrix() {
+  static formats::Coo m = workloads::suite_matrix("685_bus").matrix;
+  return m;
+}
+
+void spmv_bench(benchmark::State& state, const formats::Coo& coo,
+                formats::Kind kind) {
+  formats::AnyFormat f(kind, coo);
+  Vector x(static_cast<std::size_t>(coo.cols()), 1.0);
+  Vector y(static_cast<std::size_t>(coo.rows()), 0.0);
+  for (auto _ : state) {
+    f.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * coo.nnz());
+  state.counters["MFLOPS"] = benchmark::Counter(
+      2.0 * static_cast<double>(coo.nnz()) * static_cast<double>(state.iterations()) / 1e6,
+      benchmark::Counter::kIsRate);
+}
+
+#define REGISTER_KIND(kind, name)                                         \
+  void BM_Regular_##name(benchmark::State& s) {                           \
+    spmv_bench(s, regular_matrix(), formats::Kind::kind);                 \
+  }                                                                       \
+  BENCHMARK(BM_Regular_##name);                                           \
+  void BM_Irregular_##name(benchmark::State& s) {                        \
+    spmv_bench(s, irregular_matrix(), formats::Kind::kind);               \
+  }                                                                       \
+  BENCHMARK(BM_Irregular_##name)
+
+REGISTER_KIND(kDia, Diagonal);
+REGISTER_KIND(kCoo, Coordinate);
+REGISTER_KIND(kCsr, CRS);
+REGISTER_KIND(kCcs, CCS);
+REGISTER_KIND(kCccs, CCCS);
+REGISTER_KIND(kEll, ITPACK);
+REGISTER_KIND(kJds, JDiag);
+
+// BSR vs CRS on a 5-dof FEM matrix: the dense-block payoff.
+const formats::Coo& dof_matrix() {
+  static formats::Coo m = workloads::grid3d_7pt(8, 8, 8, 5, 3).matrix;
+  return m;
+}
+
+void BM_Dof_CRS(benchmark::State& state) {
+  spmv_bench(state, dof_matrix(), formats::Kind::kCsr);
+}
+BENCHMARK(BM_Dof_CRS);
+
+void BM_Dof_BSR5(benchmark::State& state) {
+  const formats::Coo& coo = dof_matrix();
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, 5);
+  Vector x(static_cast<std::size_t>(coo.cols()), 1.0);
+  Vector y(static_cast<std::size_t>(coo.rows()), 0.0);
+  for (auto _ : state) {
+    formats::spmv(bsr, x, y);
+    benchmark::DoNotOptimize(y.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * coo.nnz());
+}
+BENCHMARK(BM_Dof_BSR5);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 3: inspector overhead, expressed as the ratio of inspector time to
+// the time of a single executor iteration.
+//
+// Paper shape:
+//   BlockSolve       ~ half the Bernoulli-Mixed ratio (leanest inspector)
+//   Bernoulli-Mixed  small (~2-3x one iteration)
+//   Bernoulli        order of magnitude above Mixed (translates EVERY
+//                    reference; work ~ problem size)
+//   Indirect-Mixed   order of magnitude above Bernoulli-Mixed (building
+//                    and querying the Chaos distributed translation table
+//                    is all-to-all with volume ~ problem size)
+//   Indirect         worst of both
+#include <iostream>
+
+#include "common.hpp"
+#include "support/text_table.hpp"
+
+int main() {
+  using namespace bernoulli;
+  using spmd::Variant;
+
+  std::cout << "=== Table 3: inspector overhead "
+            << "(inspector time / one executor iteration) ===\n\n";
+
+  TextTable table({"P", "BlockSolve", "Bern-Mixed", "Bernoulli",
+                   "Indir-Mixed", "Indirect"});
+  const int iterations = 10;
+  for (int P : {2, 4, 8, 16, 32, 64}) {
+    bench::Problem prob = bench::build_problem(P);
+    table.new_row();
+    table.add(P);
+    for (Variant v :
+         {Variant::kBlockSolve, Variant::kBernoulliMixed, Variant::kBernoulli,
+          Variant::kIndirectMixed, Variant::kIndirect}) {
+      auto t = bench::measure_variant_calibrated(prob, P, v, iterations);
+      table.add(t.inspector_ratio, 1);
+    }
+    std::cerr << "  [P=" << P << " done]\n";
+  }
+  std::cout << table.str()
+            << "\nExpected shape (paper): BlockSolve < Bernoulli-Mixed "
+               "(small constants);\nBernoulli and Indirect-Mixed an order "
+               "of magnitude above Bernoulli-Mixed;\nIndirect worst.\n";
+  return 0;
+}

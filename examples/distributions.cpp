@@ -1,0 +1,91 @@
+// Distribution explorer: the same distributed SpMV under every
+// distribution-relation format the paper discusses (§3.1), showing how the
+// distribution's STRUCTURE determines inspector communication.
+#include <iostream>
+
+#include "distrib/distribution.hpp"
+#include "formats/csr.hpp"
+#include "spmd/matvec.hpp"
+#include "support/rng.hpp"
+#include "support/text_table.hpp"
+#include "workloads/grid.hpp"
+
+int main() {
+  using namespace bernoulli;
+
+  auto grid = workloads::grid3d_7pt(16, 8, 8, 2, /*seed=*/5);
+  formats::Csr a = formats::Csr::from_coo(grid.matrix);
+  const index_t n = a.rows();
+  const int P = 8;
+  std::cout << "matrix: " << n << " rows, " << a.nnz() << " nonzeros, " << P
+            << " ranks\n\n";
+
+  // The distribution-relation formats of §3.1.
+  distrib::BlockDist block(n, P);
+  distrib::CyclicDist cyclic(n, P);
+  std::vector<index_t> sizes(P, n / P);
+  sizes[0] += n % P;
+  distrib::GeneralizedBlockDist genblock(n, std::move(sizes));
+  SplitMix64 rng(3);
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (auto& m : map) m = static_cast<int>(rng.next_below(P));
+  distrib::IndirectDist indirect(map, P);
+  std::vector<index_t> color_ptr{0, n / 2, n};
+  distrib::RowRunsDist rowruns =
+      distrib::rowruns_from_color_ptr(color_ptr, n, P);
+
+  Vector x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 1.0 + 0.01 * static_cast<double>(i % 31);
+  Vector y_ref(static_cast<std::size_t>(n));
+  formats::spmv(a, x, y_ref);
+
+  TextTable table({"distribution", "ghosts(max)", "insp msgs", "insp bytes",
+                   "result"});
+  for (const distrib::Distribution* d :
+       std::initializer_list<const distrib::Distribution*>{
+           &block, &cyclic, &genblock, &indirect, &rowruns}) {
+    runtime::Machine machine(P);
+    std::vector<index_t> ghosts(P, 0);
+    Vector y(static_cast<std::size_t>(n), 0.0);
+    std::mutex mu;
+    auto reports = machine.run([&](runtime::Process& p) {
+      spmd::DistSpmv dist =
+          spmd::build_dist_spmv(p, a, *d, spmd::Variant::kBernoulliMixed);
+      ghosts[static_cast<std::size_t>(p.rank())] = dist.sched.ghosts;
+      auto mine = d->owned_indices(p.rank());
+      Vector x_full(static_cast<std::size_t>(dist.sched.full_size()), 0.0);
+      for (std::size_t k = 0; k < mine.size(); ++k)
+        x_full[k] = x[static_cast<std::size_t>(mine[k])];
+      Vector yl(mine.size());
+      dist.apply(p, x_full, yl, /*tag=*/2);
+      std::lock_guard<std::mutex> lk(mu);
+      for (std::size_t k = 0; k < mine.size(); ++k)
+        y[static_cast<std::size_t>(mine[k])] = yl[k];
+    });
+
+    index_t max_ghosts = 0;
+    long long msgs = 0, bytes = 0;
+    for (int r = 0; r < P; ++r) {
+      max_ghosts = std::max(max_ghosts, ghosts[static_cast<std::size_t>(r)]);
+      msgs += reports[static_cast<std::size_t>(r)].stats.messages;
+      bytes += reports[static_cast<std::size_t>(r)].stats.bytes;
+    }
+    double err = 0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      err = std::max(err, std::abs(y[i] - y_ref[i]));
+
+    table.new_row();
+    table.add(d->name());
+    table.add(static_cast<long long>(max_ghosts));
+    table.add(msgs);
+    table.add(bytes);
+    table.add(err < 1e-11 ? "OK" : "WRONG");
+  }
+  std::cout << table.str()
+            << "\nStructure matters: contiguous distributions (block, "
+               "generalized-block,\nrow-runs) keep ghosts near the slab "
+               "surface; cyclic and random indirect\nmake almost every "
+               "reference non-local.\n";
+  return 0;
+}

@@ -1,0 +1,110 @@
+// FEM pipeline: the paper's headline application (§1 Fig. 2, §3.3, §4).
+//
+// Generates a 3-D 7-point-stencil problem with 5 degrees of freedom per
+// discretization point (the paper's CG workload), runs the BlockSolve
+// preprocessing — i-node detection, clique partition, contracted-graph
+// coloring, color-major reordering — and solves A x = b with the
+// distributed diagonally-preconditioned CG on the simulated machine.
+#include <cmath>
+#include <iostream>
+
+#include "distrib/distribution.hpp"
+#include "formats/blocksolve.hpp"
+#include "solvers/dist_cg.hpp"
+#include "spmd/matvec.hpp"
+#include "workloads/bs_order.hpp"
+#include "workloads/cliques.hpp"
+#include "workloads/coloring.hpp"
+#include "workloads/grid.hpp"
+#include "workloads/inode.hpp"
+
+int main() {
+  using namespace bernoulli;
+
+  const index_t dof = 5;
+  auto grid = workloads::grid3d_7pt(8, 8, 8, dof, /*seed=*/7);
+  std::cout << "grid: 8x8x8 points, " << dof << " dof/point -> "
+            << grid.matrix.rows() << " unknowns, " << grid.matrix.nnz()
+            << " nonzeros\n";
+
+  // --- BlockSolve preprocessing (Fig. 2) --------------------------------
+  workloads::NodeGraph ng = workloads::node_graph_from_matrix(grid.matrix, dof);
+  auto cliques = workloads::clique_partition(ng, /*max_size=*/8);
+  auto coloring = workloads::color_cliques(ng, cliques);
+  std::cout << "node graph: " << ng.num_nodes << " nodes -> "
+            << cliques.size() << " cliques, " << coloring.num_colors
+            << " colors\n";
+
+  formats::BsOrdering ord = workloads::blocksolve_ordering(grid.matrix, dof);
+  formats::BsMatrix bs = formats::BsMatrix::build(grid.matrix, ord);
+  std::cout << "BlockSolve storage: " << ord.cliques.size()
+            << " dense diagonal blocks, " << bs.inodes().size()
+            << " off-diagonal i-node blocks\n";
+
+  // I-node structure of the permuted matrix: runs of rows with identical
+  // column structure (Fig. 2(c)).
+  formats::Coo permuted = bs.to_coo_permuted();
+  auto inodes = workloads::find_inodes(formats::Csr::from_coo(permuted));
+  double avg = static_cast<double>(permuted.rows()) /
+               static_cast<double>(inodes.size());
+  std::cout << "i-nodes in permuted matrix: " << inodes.size()
+            << " (avg " << avg << " rows each; dof grouping -> expect ~"
+            << dof << ")\n";
+
+  // --- Distributed CG on the simulated machine --------------------------
+  const int P = 8;
+  formats::Csr a = formats::Csr::from_coo(permuted);
+  distrib::RowRunsDist rows =
+      distrib::rowruns_from_color_ptr(ord.color_ptr, a.rows(), P);
+
+  Vector diag = solvers::extract_diagonal(a);
+  Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  Vector x(static_cast<std::size_t>(a.rows()), 0.0);
+
+  runtime::Machine machine(P);
+  std::vector<solvers::DistCgResult> results(P);
+  std::mutex mu;
+  machine.run([&](runtime::Process& p) {
+    spmd::DistSpmv dist =
+        spmd::build_dist_spmv(p, a, rows, spmd::Variant::kBlockSolve);
+    auto mine = rows.owned_indices(p.rank());
+    Vector bl(mine.size()), dl(mine.size()), xl(mine.size(), 0.0);
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      bl[k] = b[static_cast<std::size_t>(mine[k])];
+      dl[k] = diag[static_cast<std::size_t>(mine[k])];
+    }
+    solvers::CgOptions opts;
+    opts.max_iterations = 300;
+    opts.tolerance = 1e-10;
+    auto res = solvers::dist_cg(p, dist, dl, bl, xl, opts);
+    std::lock_guard<std::mutex> lk(mu);
+    results[static_cast<std::size_t>(p.rank())] = res;
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      x[static_cast<std::size_t>(mine[k])] = xl[k];
+  });
+
+  std::cout << "distributed CG on " << P << " ranks: "
+            << results[0].iterations << " iterations, ||r|| = "
+            << results[0].residual_norm
+            << (results[0].converged ? " (converged)" : " (NOT converged)")
+            << '\n';
+
+  // Verify the residual against the sequential matrix in the ORIGINAL
+  // index space.
+  Vector x_orig(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x_orig[static_cast<std::size_t>(ord.new_to_old[i])] = x[i];
+  formats::Csr a_orig = formats::Csr::from_coo(grid.matrix);
+  Vector ax(x.size());
+  formats::spmv(a_orig, x_orig, ax);
+  double rnorm = 0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    // b was permuted identically (all ones), so compare against 1.
+    double r = 1.0 - ax[i];
+    rnorm += r * r;
+  }
+  rnorm = std::sqrt(rnorm);
+  std::cout << "residual re-checked sequentially: ||b - A x|| = " << rnorm
+            << '\n';
+  return results[0].converged && rnorm < 1e-6 ? 0 : 1;
+}

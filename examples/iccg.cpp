@@ -1,0 +1,54 @@
+// ICCG: incomplete-Cholesky preconditioned CG — the paper's §6 extension
+// direction (incomplete factorizations + triangular solves) exercised
+// through the public solver API, compared against diagonal
+// preconditioning on the same problem.
+#include <iostream>
+
+#include "solvers/cg.hpp"
+#include "solvers/ic.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+int main() {
+  using namespace bernoulli;
+
+  auto g = workloads::grid3d_7pt(12, 12, 12, 1, /*seed=*/23);
+  formats::Csr a = formats::Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+  std::cout << "3-D Poisson-like system: n = " << n << ", nnz = " << a.nnz()
+            << "\n\n";
+
+  SplitMix64 rng(1);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-1.0, 1.0);
+  Vector b(n);
+  formats::spmv(a, x_true, b);
+
+  solvers::CgOptions opts;
+  opts.max_iterations = 1000;
+  opts.tolerance = 1e-12;
+
+  Vector x1(n, 0.0);
+  auto jacobi = solvers::cg(a, b, x1, opts);
+  std::cout << "Jacobi-CG: " << jacobi.iterations << " iterations, ||r|| = "
+            << jacobi.residual_norm << '\n';
+
+  auto ic = solvers::IncompleteCholesky::factor(a);
+  std::cout << "IC(0) factor: " << ic.lower().nnz()
+            << " stored entries in L (no fill beyond A's lower pattern)\n";
+  Vector x2(n, 0.0);
+  auto iccg = solvers::cg_preconditioned(
+      a, b, x2, [&](ConstVectorView r, VectorView z) { ic.apply(r, z); },
+      opts);
+  std::cout << "ICCG:      " << iccg.iterations << " iterations, ||r|| = "
+            << iccg.residual_norm << '\n';
+
+  double err = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    err = std::max(err, std::abs(x2[i] - x_true[i]));
+  std::cout << "max |x - x_true| = " << err << '\n';
+  bool ok = jacobi.converged && iccg.converged &&
+            iccg.iterations < jacobi.iterations && err < 1e-6;
+  std::cout << (ok ? "OK" : "FAILED") << '\n';
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Parallel compilation demo (paper §3): the dense data-parallel program
+// plus a distribution relation compiles into a per-rank inspector/executor
+// pair. Shows the generated LOCAL program, the communication schedule the
+// inspector computed, and a correctness check against the sequential
+// product — the full "distributed query evaluation" story in one file.
+#include <iostream>
+#include <mutex>
+
+#include "distrib/distribution.hpp"
+#include "spmd/dist_compile.hpp"
+#include "workloads/grid.hpp"
+
+int main() {
+  using namespace bernoulli;
+
+  auto g = workloads::grid3d_7pt(8, 4, 4, 2, /*seed=*/17);
+  formats::Csr a = formats::Csr::from_coo(g.matrix);
+  const index_t n = a.rows();
+  const int P = 4;
+  distrib::BlockDist rows(n, P);
+  std::cout << "global program:  DO i / DO j:  Y(i) += A(i,j) * X(j)\n"
+            << "A: " << n << "x" << n << " (" << a.nnz()
+            << " nnz), rows/X/Y block-distributed over " << P << " ranks\n\n";
+
+  Vector x(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = 1.0 + 0.01 * static_cast<double>(i % 23);
+  Vector y_ref(static_cast<std::size_t>(n));
+  formats::spmv(a, x, y_ref);
+
+  Vector y(static_cast<std::size_t>(n), 0.0);
+  std::string rank0_code, rank0_plan;
+  index_t rank0_ghosts = 0;
+  std::mutex mu;
+  runtime::Machine machine(P);
+  machine.run([&](runtime::Process& p) {
+    spmd::DistKernel k = spmd::compile_dist_matvec(p, a, rows);
+    auto mine = rows.owned_indices(p.rank());
+    auto xo = k.x_owned();
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      xo[i] = x[static_cast<std::size_t>(mine[i])];
+    k.run(p, /*tag=*/1);
+    auto yl = k.y_local();
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      y[static_cast<std::size_t>(mine[i])] = yl[i];
+    if (p.rank() == 0) {
+      rank0_code = k.emit("node_program");
+      rank0_plan = k.describe_plan();
+      rank0_ghosts = k.schedule().ghosts;
+    }
+  });
+
+  std::cout << "=== rank 0: inspector result ===\n"
+            << "ghost values to fetch per product: " << rank0_ghosts << "\n\n"
+            << "=== rank 0: local plan ===\n"
+            << rank0_plan << '\n'
+            << "=== rank 0: generated node program ===\n"
+            << rank0_code << '\n';
+
+  double err = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    err = std::max(err, std::abs(y[i] - y_ref[i]));
+  std::cout << "max |distributed - sequential| = " << err << '\n'
+            << (err < 1e-11 ? "OK" : "MISMATCH") << '\n';
+  return err < 1e-11 ? 0 : 1;
+}

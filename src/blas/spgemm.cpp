@@ -1,0 +1,54 @@
+#include "blas/spgemm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::blas {
+
+using formats::Csr;
+
+Csr spgemm(const Csr& a, const Csr& b) {
+  BERNOULLI_CHECK(a.cols() == b.rows());
+  const index_t m = a.rows(), n = b.cols();
+
+  std::vector<index_t> rowptr{0};
+  std::vector<index_t> colind;
+  std::vector<value_t> vals;
+
+  // Gustavson: a dense accumulator row + occupancy list, reset lazily.
+  std::vector<value_t> acc(static_cast<std::size_t>(n), 0.0);
+  std::vector<bool> occupied(static_cast<std::size_t>(n), false);
+  std::vector<index_t> touched;
+
+  for (index_t i = 0; i < m; ++i) {
+    touched.clear();
+    auto acols = a.row_cols(i);
+    auto avals = a.row_vals(i);
+    for (std::size_t ka = 0; ka < acols.size(); ++ka) {
+      const index_t j = acols[ka];
+      const value_t av = avals[ka];
+      auto bcols = b.row_cols(j);
+      auto bvals = b.row_vals(j);
+      for (std::size_t kb = 0; kb < bcols.size(); ++kb) {
+        const index_t c = bcols[kb];
+        if (!occupied[static_cast<std::size_t>(c)]) {
+          occupied[static_cast<std::size_t>(c)] = true;
+          acc[static_cast<std::size_t>(c)] = 0.0;
+          touched.push_back(c);
+        }
+        acc[static_cast<std::size_t>(c)] += av * bvals[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (index_t c : touched) {
+      colind.push_back(c);
+      vals.push_back(acc[static_cast<std::size_t>(c)]);
+      occupied[static_cast<std::size_t>(c)] = false;
+    }
+    rowptr.push_back(static_cast<index_t>(colind.size()));
+  }
+  return Csr(m, n, std::move(rowptr), std::move(colind), std::move(vals));
+}
+
+}  // namespace bernoulli::blas

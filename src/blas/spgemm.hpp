@@ -1,0 +1,18 @@
+// Sparse-sparse matrix product (SpGEMM), Gustavson's row-wise algorithm.
+//
+// The paper's Table-1 discussion motivates extensible sparse BLAS with the
+// combinatorial explosion of matrix-matrix product versions (6^2 formats);
+// here C = A * B is computed CSR x CSR -> CSR, the kernel every other
+// version lowers to through conversions.
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace bernoulli::blas {
+
+/// C = A * B, all CSR. Entries that cancel to exactly 0.0 are kept (they
+/// are stored entries, matching the relational semantics where the result
+/// structure is the join of the input structures).
+formats::Csr spgemm(const formats::Csr& a, const formats::Csr& b);
+
+}  // namespace bernoulli::blas

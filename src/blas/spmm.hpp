@@ -1,0 +1,27 @@
+// Sparse-matrix times skinny dense matrix (SpMM).
+//
+// The paper (§6) names "the product of a sparse matrix and a skinny dense
+// matrix" alongside SpMV as the core operation of Krylov solvers with
+// multiple right-hand sides; this is the kernel the compiler generates for
+//   DO i / DO j / DO r:  C(i,r) += A(i,j) * B(j,r)
+// with A sparse and B, C dense n x k (k small).
+#pragma once
+
+#include "formats/blocksolve.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+
+namespace bernoulli::blas {
+
+/// C = A * B with A sparse CSR (m x n), B dense (n x k), C dense (m x k).
+void spmm(const formats::Csr& a, const formats::Dense& b, formats::Dense& c);
+
+/// C += A * B.
+void spmm_add(const formats::Csr& a, const formats::Dense& b,
+              formats::Dense& c);
+
+/// C = A * B with A in BlockSolve storage (original index space).
+void spmm(const formats::BsMatrix& a, const formats::Dense& b,
+          formats::Dense& c);
+
+}  // namespace bernoulli::blas

@@ -1,0 +1,54 @@
+#include "blas/transpose.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::blas {
+
+using formats::Csr;
+
+void spmv_transpose(const Csr& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.rows());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.cols());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_transpose_add(a, x, y);
+}
+
+void spmv_transpose_add(const Csr& a, ConstVectorView x, VectorView y) {
+  auto rowptr = a.rowptr();
+  auto colind = a.colind();
+  auto vals = a.vals();
+  // Scatter form: row i of A contributes x[i] * A(i, j) to y[j] — the same
+  // loop the compiler generates for the CCS view of A^T.
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const value_t xi = x[static_cast<std::size_t>(i)];
+    const index_t end = rowptr[static_cast<std::size_t>(i) + 1];
+    for (index_t e = rowptr[static_cast<std::size_t>(i)]; e < end; ++e)
+      y[static_cast<std::size_t>(colind[static_cast<std::size_t>(e)])] +=
+          vals[static_cast<std::size_t>(e)] * xi;
+  }
+}
+
+Csr transpose(const Csr& a) {
+  const index_t m = a.rows(), n = a.cols();
+  std::vector<index_t> ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (index_t c : a.colind()) ++ptr[static_cast<std::size_t>(c) + 1];
+  for (std::size_t j = 1; j < ptr.size(); ++j) ptr[j] += ptr[j - 1];
+
+  std::vector<index_t> ind(static_cast<std::size_t>(a.nnz()));
+  std::vector<value_t> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<index_t> next(ptr.begin(), ptr.end() - 1);
+  for (index_t i = 0; i < m; ++i) {
+    auto cols = a.row_cols(i);
+    auto v = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      index_t pos = next[static_cast<std::size_t>(cols[k])]++;
+      ind[static_cast<std::size_t>(pos)] = i;
+      vals[static_cast<std::size_t>(pos)] = v[k];
+    }
+  }
+  return Csr(n, m, std::move(ptr), std::move(ind), std::move(vals));
+}
+
+}  // namespace bernoulli::blas

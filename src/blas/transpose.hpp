@@ -1,0 +1,20 @@
+// Transpose kernels: y = A^T x without materializing A^T, and an explicit
+// CSR transposition (which doubles as CSR <-> CCS conversion, since the
+// CCS of A is the CSR of A^T).
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace bernoulli::blas {
+
+/// y = A^T * x (y has a.cols() entries, x has a.rows()).
+void spmv_transpose(const formats::Csr& a, ConstVectorView x, VectorView y);
+
+/// y += A^T * x.
+void spmv_transpose_add(const formats::Csr& a, ConstVectorView x,
+                        VectorView y);
+
+/// Explicit A^T in CSR form (linear time, counting sort by column).
+formats::Csr transpose(const formats::Csr& a);
+
+}  // namespace bernoulli::blas

@@ -1,0 +1,27 @@
+// C code emission: renders a Plan as the specialized C program the
+// Bernoulli compiler would generate (the final step of the pipeline; see
+// DESIGN.md §3 item 3 for why the text is emitted rather than compiled at
+// runtime in this reproduction).
+#pragma once
+
+#include <string>
+
+#include "compiler/plan.hpp"
+
+namespace bernoulli::compiler {
+
+/// Describes the innermost statement for emission purposes.
+struct EmitStatement {
+  index_t target_rel = 0;             // Query::relations index
+  std::vector<index_t> factor_rels;   // multiplied value fields
+  value_t scale = 1.0;
+};
+
+/// Emits a complete C function body for the plan: one loop per level
+/// (enumeration loops, 2-way merge loops as two-finger whiles, probes as
+/// search statements), with the multiply-accumulate statement innermost.
+std::string emit_c(const Plan& plan, const relation::Query& q,
+                   const EmitStatement& stmt,
+                   const std::string& function_name = "computed_kernel");
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,39 @@
+// Standalone C program emission: wraps the kernel text emit() produces
+// into a complete, compilable C translation unit — the referenced arrays
+// baked in as initializers, a binsearch helper, and a main() that runs the
+// kernel and prints the output array. Tests compile the result with the
+// system C compiler and diff its output against the plan interpreter, so
+// the generated code is demonstrably real, not pseudocode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace bernoulli::compiler {
+
+/// One array the generated kernel references, serialized into the program
+/// as a global initializer. The names must match the identifiers the
+/// kernel text uses (A_ROWPTR, A_COLIND, A_VALS, X, Y, ...).
+struct CIntArray {
+  std::string name;
+  std::vector<index_t> data;
+};
+
+struct CDoubleArray {
+  std::string name;
+  Vector data;
+};
+
+/// Renders the full program: helpers + array definitions + `kernel_code`
+/// (a complete function definition named `kernel_name`) + a main() that
+/// calls it and prints `print_array` (one value per line, %.17g).
+std::string emit_standalone_c(const std::string& kernel_code,
+                              const std::string& kernel_name,
+                              const std::vector<CIntArray>& int_arrays,
+                              const std::vector<CDoubleArray>& double_arrays,
+                              const std::string& print_array,
+                              std::size_t print_count);
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,190 @@
+#include "compiler/executor.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::compiler {
+
+using relation::Query;
+
+namespace {
+
+class Interpreter {
+ public:
+  Interpreter(const Plan& plan, const Query& q, const Action& action)
+      : plan_(plan), q_(q), action_(action) {
+    var_value_.assign(q.vars.size(), -1);
+    pos_.resize(q.relations.size());
+    for (std::size_t r = 0; r < q.relations.size(); ++r)
+      pos_[r].assign(q.relations[r].vars.size(), -1);
+  }
+
+  void run() { level(0); }
+
+ private:
+  index_t parent_pos(const Access& a) const {
+    return a.depth == 0
+               ? 0
+               : pos_[static_cast<std::size_t>(a.rel)]
+                     [static_cast<std::size_t>(a.depth) - 1];
+  }
+
+  const relation::IndexLevel& level_of(const Access& a) const {
+    return q_.relations[static_cast<std::size_t>(a.rel)].view->level(a.depth);
+  }
+
+  std::size_t var_slot(const std::string& v) const {
+    auto it = std::find(q_.vars.begin(), q_.vars.end(), v);
+    BERNOULLI_CHECK(it != q_.vars.end());
+    return static_cast<std::size_t>(it - q_.vars.begin());
+  }
+
+  void set_pos(const Access& a, index_t p) {
+    pos_[static_cast<std::size_t>(a.rel)][static_cast<std::size_t>(a.depth)] =
+        p;
+  }
+
+  // Resolves the probes of plan level d once its variable is bound; returns
+  // false when a filtering probe misses (iteration rejected). A missed
+  // probe of a WRITTEN relation with an insertable level creates the entry
+  // instead — sparse-output fill-in.
+  bool resolve_probes(const PlanLevel& lv) {
+    for (const Access& a : lv.probes) {
+      const auto& rel = q_.relations[static_cast<std::size_t>(a.rel)];
+      index_t idx =
+          var_value_[var_slot(rel.vars[static_cast<std::size_t>(a.depth)])];
+      const relation::IndexLevel& lvl = level_of(a);
+      index_t p = lvl.search(parent_pos(a), idx);
+      if (p < 0) {
+        if (rel.filters) return false;
+        if (rel.writes && lvl.insertable()) {
+          // const_cast is confined to here: insertion is the one mutating
+          // access-method operation, and only output relations reach it.
+          p = const_cast<relation::IndexLevel&>(lvl).insert(parent_pos(a),
+                                                            idx);
+        } else {
+          BERNOULLI_CHECK_MSG(false,
+                              rel.view->name()
+                                  << " missed a non-filtering probe at "
+                                  << rel.vars[static_cast<std::size_t>(a.depth)]
+                                  << " = " << idx);
+        }
+      }
+      set_pos(a, p);
+    }
+    return true;
+  }
+
+  void level(std::size_t d) {
+    if (d == plan_.levels.size()) {
+      Env env{var_value_, leaf_positions()};
+      action_(env);
+      return;
+    }
+    const PlanLevel& lv = plan_.levels[d];
+    const std::size_t slot = var_slot(lv.var);
+
+    if (lv.method == JoinMethod::kEnumerate) {
+      const Access& drv = lv.drivers[0];
+      level_of(drv).enumerate(parent_pos(drv), [&](index_t idx, index_t p) {
+        var_value_[slot] = idx;
+        set_pos(drv, p);
+        if (resolve_probes(lv)) level(d + 1);
+        return true;
+      });
+    } else {
+      // Multi-way merge join: materialize each driver's sorted segment and
+      // intersect with a k-finger sweep. Storage is per-call — merge levels
+      // can nest, so a shared buffer would be clobbered by recursion.
+      const std::size_t k = lv.drivers.size();
+      std::vector<std::vector<std::pair<index_t, index_t>>> segments_(k);
+      for (std::size_t s = 0; s < k; ++s) {
+        level_of(lv.drivers[s])
+            .enumerate(parent_pos(lv.drivers[s]),
+                       [&](index_t idx, index_t p) {
+                         segments_[s].emplace_back(idx, p);
+                         return true;
+                       });
+      }
+      std::vector<std::size_t> finger(k, 0);
+      while (true) {
+        bool done = false;
+        index_t target = -1;
+        for (std::size_t s = 0; s < k; ++s) {
+          if (finger[s] >= segments_[s].size()) {
+            done = true;
+            break;
+          }
+          target = std::max(target, segments_[s][finger[s]].first);
+        }
+        if (done) break;
+        bool all_match = true;
+        for (std::size_t s = 0; s < k; ++s) {
+          while (finger[s] < segments_[s].size() &&
+                 segments_[s][finger[s]].first < target)
+            ++finger[s];
+          if (finger[s] >= segments_[s].size()) {
+            all_match = false;
+            done = true;
+            break;
+          }
+          if (segments_[s][finger[s]].first != target) all_match = false;
+        }
+        if (done) break;
+        if (all_match) {
+          var_value_[slot] = target;
+          for (std::size_t s = 0; s < k; ++s)
+            set_pos(lv.drivers[s], segments_[s][finger[s]].second);
+          if (resolve_probes(lv)) level(d + 1);
+          for (std::size_t s = 0; s < k; ++s) ++finger[s];
+        }
+      }
+    }
+  }
+
+  std::vector<index_t> leaf_buffer_;
+  std::span<const index_t> leaf_positions() {
+    leaf_buffer_.resize(q_.relations.size());
+    for (std::size_t r = 0; r < q_.relations.size(); ++r)
+      leaf_buffer_[r] = pos_[r].back();
+    return leaf_buffer_;
+  }
+
+  const Plan& plan_;
+  const Query& q_;
+  const Action& action_;
+  std::vector<index_t> var_value_;
+  std::vector<std::vector<index_t>> pos_;
+};
+
+}  // namespace
+
+void execute(const Plan& plan, const Query& q, const Action& action) {
+  q.validate();
+  Interpreter(plan, q, action).run();
+}
+
+Action multiply_accumulate(const Query& q, index_t target_rel,
+                           std::vector<index_t> factor_rels, value_t scale) {
+  BERNOULLI_CHECK(target_rel >= 0 &&
+                  target_rel < static_cast<index_t>(q.relations.size()));
+  relation::RelationView* target =
+      q.relations[static_cast<std::size_t>(target_rel)].view;
+  BERNOULLI_CHECK(target->writable());
+  std::vector<relation::RelationView*> factors;
+  for (index_t f : factor_rels) {
+    BERNOULLI_CHECK(f >= 0 && f < static_cast<index_t>(q.relations.size()));
+    factors.push_back(q.relations[static_cast<std::size_t>(f)].view);
+  }
+  std::vector<std::size_t> factor_slots(factor_rels.begin(), factor_rels.end());
+  return [target, target_slot = static_cast<std::size_t>(target_rel), factors,
+          factor_slots, scale](const Env& env) {
+    value_t prod = scale;
+    for (std::size_t k = 0; k < factors.size(); ++k)
+      prod *= factors[k]->value_at(env.leaf_pos[factor_slots[k]]);
+    target->value_add(env.leaf_pos[target_slot], prod);
+  };
+}
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,38 @@
+// Plan interpreter: evaluates a Plan against live relation views.
+//
+// The interpreter is the compiler's reference semantics — every
+// specialized kernel and every emitted program must compute exactly what
+// the interpreter computes. Benchmarks use the kernel library; tests
+// cross-check the two.
+#pragma once
+
+#include <functional>
+
+#include "compiler/plan.hpp"
+
+namespace bernoulli::compiler {
+
+/// Bindings visible to the innermost action.
+struct Env {
+  /// Value of each loop variable, indexed like Query::vars.
+  std::span<const index_t> var_value;
+
+  /// Leaf (deepest-level) position of each relation, indexed like
+  /// Query::relations; addresses the relation's value field.
+  std::span<const index_t> leaf_pos;
+};
+
+using Action = std::function<void(const Env&)>;
+
+/// Runs the plan, invoking `action` once per surviving iteration (i.e. per
+/// tuple of Q_sparse). Positions for every relation are fully resolved when
+/// the action fires.
+void execute(const Plan& plan, const relation::Query& q, const Action& action);
+
+/// Convenience action: target.value += scale * PRODUCT(factor values) — the
+/// sum-of-products statement form that covers the paper's DOANY kernels.
+Action multiply_accumulate(const relation::Query& q, index_t target_rel,
+                           std::vector<index_t> factor_rels,
+                           value_t scale = 1.0);
+
+}  // namespace bernoulli::compiler

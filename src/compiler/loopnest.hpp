@@ -1,0 +1,127 @@
+// The compiler front end (paper §2): the user writes the DENSE loop nest —
+//
+//   DO i = 1, N
+//     DO j = 1, N
+//       Y(i) = Y(i) + A(i,j) * X(j)
+//
+// declares which arrays are sparse and how each is stored, and the
+// compiler produces the sparse program: it extracts the relational query,
+// computes the sparsity predicate (Bik & Wijshoff's rule: sparse arrays in
+// multiplicative positions filter the iteration), plans the joins, and
+// yields a runnable/emittable kernel.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "compiler/emit.hpp"
+#include "compiler/executor.hpp"
+#include "compiler/planner.hpp"
+#include "formats/ccs.hpp"
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/ell.hpp"
+#include "formats/sparse_vector.hpp"
+
+namespace bernoulli::compiler {
+
+/// An array reference in the loop body, e.g. A(i, j). For matrices the
+/// convention is (row var, column var) regardless of storage; the binding
+/// knows how storage hierarchy maps onto these positions.
+struct ArrayRef {
+  std::string array;
+  std::vector<std::string> vars;
+};
+
+/// The single-statement DOANY body: target += scale * PRODUCT(factors).
+/// This sum-of-products form covers the paper's kernels (matrix-vector and
+/// matrix-matrix products, scalings, accumulations).
+struct Statement {
+  ArrayRef target;
+  std::vector<ArrayRef> factors;
+  value_t scale = 1.0;
+};
+
+struct Loop {
+  std::string var;
+  index_t extent = 0;  // iteration range [0, extent)
+};
+
+struct LoopNest {
+  std::vector<Loop> loops;
+  Statement body;
+};
+
+/// Maps array names to relation views plus the metadata the extractor
+/// needs: whether the array is sparse (participates in the sparsity
+/// predicate) and how hierarchy levels map to reference positions.
+/// The Bindings object OWNS the views it creates and must outlive any
+/// kernel compiled against it.
+class Bindings {
+ public:
+  Bindings() = default;
+  Bindings(Bindings&&) = default;
+  Bindings& operator=(Bindings&&) = default;
+
+  void bind_csr(const std::string& name, const formats::Csr& m);
+  void bind_ccs(const std::string& name, const formats::Ccs& m);
+  void bind_coo(const std::string& name, const formats::Coo& m);
+  void bind_ell(const std::string& name, const formats::Ell& m);
+  void bind_dense_matrix(const std::string& name, formats::Dense& m);
+  void bind_dense_vector(const std::string& name, VectorView v);
+  void bind_dense_vector(const std::string& name, ConstVectorView v);
+  void bind_sparse_vector(const std::string& name,
+                          const formats::SparseVector& v);
+
+  /// Escape hatch for user-defined formats: `level_to_ref[d]` gives the
+  /// reference position bound by hierarchy level d. The view is not owned.
+  void bind_view(const std::string& name, relation::RelationView* view,
+                 std::vector<index_t> level_to_ref, bool sparse);
+
+  struct Entry {
+    relation::RelationView* view = nullptr;
+    std::vector<index_t> level_to_ref;
+    bool sparse = false;
+  };
+  const Entry& lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, Entry> entries_;
+  std::vector<std::unique_ptr<relation::RelationView>> owned_;
+};
+
+/// A compiled kernel: query + plan + statement, ready to interpret or to
+/// render as C. References views owned by the Bindings it was compiled
+/// from.
+class CompiledKernel {
+ public:
+  /// Executes the kernel through the plan interpreter (accumulating into
+  /// the bound target storage).
+  void run() const;
+
+  /// The C program the compiler generates for this plan.
+  std::string emit(const std::string& function_name = "computed_kernel") const;
+
+  /// Join-order / join-method summary.
+  std::string describe_plan() const;
+
+  const Plan& plan() const { return plan_; }
+  const relation::Query& query() const { return query_; }
+
+ private:
+  friend CompiledKernel compile(const LoopNest&, const Bindings&,
+                                const PlannerOptions&);
+  relation::Query query_;
+  Plan plan_;
+  EmitStatement stmt_;
+  // The iteration-space relation is synthesized by compile() and owned by
+  // the kernel (other views belong to the Bindings).
+  std::shared_ptr<relation::RelationView> interval_;
+};
+
+/// The compiler pipeline: extract query -> sparsity predicate -> plan.
+CompiledKernel compile(const LoopNest& nest, const Bindings& bindings,
+                       const PlannerOptions& opts = {});
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,57 @@
+// Execution plans: the planner's output and the executor/emitter's input.
+//
+// A plan is a nest of levels, one per loop variable in the chosen order.
+// Each level names a join method for binding that variable:
+//   - kEnumerate: one relation level drives by enumeration, the rest of the
+//     relations that reach this variable are probed (index nested loop);
+//   - kMerge: two or more sorted relation levels are co-enumerated with a
+//     multi-way merge join, remaining relations are probed.
+// Probes of *filtering* relations reject iterations on miss — this is how
+// the sparsity predicate sigma_P executes. Probes of non-filtering
+// relations (dense reads, outputs) always hit and merely resolve positions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/query.hpp"
+
+namespace bernoulli::compiler {
+
+/// One relation-level binding inside a plan level.
+struct Access {
+  index_t rel = 0;    // index into Query::relations
+  index_t depth = 0;  // hierarchy depth of that relation resolved here
+};
+
+enum class JoinMethod {
+  kEnumerate,  // single driver enumeration + probes
+  kMerge,      // multi-way sorted merge + probes
+};
+
+struct PlanLevel {
+  std::string var;
+  JoinMethod method = JoinMethod::kEnumerate;
+
+  /// kEnumerate: exactly one entry. kMerge: 2+ entries, all sorted.
+  std::vector<Access> drivers;
+
+  /// Resolved by search after `var` is bound; filtering probes reject on
+  /// miss. Ordered so that cascaded resolutions (a relation whose deeper
+  /// level variable was bound earlier) come out right.
+  std::vector<Access> probes;
+
+  double est_iterations = 0.0;  // estimated successful bindings of `var`
+  double est_cost = 0.0;        // estimated work at this level (per outer iter)
+};
+
+struct Plan {
+  std::vector<PlanLevel> levels;
+  double total_cost = 0.0;
+
+  /// Human-readable plan summary (join order + methods), used in tests and
+  /// by the quickstart example.
+  std::string describe(const relation::Query& q) const;
+};
+
+}  // namespace bernoulli::compiler

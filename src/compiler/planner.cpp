@@ -1,0 +1,286 @@
+#include "compiler/planner.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bernoulli::compiler {
+
+using relation::Query;
+using relation::SearchCost;
+
+namespace {
+
+double probe_cost(const relation::IndexLevel& level) {
+  switch (level.properties().search_cost) {
+    case SearchCost::kConstant: return 1.0;
+    case SearchCost::kLog: return 4.0;
+    case SearchCost::kLinear: return level.expected_size();
+  }
+  return level.expected_size();
+}
+
+// Extent of a variable: the size of the densest level that binds it —
+// needed to turn a probe's expected hit count into a selectivity.
+double var_extent(const Query& q, const std::string& var) {
+  double extent = 1.0;
+  for (const auto& r : q.relations) {
+    for (std::size_t d = 0; d < r.vars.size(); ++d) {
+      if (r.vars[d] != var) continue;
+      const auto& level = r.view->level(static_cast<index_t>(d));
+      if (level.properties().dense)
+        extent = std::max(extent, level.expected_size());
+    }
+  }
+  return extent;
+}
+
+// Per-order planning state: how many hierarchy levels of each relation are
+// already resolved, and (for order-free relations) which depths are done.
+struct RelState {
+  index_t next_depth = 0;                // order-bound progress
+  std::vector<bool> resolved;            // order-free per-depth flags
+};
+
+}  // namespace
+
+std::optional<Plan> plan_order(const Query& q,
+                               const std::vector<std::string>& order,
+                               bool allow_merge) {
+  const std::size_t nrel = q.relations.size();
+  std::vector<RelState> st(nrel);
+  for (std::size_t r = 0; r < nrel; ++r)
+    st[r].resolved.assign(q.relations[r].vars.size(), false);
+
+  Plan plan;
+  double card_in = 1.0;
+  plan.total_cost = 0.0;
+
+  auto is_resolvable_at = [&](std::size_t r, const std::string& var)
+      -> std::optional<index_t> {
+    const auto& rel = q.relations[r];
+    if (rel.order_free) {
+      for (std::size_t d = 0; d < rel.vars.size(); ++d)
+        if (!st[r].resolved[d] && rel.vars[d] == var)
+          return static_cast<index_t>(d);
+      return std::nullopt;
+    }
+    auto d = st[r].next_depth;
+    if (d < static_cast<index_t>(rel.vars.size()) &&
+        rel.vars[static_cast<std::size_t>(d)] == var)
+      return d;
+    return std::nullopt;
+  };
+
+  auto mark_resolved = [&](std::size_t r, index_t depth) {
+    if (q.relations[r].order_free) {
+      st[r].resolved[static_cast<std::size_t>(depth)] = true;
+    } else {
+      BERNOULLI_CHECK(st[r].next_depth == depth);
+      ++st[r].next_depth;
+    }
+  };
+
+  std::vector<bool> bound_var(order.size(), false);
+  auto var_is_bound = [&](const std::string& v) -> bool {
+    for (std::size_t i = 0; i < order.size(); ++i)
+      if (order[i] == v) return bound_var[i];
+    return false;
+  };
+
+  for (std::size_t vi = 0; vi < order.size(); ++vi) {
+    const std::string& var = order[vi];
+    PlanLevel level;
+    level.var = var;
+
+    // Candidates whose current level binds `var`.
+    std::vector<Access> candidates;
+    for (std::size_t r = 0; r < nrel; ++r)
+      if (auto d = is_resolvable_at(r, var))
+        candidates.push_back({static_cast<index_t>(r), *d});
+    if (candidates.empty()) return std::nullopt;  // order infeasible
+
+    // Only relations that constrain the iteration may DRIVE it: filters
+    // (their stored set is the predicate), or dense levels that span the
+    // variable's full extent (they enumerate everything). A non-filtering
+    // sparse relation — e.g. a sparse accumulator output — would wrongly
+    // restrict the iteration to its current contents (empty, before the
+    // first run); an undersized dense output would silently truncate it.
+    std::vector<Access> driver_candidates;
+    const double extent_here = var_extent(q, var);
+    for (const Access& a : candidates) {
+      const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+      const auto& lvl = rel.view->level(a.depth);
+      if (rel.filters ||
+          (lvl.properties().dense && lvl.expected_size() >= extent_here))
+        driver_candidates.push_back(a);
+    }
+    if (driver_candidates.empty()) return std::nullopt;
+
+    auto level_of = [&](const Access& a) -> const relation::IndexLevel& {
+      return q.relations[static_cast<std::size_t>(a.rel)].view->level(a.depth);
+    };
+    auto filters = [&](const Access& a) {
+      return q.relations[static_cast<std::size_t>(a.rel)].filters;
+    };
+
+    // Merge policy: co-enumerate the sorted *sparse* filtering candidates
+    // when there are at least two; their intersection is the binding set.
+    // Dense levels are excluded — probing a dense level is O(1) and never
+    // rejects, so dragging it through a merge only adds scan cost.
+    std::vector<Access> merge_set;
+    if (allow_merge) {
+      for (const Access& a : driver_candidates)
+        if (filters(a) && level_of(a).properties().sorted &&
+            !level_of(a).properties().dense)
+          merge_set.push_back(a);
+    }
+
+    double enum_cost = 0.0;
+    double iterations = 0.0;
+    if (merge_set.size() >= 2) {
+      level.method = JoinMethod::kMerge;
+      level.drivers = merge_set;
+      double min_size = std::numeric_limits<double>::infinity();
+      for (const Access& a : merge_set) {
+        enum_cost += level_of(a).expected_size();
+        min_size = std::min(min_size, level_of(a).expected_size());
+      }
+      iterations = min_size;
+    } else {
+      level.method = JoinMethod::kEnumerate;
+      // Cheapest eligible candidate drives; filtering candidates are
+      // preferred via their (typically much smaller) expected size.
+      const Access* best = &driver_candidates[0];
+      for (const Access& a : driver_candidates)
+        if (level_of(a).expected_size() < level_of(*best).expected_size())
+          best = &a;
+      level.drivers = {*best};
+      enum_cost = level_of(*best).expected_size();
+      iterations = enum_cost;
+    }
+    for (const Access& a : level.drivers) mark_resolved(a.rel, a.depth);
+
+    // Probes run once per *surviving* driver binding: E_driver times for a
+    // plain enumeration, but only min-size times after a merge (the merge
+    // itself discards non-matches).
+    const double probe_invocations = iterations;
+    double probes_cost = 0.0;
+    const double extent = var_extent(q, var);
+    for (const Access& a : candidates) {
+      bool driven = std::any_of(level.drivers.begin(), level.drivers.end(),
+                                [&](const Access& d) {
+                                  return d.rel == a.rel && d.depth == a.depth;
+                                });
+      if (driven) continue;
+      level.probes.push_back(a);
+      mark_resolved(a.rel, a.depth);
+      probes_cost += probe_cost(level_of(a));
+      if (filters(a))
+        iterations *= std::min(1.0, level_of(a).expected_size() / extent);
+    }
+
+    // Cascade: resolve levels whose variable is already bound (bound in an
+    // earlier level or just now) — e.g. CCS's row level once i and j are
+    // both bound.
+    bound_var[vi] = true;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t r = 0; r < nrel; ++r) {
+        const auto& rel = q.relations[r];
+        for (std::size_t d = 0; d < rel.vars.size(); ++d) {
+          auto dep = is_resolvable_at(r, rel.vars[d]);
+          if (!dep || *dep != static_cast<index_t>(d)) continue;
+          if (!var_is_bound(rel.vars[d])) continue;
+          if (rel.vars[d] == var) continue;  // handled above
+          Access a{static_cast<index_t>(r), static_cast<index_t>(d)};
+          level.probes.push_back(a);
+          mark_resolved(a.rel, a.depth);
+          const auto& lv = level_of(a);
+          probes_cost += probe_cost(lv);
+          if (rel.filters)
+            iterations *= std::min(
+                1.0, lv.expected_size() / var_extent(q, rel.vars[d]));
+          progressed = true;
+        }
+      }
+    }
+
+    level.est_iterations = std::max(iterations, 0.0);
+    level.est_cost = enum_cost + probe_invocations * probes_cost;
+    plan.total_cost += card_in * level.est_cost;
+    card_in *= std::max(level.est_iterations, 1e-9);
+    plan.levels.push_back(std::move(level));
+  }
+
+  // Every relation must be fully resolved by the innermost level.
+  for (std::size_t r = 0; r < nrel; ++r) {
+    const auto& rel = q.relations[r];
+    if (rel.order_free) {
+      for (bool done : st[r].resolved)
+        if (!done) return std::nullopt;
+    } else if (st[r].next_depth != static_cast<index_t>(rel.vars.size())) {
+      return std::nullopt;
+    }
+  }
+  return plan;
+}
+
+Plan plan_query(const Query& q, const PlannerOptions& opts) {
+  q.validate();
+
+  std::vector<std::vector<std::string>> orders;
+  if (opts.force_order) {
+    orders.push_back(*opts.force_order);
+  } else {
+    std::vector<std::string> order = q.vars;
+    std::sort(order.begin(), order.end());
+    do {
+      orders.push_back(order);
+    } while (std::next_permutation(order.begin(), order.end()));
+  }
+
+  std::optional<Plan> best;
+  for (const auto& order : orders) {
+    for (bool merge : opts.allow_merge ? std::vector<bool>{true, false}
+                                       : std::vector<bool>{false}) {
+      auto p = plan_order(q, order, merge);
+      if (p && (!best || p->total_cost < best->total_cost)) best = std::move(p);
+    }
+  }
+  BERNOULLI_CHECK_MSG(best.has_value(), "no feasible join order for query");
+  return *best;
+}
+
+std::string Plan::describe(const relation::Query& q) const {
+  std::ostringstream os;
+  for (const auto& level : levels) {
+    os << "for " << level.var << ": ";
+    if (level.method == JoinMethod::kMerge) {
+      os << "merge-join(";
+      for (std::size_t i = 0; i < level.drivers.size(); ++i) {
+        if (i) os << ", ";
+        os << q.relations[static_cast<std::size_t>(level.drivers[i].rel)]
+                  .view->name();
+      }
+      os << ")";
+    } else {
+      os << "enumerate "
+         << q.relations[static_cast<std::size_t>(level.drivers[0].rel)]
+                .view->name();
+    }
+    for (const auto& p : level.probes)
+      os << ", probe "
+         << q.relations[static_cast<std::size_t>(p.rel)].view->name() << "["
+         << q.relations[static_cast<std::size_t>(p.rel)].vars[
+                static_cast<std::size_t>(p.depth)]
+         << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,38 @@
+// The query planner (paper §2, and [14] "A relational approach to sparse
+// matrix compilation").
+//
+// Given a query, the planner explores loop-variable orders, and for each
+// order decides per level which relation drives (enumeration), whether
+// sorted filtering relations should be merge-joined, and which relations
+// are probed via their search methods. A cost model built purely from the
+// access-method *properties* (expected sizes, sortedness, search cost)
+// ranks the alternatives — the planner never looks at the underlying
+// arrays, which is what keeps the format set open.
+#pragma once
+
+#include <optional>
+
+#include "compiler/plan.hpp"
+
+namespace bernoulli::compiler {
+
+struct PlannerOptions {
+  /// When false the planner never emits merge joins (ablation knob used by
+  /// bench_ablation_joins).
+  bool allow_merge = true;
+
+  /// When set, only this variable order is considered (useful in tests).
+  std::optional<std::vector<std::string>> force_order;
+};
+
+/// Builds the cheapest feasible plan. Throws when no variable order is
+/// feasible (cannot happen for queries that include an iteration-space
+/// relation, which is order-free).
+Plan plan_query(const relation::Query& q, const PlannerOptions& opts = {});
+
+/// Plans one specific variable order; nullopt when infeasible.
+std::optional<Plan> plan_order(const relation::Query& q,
+                               const std::vector<std::string>& order,
+                               bool allow_merge);
+
+}  // namespace bernoulli::compiler

@@ -1,0 +1,49 @@
+// Chaos/PARTI-style distributed translation table (paper §1 and §3.1,
+// Eq. 8-11; Ponnusamy, Saltz & Choudhary [15]).
+//
+// The user gives each processor the list of global rows assigned to it.
+// The lists are transposed into a translation table that is itself
+// distributed BLOCKWISE: processor q = floor(i / B) stores the (owner,
+// local offset) of global index i at slot h = i - q*B. Consequences the
+// paper measures:
+//   - building the table is an all-to-all with volume proportional to the
+//     PROBLEM SIZE (every row's entry travels once), and
+//   - every ownership query is another all-to-all round trip, even when
+//     the underlying communication pattern is nearest-neighbour.
+// Contrast with the replicated distributions in distribution.hpp whose
+// lookups are local — that contrast is Table 3 / Figure 4.
+#pragma once
+
+#include "distrib/distribution.hpp"
+#include "runtime/machine.hpp"
+
+namespace bernoulli::distrib {
+
+class ChaosTranslationTable {
+ public:
+  /// Collective over all ranks: builds the distributed table from each
+  /// rank's owned-row list (`my_rows[k]` is the global index stored at
+  /// local offset k). All-to-all, volume ~ N.
+  ChaosTranslationTable(runtime::Process& p, index_t global_size,
+                        std::span<const index_t> my_rows);
+
+  index_t global_size() const { return n_; }
+  index_t block() const { return block_; }
+
+  /// Collective over all ranks: resolves (owner, local) for each queried
+  /// global index, preserving order. Ranks may query different (even
+  /// empty) batches, but every rank must participate in the exchange.
+  std::vector<OwnerLocal> query(runtime::Process& p,
+                                std::span<const index_t> globals) const;
+
+ private:
+  index_t n_ = 0;
+  index_t block_ = 1;
+  // This rank's slice of the table, keyed by global index. A hash table of
+  // translation records, like the PARTI/Chaos ttable the paper measured —
+  // per-entry insert/lookup cost is part of what Table 3 observes (a dense
+  // array would be possible here but is not what the library did).
+  std::unordered_map<index_t, OwnerLocal> slice_;
+};
+
+}  // namespace bernoulli::distrib

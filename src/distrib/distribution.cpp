@@ -1,0 +1,250 @@
+#include "distrib/distribution.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace bernoulli::distrib {
+
+std::vector<index_t> Distribution::owned_indices(int p) const {
+  std::vector<index_t> out(static_cast<std::size_t>(local_size(p)));
+  for (std::size_t k = 0; k < out.size(); ++k)
+    out[k] = to_global(p, static_cast<index_t>(k));
+  return out;
+}
+
+void check_distribution(const Distribution& d) {
+  const index_t n = d.global_size();
+  index_t total = 0;
+  for (int p = 0; p < d.nprocs(); ++p) total += d.local_size(p);
+  BERNOULLI_CHECK_MSG(total == n, d.name() << ": local sizes sum to " << total
+                                           << ", expected " << n);
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (index_t i = 0; i < n; ++i) {
+    OwnerLocal ol = d.owner_local(i);
+    BERNOULLI_CHECK_MSG(ol.owner >= 0 && ol.owner < d.nprocs(),
+                        d.name() << ": bad owner for " << i);
+    BERNOULLI_CHECK_MSG(ol.local >= 0 && ol.local < d.local_size(ol.owner),
+                        d.name() << ": bad local offset for " << i);
+    BERNOULLI_CHECK_MSG(d.to_global(ol.owner, ol.local) == i,
+                        d.name() << ": round trip failed for " << i);
+    BERNOULLI_CHECK(!seen[static_cast<std::size_t>(i)]);
+    seen[static_cast<std::size_t>(i)] = true;
+  }
+}
+
+// ------------------------------------------------------------------ Block
+
+BlockDist::BlockDist(index_t n, int nprocs) : n_(n), p_(nprocs) {
+  BERNOULLI_CHECK(n >= 0 && nprocs >= 1);
+  b_ = (n + nprocs - 1) / nprocs;
+  if (b_ == 0) b_ = 1;
+}
+
+index_t BlockDist::local_size(int p) const {
+  index_t start = std::min<index_t>(static_cast<index_t>(p) * b_, n_);
+  index_t end = std::min<index_t>(start + b_, n_);
+  return end - start;
+}
+
+OwnerLocal BlockDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < n_);
+  return {static_cast<int>(i / b_), i % b_};
+}
+
+index_t BlockDist::to_global(int p, index_t local) const {
+  return static_cast<index_t>(p) * b_ + local;
+}
+
+// ----------------------------------------------------------------- Cyclic
+
+CyclicDist::CyclicDist(index_t n, int nprocs) : n_(n), p_(nprocs) {
+  BERNOULLI_CHECK(n >= 0 && nprocs >= 1);
+}
+
+index_t CyclicDist::local_size(int p) const {
+  return (n_ - p + p_ - 1) / p_;
+}
+
+OwnerLocal CyclicDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < n_);
+  return {static_cast<int>(i % p_), i / p_};
+}
+
+index_t CyclicDist::to_global(int p, index_t local) const {
+  return local * p_ + p;
+}
+
+// ----------------------------------------------------------- Block-cyclic
+
+BlockCyclicDist::BlockCyclicDist(index_t n, int nprocs, index_t block)
+    : n_(n), p_(nprocs), b_(block) {
+  BERNOULLI_CHECK(n >= 0 && nprocs >= 1 && block >= 1);
+}
+
+index_t BlockCyclicDist::local_size(int p) const {
+  // Full rounds deal b*P indices; the remainder is split block by block.
+  const index_t round = b_ * p_;
+  index_t size = (n_ / round) * b_;
+  index_t rem = n_ % round;
+  index_t my_start = static_cast<index_t>(p) * b_;
+  if (rem > my_start) size += std::min(b_, rem - my_start);
+  return size;
+}
+
+OwnerLocal BlockCyclicDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < n_);
+  const index_t blk = i / b_;           // global block number
+  const int owner = static_cast<int>(blk % p_);
+  const index_t local_blk = blk / p_;   // how many of my blocks precede
+  return {owner, local_blk * b_ + i % b_};
+}
+
+index_t BlockCyclicDist::to_global(int p, index_t local) const {
+  const index_t local_blk = local / b_;
+  const index_t blk = local_blk * p_ + static_cast<index_t>(p);
+  return blk * b_ + local % b_;
+}
+
+// ------------------------------------------------------ Generalized block
+
+GeneralizedBlockDist::GeneralizedBlockDist(index_t n,
+                                           std::vector<index_t> sizes)
+    : n_(n), sizes_(std::move(sizes)) {
+  BERNOULLI_CHECK(!sizes_.empty());
+  starts_.push_back(0);
+  for (index_t s : sizes_) {
+    BERNOULLI_CHECK(s >= 0);
+    starts_.push_back(starts_.back() + s);
+  }
+  BERNOULLI_CHECK_MSG(starts_.back() == n,
+                      "block sizes sum to " << starts_.back() << ", expected "
+                                            << n);
+}
+
+index_t GeneralizedBlockDist::local_size(int p) const {
+  return sizes_[static_cast<std::size_t>(p)];
+}
+
+OwnerLocal GeneralizedBlockDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < n_);
+  auto it = std::upper_bound(starts_.begin(), starts_.end(), i);
+  int p = static_cast<int>(it - starts_.begin()) - 1;
+  return {p, i - starts_[static_cast<std::size_t>(p)]};
+}
+
+index_t GeneralizedBlockDist::to_global(int p, index_t local) const {
+  return starts_[static_cast<std::size_t>(p)] + local;
+}
+
+// --------------------------------------------------------------- Indirect
+
+IndirectDist::IndirectDist(std::vector<int> map, int nprocs)
+    : p_(nprocs), map_(std::move(map)) {
+  BERNOULLI_CHECK(nprocs >= 1);
+  owned_.resize(static_cast<std::size_t>(nprocs));
+  local_of_.resize(map_.size());
+  for (std::size_t i = 0; i < map_.size(); ++i) {
+    int p = map_[i];
+    BERNOULLI_CHECK_MSG(p >= 0 && p < nprocs, "MAP(" << i << ") = " << p
+                                                     << " out of range");
+    local_of_[i] = static_cast<index_t>(owned_[static_cast<std::size_t>(p)].size());
+    owned_[static_cast<std::size_t>(p)].push_back(static_cast<index_t>(i));
+  }
+}
+
+index_t IndirectDist::local_size(int p) const {
+  return static_cast<index_t>(owned_[static_cast<std::size_t>(p)].size());
+}
+
+OwnerLocal IndirectDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < global_size());
+  return {map_[static_cast<std::size_t>(i)],
+          local_of_[static_cast<std::size_t>(i)]};
+}
+
+index_t IndirectDist::to_global(int p, index_t local) const {
+  return owned_[static_cast<std::size_t>(p)][static_cast<std::size_t>(local)];
+}
+
+// --------------------------------------------------------------- Row runs
+
+RowRunsDist::RowRunsDist(index_t n, int nprocs, std::vector<Run> runs)
+    : n_(n), p_(nprocs), runs_(std::move(runs)) {
+  BERNOULLI_CHECK(nprocs >= 1);
+  sizes_.assign(static_cast<std::size_t>(nprocs), 0);
+  index_t pos = 0;
+  run_local_start_.reserve(runs_.size());
+  for (const Run& r : runs_) {
+    BERNOULLI_CHECK_MSG(r.start == pos, "runs must tile [0, n) in order");
+    BERNOULLI_CHECK(r.len >= 0);
+    BERNOULLI_CHECK(r.owner >= 0 && r.owner < nprocs);
+    run_local_start_.push_back(sizes_[static_cast<std::size_t>(r.owner)]);
+    sizes_[static_cast<std::size_t>(r.owner)] += r.len;
+    pos += r.len;
+  }
+  BERNOULLI_CHECK_MSG(pos == n, "runs cover " << pos << ", expected " << n);
+}
+
+index_t RowRunsDist::local_size(int p) const {
+  return sizes_[static_cast<std::size_t>(p)];
+}
+
+OwnerLocal RowRunsDist::owner_local(index_t i) const {
+  BERNOULLI_CHECK(i >= 0 && i < n_);
+  // Binary search over run starts.
+  std::size_t lo = 0, hi = runs_.size();
+  while (lo + 1 < hi) {
+    std::size_t mid = (lo + hi) / 2;
+    if (runs_[mid].start <= i)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  const Run& r = runs_[lo];
+  BERNOULLI_CHECK(i >= r.start && i < r.start + r.len);
+  return {r.owner, run_local_start_[lo] + (i - r.start)};
+}
+
+index_t RowRunsDist::to_global(int p, index_t local) const {
+  for (std::size_t k = 0; k < runs_.size(); ++k) {
+    if (runs_[k].owner != p) continue;
+    if (local < run_local_start_[k] + runs_[k].len)
+      return runs_[k].start + (local - run_local_start_[k]);
+  }
+  BERNOULLI_CHECK_MSG(false, "local offset " << local << " out of range on "
+                                             << p);
+  __builtin_unreachable();
+}
+
+std::vector<RowRunsDist::LocalRun> RowRunsDist::local_runs(int p) const {
+  std::vector<LocalRun> out;
+  for (std::size_t k = 0; k < runs_.size(); ++k)
+    if (runs_[k].owner == p && runs_[k].len > 0)
+      out.push_back({runs_[k].start, runs_[k].len, run_local_start_[k]});
+  return out;
+}
+
+RowRunsDist rowruns_from_color_ptr(std::span<const index_t> color_ptr,
+                                   index_t n, int nprocs) {
+  BERNOULLI_CHECK(!color_ptr.empty() && color_ptr.front() == 0 &&
+                  color_ptr.back() == n);
+  std::vector<RowRunsDist::Run> runs;
+  for (std::size_t c = 0; c + 1 < color_ptr.size(); ++c) {
+    const index_t begin = color_ptr[c], end = color_ptr[c + 1];
+    const index_t len = end - begin;
+    // Deal the color's rows to processors in contiguous chunks.
+    index_t chunk = (len + nprocs - 1) / nprocs;
+    index_t pos = begin;
+    for (int p = 0; p < nprocs && pos < end; ++p) {
+      index_t take = std::min<index_t>(chunk, end - pos);
+      runs.push_back({pos, take, p});
+      pos += take;
+    }
+    BERNOULLI_CHECK(pos == end);
+  }
+  return RowRunsDist(n, nprocs, std::move(runs));
+}
+
+}  // namespace bernoulli::distrib

@@ -1,0 +1,208 @@
+// Distribution relations IND(i, p, i') — the global-to-local index
+// translation of the fragmentation equation (paper §3.1, Eq. 15).
+//
+// Every distribution maps each global index i to a unique (processor p,
+// local offset i') pair, 1-1 and onto. The paper's point is that these
+// relations come in many formats with very different *structure*:
+//   - block / cyclic: closed form, ownership free at compile time;
+//   - generalized block (HPF-2): replicated block-boundary table;
+//   - indirect (HPF-2 MAP): replicated array, O(1) lookup, O(N) memory;
+//   - BlockSolve row-runs: replicated small table of contiguous runs
+//     (one per color per processor);
+//   - Chaos distributed translation table: the MAP itself is distributed —
+//     ownership lookups need communication (src/distrib/chaos.*).
+// This header covers the replicated family behind one interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace bernoulli::distrib {
+
+struct OwnerLocal {
+  int owner = 0;
+  index_t local = 0;
+
+  friend bool operator==(const OwnerLocal&, const OwnerLocal&) = default;
+};
+
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  virtual std::string name() const = 0;
+  virtual index_t global_size() const = 0;
+  virtual int nprocs() const = 0;
+
+  /// Number of global indices owned by processor p.
+  virtual index_t local_size(int p) const = 0;
+
+  /// (owner, local offset) of global index i. Replicated distributions
+  /// answer this locally; cost-free at inspector time.
+  virtual OwnerLocal owner_local(index_t i) const = 0;
+
+  /// Global index of local offset `local` on processor p.
+  virtual index_t to_global(int p, index_t local) const = 0;
+
+  /// All global indices owned by p, in local-offset order.
+  std::vector<index_t> owned_indices(int p) const;
+};
+
+/// Throws unless the distribution is a 1-1, onto map between global
+/// indices and (owner, local) pairs — the runtime consistency check the
+/// paper notes can only happen at run time for value-based distributions.
+void check_distribution(const Distribution& d);
+
+/// HPF BLOCK: processor p owns the contiguous range [p*B, (p+1)*B) with
+/// B = ceil(N/P); the last processor may own less.
+class BlockDist final : public Distribution {
+ public:
+  BlockDist(index_t n, int nprocs);
+
+  std::string name() const override { return "block"; }
+  index_t global_size() const override { return n_; }
+  int nprocs() const override { return p_; }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+  index_t block_size() const { return b_; }
+
+ private:
+  index_t n_;
+  int p_;
+  index_t b_;
+};
+
+/// HPF CYCLIC: owner = i mod P, local = i div P.
+class CyclicDist final : public Distribution {
+ public:
+  CyclicDist(index_t n, int nprocs);
+
+  std::string name() const override { return "cyclic"; }
+  index_t global_size() const override { return n_; }
+  int nprocs() const override { return p_; }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+ private:
+  index_t n_;
+  int p_;
+};
+
+/// HPF CYCLIC(b): blocks of b consecutive indices dealt round-robin —
+/// generalizes BLOCK (b = ceil(N/P)) and CYCLIC (b = 1).
+class BlockCyclicDist final : public Distribution {
+ public:
+  BlockCyclicDist(index_t n, int nprocs, index_t block);
+
+  std::string name() const override { return "block-cyclic"; }
+  index_t global_size() const override { return n_; }
+  int nprocs() const override { return p_; }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+  index_t block() const { return b_; }
+
+ private:
+  index_t n_;
+  int p_;
+  index_t b_;
+};
+
+/// HPF-2 generalized block: one contiguous block per processor with
+/// arbitrary (replicated) sizes.
+class GeneralizedBlockDist final : public Distribution {
+ public:
+  /// sizes[p] = rows owned by processor p; must sum to n.
+  GeneralizedBlockDist(index_t n, std::vector<index_t> sizes);
+
+  std::string name() const override { return "generalized-block"; }
+  index_t global_size() const override { return n_; }
+  int nprocs() const override { return static_cast<int>(sizes_.size()); }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+ private:
+  index_t n_;
+  std::vector<index_t> sizes_;
+  std::vector<index_t> starts_;  // prefix sums, size P+1
+};
+
+/// HPF-2 indirect with a REPLICATED map: MAP(i) = owner of row i. Local
+/// offsets are assigned by ascending global index within each owner.
+class IndirectDist final : public Distribution {
+ public:
+  IndirectDist(std::vector<int> map, int nprocs);
+
+  std::string name() const override { return "indirect"; }
+  index_t global_size() const override {
+    return static_cast<index_t>(map_.size());
+  }
+  int nprocs() const override { return p_; }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+  std::span<const int> map() const { return map_; }
+
+ private:
+  int p_;
+  std::vector<int> map_;
+  std::vector<index_t> local_of_;               // local offset per global i
+  std::vector<std::vector<index_t>> owned_;     // per-proc global lists
+};
+
+/// BlockSolve-style distribution: each processor owns several contiguous
+/// row runs (one per color). The run table is small and replicated — more
+/// general than generalized block, far more structured than indirect.
+class RowRunsDist final : public Distribution {
+ public:
+  struct Run {
+    index_t start = 0;  // first global index of the run
+    index_t len = 0;
+    int owner = 0;
+  };
+
+  /// Runs must tile [0, n) in ascending start order.
+  RowRunsDist(index_t n, int nprocs, std::vector<Run> runs);
+
+  std::string name() const override { return "row-runs"; }
+  index_t global_size() const override { return n_; }
+  int nprocs() const override { return p_; }
+  index_t local_size(int p) const override;
+  OwnerLocal owner_local(index_t i) const override;
+  index_t to_global(int p, index_t local) const override;
+
+  std::span<const Run> runs() const { return runs_; }
+
+  /// The runs owned by p, each annotated with its local starting offset.
+  struct LocalRun {
+    index_t start = 0;        // global start
+    index_t len = 0;
+    index_t local_start = 0;  // local offset of the run's first row
+  };
+  std::vector<LocalRun> local_runs(int p) const;
+
+ private:
+  index_t n_;
+  int p_;
+  std::vector<Run> runs_;
+  std::vector<index_t> run_local_start_;  // local start per run
+  std::vector<index_t> sizes_;            // per-proc totals
+};
+
+/// Splits the color-major BlockSolve layout across processors: within each
+/// color, cliques are dealt to processors in contiguous chunks, giving each
+/// processor one run per color — exactly the library's partition (paper
+/// §1: "each processor receives several blocks of contiguous rows").
+RowRunsDist rowruns_from_color_ptr(std::span<const index_t> color_ptr,
+                                   index_t n, int nprocs);
+
+}  // namespace bernoulli::distrib

@@ -1,0 +1,105 @@
+// BlockSolve95 storage (paper §1, Fig. 2; Jones & Plassmann [11]).
+//
+// The matrix is reordered by a clique partition of its node graph and a
+// coloring of the contracted graph: unknowns are laid out color by color,
+// clique by clique. Storage then splits into
+//   - dense diagonal blocks, one per clique (the "black triangles" of
+//     Fig. 2(b); we store the full square block), and
+//   - the off-diagonal sparse part in i-node storage: runs of consecutive
+//     rows with identical column structure hold their values as one dense
+//     (rows x cols) block (Fig. 2(c)).
+//
+// The ordering computation (cliques + coloring) lives in
+// workloads/bs_order.*; this header defines the ordering description and
+// the storage itself, so the format does not depend on how the ordering
+// was obtained.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::formats {
+
+/// Result of the BlockSolve reordering: a symmetric permutation of the
+/// unknowns plus the clique/color layout in the *new* index space.
+struct BsOrdering {
+  index_t dof = 1;
+  std::vector<index_t> old_to_new;  // unknown permutation
+  std::vector<index_t> new_to_old;
+
+  struct CliqueRange {
+    index_t first = 0;  // first unknown (new space)
+    index_t size = 0;   // unknowns in the clique (nodes * dof)
+    index_t color = 0;
+  };
+  /// Cliques in layout order: colors ascend, ranges are contiguous and
+  /// cover [0, n).
+  std::vector<CliqueRange> cliques;
+  index_t num_colors = 0;
+  /// color c covers unknowns [color_ptr[c], color_ptr[c+1]).
+  std::vector<index_t> color_ptr;
+
+  index_t rows() const { return static_cast<index_t>(old_to_new.size()); }
+  void validate() const;
+};
+
+/// The trivial ordering: identity permutation, every unknown its own
+/// clique, one color. Useful for tests and as a degenerate baseline.
+BsOrdering identity_ordering(index_t n);
+
+class BsMatrix {
+ public:
+  /// One off-diagonal i-node block: rows [first_row, first_row+num_rows)
+  /// share the column structure `cols`; vals is num_rows x cols.size(),
+  /// row-major.
+  struct InodeBlock {
+    index_t first_row = 0;
+    index_t num_rows = 0;
+    std::vector<index_t> cols;  // new-space columns, sorted
+    std::vector<value_t> vals;
+  };
+
+  BsMatrix() = default;
+
+  /// Splits the (already assembled) matrix `a` according to `ord`. `a` is
+  /// given in the ORIGINAL index space; the storage holds P·A·Pᵀ.
+  static BsMatrix build(const Coo& a, BsOrdering ord);
+
+  index_t rows() const { return ord_.rows(); }
+  index_t cols() const { return ord_.rows(); }
+  index_t nnz() const;
+
+  const BsOrdering& ordering() const { return ord_; }
+  std::span<const InodeBlock> inodes() const { return inodes_; }
+
+  /// Dense diagonal block of clique c (size x size, row-major).
+  std::span<const value_t> diag_block(index_t c) const;
+
+  /// y = B * x in the PERMUTED space.
+  void spmv_permuted(ConstVectorView x, VectorView y) const;
+
+  /// y = A * x in the ORIGINAL space (permutes in and out).
+  void spmv_original(ConstVectorView x, VectorView y) const;
+
+  /// The permuted matrix P·A·Pᵀ as canonical COO.
+  Coo to_coo_permuted() const;
+
+  /// The original matrix (inverse-permuted round trip).
+  Coo to_coo_original() const;
+
+  void validate() const;
+
+ private:
+  BsOrdering ord_;
+  std::vector<index_t> diag_ptr_;    // per clique, into diag_vals_
+  std::vector<value_t> diag_vals_;   // concatenated dense blocks
+  std::vector<InodeBlock> inodes_;   // sorted by first_row
+};
+
+/// Adapters so BsMatrix slots into the generic spmv() overload set
+/// (original index space, like every other format).
+void spmv(const BsMatrix& a, ConstVectorView x, VectorView y);
+void spmv_add(const BsMatrix& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,158 @@
+#include "formats/bsr.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+Bsr::Bsr(index_t rows, index_t cols, index_t block,
+         std::vector<index_t> browptr, std::vector<index_t> bcolind,
+         std::vector<value_t> vals)
+    : rows_(rows),
+      cols_(cols),
+      block_(block),
+      browptr_(std::move(browptr)),
+      bcolind_(std::move(bcolind)),
+      vals_(std::move(vals)) {
+  validate();
+}
+
+Bsr Bsr::from_coo(const Coo& a, index_t block) {
+  BERNOULLI_CHECK(block >= 1);
+  BERNOULLI_CHECK_MSG(a.rows() % block == 0 && a.cols() % block == 0,
+                      "matrix " << a.rows() << "x" << a.cols()
+                                << " not divisible into " << block
+                                << "-blocks");
+  const index_t brows = a.rows() / block;
+
+  // Pass 1: the set of blocks per block row.
+  std::vector<std::vector<index_t>> blocks(static_cast<std::size_t>(brows));
+  auto rowind = a.rowind();
+  auto colind = a.colind();
+  for (index_t k = 0; k < a.nnz(); ++k)
+    blocks[static_cast<std::size_t>(rowind[k] / block)].push_back(colind[k] /
+                                                                  block);
+  std::vector<index_t> browptr{0}, bcolind;
+  for (auto& br : blocks) {
+    std::sort(br.begin(), br.end());
+    br.erase(std::unique(br.begin(), br.end()), br.end());
+    bcolind.insert(bcolind.end(), br.begin(), br.end());
+    browptr.push_back(static_cast<index_t>(bcolind.size()));
+  }
+
+  // Pass 2: scatter values into the block slots.
+  std::vector<value_t> vals(bcolind.size() * static_cast<std::size_t>(block) *
+                                static_cast<std::size_t>(block),
+                            0.0);
+  auto avals = a.vals();
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    const index_t br = rowind[k] / block, bc = colind[k] / block;
+    const index_t* begin = bcolind.data() + browptr[static_cast<std::size_t>(br)];
+    const index_t* end = bcolind.data() + browptr[static_cast<std::size_t>(br) + 1];
+    auto slot = static_cast<std::size_t>(
+        std::lower_bound(begin, end, bc) - bcolind.data());
+    auto off = slot * static_cast<std::size_t>(block) *
+                   static_cast<std::size_t>(block) +
+               static_cast<std::size_t>(rowind[k] % block) *
+                   static_cast<std::size_t>(block) +
+               static_cast<std::size_t>(colind[k] % block);
+    vals[off] = avals[static_cast<std::size_t>(k)];
+  }
+  return Bsr(a.rows(), a.cols(), block, std::move(browptr), std::move(bcolind),
+             std::move(vals));
+}
+
+Coo Bsr::to_coo() const {
+  TripletBuilder b(rows_, cols_);
+  const auto bb = static_cast<std::size_t>(block_) *
+                  static_cast<std::size_t>(block_);
+  for (index_t br = 0; br < block_rows(); ++br) {
+    for (index_t s = browptr_[static_cast<std::size_t>(br)];
+         s < browptr_[static_cast<std::size_t>(br) + 1]; ++s) {
+      const index_t bc = bcolind_[static_cast<std::size_t>(s)];
+      const value_t* blk = vals_.data() + static_cast<std::size_t>(s) * bb;
+      for (index_t r = 0; r < block_; ++r)
+        for (index_t c = 0; c < block_; ++c) {
+          value_t v = blk[static_cast<std::size_t>(r * block_ + c)];
+          if (v != 0.0) b.add(br * block_ + r, bc * block_ + c, v);
+        }
+    }
+  }
+  return std::move(b).build();
+}
+
+value_t Bsr::at(index_t i, index_t j) const {
+  const index_t br = i / block_, bc = j / block_;
+  const index_t* begin = bcolind_.data() + browptr_[static_cast<std::size_t>(br)];
+  const index_t* end = bcolind_.data() + browptr_[static_cast<std::size_t>(br) + 1];
+  const index_t* it = std::lower_bound(begin, end, bc);
+  if (it == end || *it != bc) return 0.0;
+  auto slot = static_cast<std::size_t>(it - bcolind_.data());
+  return vals_[slot * static_cast<std::size_t>(block_) *
+                   static_cast<std::size_t>(block_) +
+               static_cast<std::size_t>((i % block_) * block_ + (j % block_))];
+}
+
+void Bsr::validate() const {
+  BERNOULLI_CHECK(block_ >= 1);
+  BERNOULLI_CHECK(rows_ % block_ == 0 && cols_ % block_ == 0);
+  BERNOULLI_CHECK(browptr_.size() ==
+                  static_cast<std::size_t>(rows_ / block_) + 1);
+  BERNOULLI_CHECK(browptr_.front() == 0);
+  BERNOULLI_CHECK(browptr_.back() == static_cast<index_t>(bcolind_.size()));
+  BERNOULLI_CHECK(vals_.size() == bcolind_.size() *
+                                      static_cast<std::size_t>(block_) *
+                                      static_cast<std::size_t>(block_));
+  for (index_t br = 0; br + 1 < static_cast<index_t>(browptr_.size()); ++br) {
+    BERNOULLI_CHECK(browptr_[static_cast<std::size_t>(br)] <=
+                    browptr_[static_cast<std::size_t>(br) + 1]);
+    for (index_t s = browptr_[static_cast<std::size_t>(br)];
+         s < browptr_[static_cast<std::size_t>(br) + 1]; ++s) {
+      BERNOULLI_CHECK(bcolind_[static_cast<std::size_t>(s)] >= 0 &&
+                      bcolind_[static_cast<std::size_t>(s)] < cols_ / block_);
+      if (s > browptr_[static_cast<std::size_t>(br)])
+        BERNOULLI_CHECK(bcolind_[static_cast<std::size_t>(s) - 1] <
+                        bcolind_[static_cast<std::size_t>(s)]);
+    }
+  }
+}
+
+void spmv(const Bsr& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Bsr& a, ConstVectorView x, VectorView y) {
+  const index_t b = a.block();
+  const auto bb = static_cast<std::size_t>(b) * static_cast<std::size_t>(b);
+  auto browptr = a.browptr();
+  auto bcolind = a.bcolind();
+  auto vals = a.vals();
+  for (index_t br = 0; br < a.block_rows(); ++br) {
+    value_t* ys = y.data() + static_cast<std::size_t>(br) *
+                                 static_cast<std::size_t>(b);
+    for (index_t s = browptr[static_cast<std::size_t>(br)];
+         s < browptr[static_cast<std::size_t>(br) + 1]; ++s) {
+      const value_t* blk = vals.data() + static_cast<std::size_t>(s) * bb;
+      const value_t* xs = x.data() +
+                          static_cast<std::size_t>(
+                              bcolind[static_cast<std::size_t>(s)]) *
+                              static_cast<std::size_t>(b);
+      // Dense b x b micro-GEMV: no per-entry index loads inside the block.
+      for (index_t r = 0; r < b; ++r) {
+        value_t sum = 0.0;
+        const value_t* row = blk + static_cast<std::size_t>(r * b);
+        for (index_t c = 0; c < b; ++c)
+          sum += row[static_cast<std::size_t>(c)] *
+                 xs[static_cast<std::size_t>(c)];
+        ys[static_cast<std::size_t>(r)] += sum;
+      }
+    }
+  }
+}
+
+}  // namespace bernoulli::formats

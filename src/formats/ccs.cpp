@@ -1,0 +1,197 @@
+#include "formats/ccs.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+Ccs::Ccs(index_t rows, index_t cols, std::vector<index_t> colp,
+         std::vector<index_t> rowind, std::vector<value_t> vals)
+    : rows_(rows),
+      cols_(cols),
+      colp_(std::move(colp)),
+      rowind_(std::move(rowind)),
+      vals_(std::move(vals)) {
+  validate();
+}
+
+Ccs Ccs::from_coo(const Coo& a) {
+  // Column-major pass over the canonical (row-major) triplets.
+  std::vector<index_t> colp(static_cast<std::size_t>(a.cols()) + 1, 0);
+  auto rowind_in = a.rowind();
+  auto colind_in = a.colind();
+  auto vals_in = a.vals();
+  for (index_t c : colind_in) ++colp[static_cast<std::size_t>(c) + 1];
+  for (std::size_t j = 1; j < colp.size(); ++j) colp[j] += colp[j - 1];
+
+  std::vector<index_t> rowind(vals_in.size());
+  std::vector<value_t> vals(vals_in.size());
+  std::vector<index_t> next(colp.begin(), colp.end() - 1);
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    index_t j = colind_in[static_cast<std::size_t>(k)];
+    index_t pos = next[static_cast<std::size_t>(j)]++;
+    rowind[static_cast<std::size_t>(pos)] = rowind_in[static_cast<std::size_t>(k)];
+    vals[static_cast<std::size_t>(pos)] = vals_in[static_cast<std::size_t>(k)];
+  }
+  return Ccs(a.rows(), a.cols(), std::move(colp), std::move(rowind),
+             std::move(vals));
+}
+
+Coo Ccs::to_coo() const {
+  TripletBuilder b(rows_, cols_);
+  b.reserve(vals_.size());
+  for (index_t j = 0; j < cols_; ++j) {
+    auto rows = col_rows(j);
+    auto vals = col_vals(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) b.add(rows[k], j, vals[k]);
+  }
+  return std::move(b).build();
+}
+
+value_t Ccs::at(index_t i, index_t j) const {
+  auto rows = col_rows(j);
+  auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it != rows.end() && *it == i)
+    return col_vals(j)[static_cast<std::size_t>(it - rows.begin())];
+  return 0.0;
+}
+
+void Ccs::validate() const {
+  BERNOULLI_CHECK(colp_.size() == static_cast<std::size_t>(cols_) + 1);
+  BERNOULLI_CHECK(colp_.front() == 0);
+  BERNOULLI_CHECK(colp_.back() == static_cast<index_t>(vals_.size()));
+  BERNOULLI_CHECK(rowind_.size() == vals_.size());
+  for (index_t j = 0; j < cols_; ++j) {
+    BERNOULLI_CHECK(colp_[static_cast<std::size_t>(j)] <=
+                    colp_[static_cast<std::size_t>(j) + 1]);
+    auto rows = col_rows(j);
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      BERNOULLI_CHECK(rows[k] >= 0 && rows[k] < rows_);
+      if (k > 0) BERNOULLI_CHECK(rows[k - 1] < rows[k]);
+    }
+  }
+}
+
+Cccs::Cccs(index_t rows, index_t cols, std::vector<index_t> colind,
+           std::vector<index_t> colp, std::vector<index_t> rowind,
+           std::vector<value_t> vals)
+    : rows_(rows),
+      cols_(cols),
+      colind_(std::move(colind)),
+      colp_(std::move(colp)),
+      rowind_(std::move(rowind)),
+      vals_(std::move(vals)) {
+  validate();
+}
+
+Cccs Cccs::from_coo(const Coo& a) {
+  Ccs full = Ccs::from_coo(a);
+  std::vector<index_t> colind;
+  std::vector<index_t> colp{0};
+  std::vector<index_t> rowind;
+  std::vector<value_t> vals;
+  for (index_t j = 0; j < a.cols(); ++j) {
+    auto rows = full.col_rows(j);
+    if (rows.empty()) continue;  // zero columns are not stored
+    auto cv = full.col_vals(j);
+    colind.push_back(j);
+    rowind.insert(rowind.end(), rows.begin(), rows.end());
+    vals.insert(vals.end(), cv.begin(), cv.end());
+    colp.push_back(static_cast<index_t>(rowind.size()));
+  }
+  return Cccs(a.rows(), a.cols(), std::move(colind), std::move(colp),
+              std::move(rowind), std::move(vals));
+}
+
+Coo Cccs::to_coo() const {
+  TripletBuilder b(rows_, cols_);
+  b.reserve(vals_.size());
+  for (index_t jc = 0; jc < stored_cols(); ++jc) {
+    index_t j = colind_[static_cast<std::size_t>(jc)];
+    auto rows = stored_col_rows(jc);
+    auto vals = stored_col_vals(jc);
+    for (std::size_t k = 0; k < rows.size(); ++k) b.add(rows[k], j, vals[k]);
+  }
+  return std::move(b).build();
+}
+
+index_t Cccs::find_stored_col(index_t j) const {
+  auto it = std::lower_bound(colind_.begin(), colind_.end(), j);
+  if (it != colind_.end() && *it == j)
+    return static_cast<index_t>(it - colind_.begin());
+  return -1;
+}
+
+value_t Cccs::at(index_t i, index_t j) const {
+  index_t jc = find_stored_col(j);
+  if (jc < 0) return 0.0;
+  auto rows = stored_col_rows(jc);
+  auto it = std::lower_bound(rows.begin(), rows.end(), i);
+  if (it != rows.end() && *it == i)
+    return stored_col_vals(jc)[static_cast<std::size_t>(it - rows.begin())];
+  return 0.0;
+}
+
+void Cccs::validate() const {
+  BERNOULLI_CHECK(colp_.size() == colind_.size() + 1);
+  BERNOULLI_CHECK(colp_.front() == 0);
+  BERNOULLI_CHECK(colp_.back() == static_cast<index_t>(vals_.size()));
+  BERNOULLI_CHECK(rowind_.size() == vals_.size());
+  for (std::size_t jc = 0; jc < colind_.size(); ++jc) {
+    BERNOULLI_CHECK(colind_[jc] >= 0 && colind_[jc] < cols_);
+    if (jc > 0) BERNOULLI_CHECK(colind_[jc - 1] < colind_[jc]);
+    // CCCS stores only non-empty columns.
+    BERNOULLI_CHECK(colp_[jc] < colp_[jc + 1]);
+    auto rows = stored_col_rows(static_cast<index_t>(jc));
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      BERNOULLI_CHECK(rows[k] >= 0 && rows[k] < rows_);
+      if (k > 0) BERNOULLI_CHECK(rows[k - 1] < rows[k]);
+    }
+  }
+}
+
+void spmv(const Ccs& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Ccs& a, ConstVectorView x, VectorView y) {
+  const index_t n = a.cols();
+  auto colp = a.colp();
+  auto rowind = a.rowind();
+  auto vals = a.vals();
+  for (index_t j = 0; j < n; ++j) {
+    const value_t xj = x[static_cast<std::size_t>(j)];
+    const index_t end = colp[static_cast<std::size_t>(j) + 1];
+    for (index_t k = colp[static_cast<std::size_t>(j)]; k < end; ++k)
+      y[static_cast<std::size_t>(rowind[static_cast<std::size_t>(k)])] +=
+          vals[static_cast<std::size_t>(k)] * xj;
+  }
+}
+
+void spmv(const Cccs& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Cccs& a, ConstVectorView x, VectorView y) {
+  const index_t nc = a.stored_cols();
+  auto colind = a.colind();
+  auto colp = a.colp();
+  auto rowind = a.rowind();
+  auto vals = a.vals();
+  for (index_t jc = 0; jc < nc; ++jc) {
+    const value_t xj = x[static_cast<std::size_t>(colind[static_cast<std::size_t>(jc)])];
+    const index_t end = colp[static_cast<std::size_t>(jc) + 1];
+    for (index_t k = colp[static_cast<std::size_t>(jc)]; k < end; ++k)
+      y[static_cast<std::size_t>(rowind[static_cast<std::size_t>(k)])] +=
+          vals[static_cast<std::size_t>(k)] * xj;
+  }
+}
+
+}  // namespace bernoulli::formats

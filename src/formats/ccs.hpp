@@ -1,0 +1,113 @@
+// Compressed Column Storage (CCS, Fig. 1(b) of the paper) and
+// Compressed Compressed Column Storage (CCCS, Fig. 1(c)).
+//
+// CCS: VALS(COLP(j) .. COLP(j+1)-1) holds the non-zero values of column j,
+// ROWIND the matching row indices. Hierarchy: J -> (I, V).
+//
+// CCCS additionally compresses the column dimension: only columns with at
+// least one stored entry appear, and COLIND(jc) gives the original column
+// index of stored column jc. Hierarchy: J' -> (I, V) with a sorted
+// searchable J' -> J translation.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace bernoulli::formats {
+
+class Ccs {
+ public:
+  Ccs() = default;
+  Ccs(index_t rows, index_t cols, std::vector<index_t> colp,
+      std::vector<index_t> rowind, std::vector<value_t> vals);
+
+  static Ccs from_coo(const Coo& a);
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(vals_.size()); }
+
+  std::span<const index_t> colp() const { return colp_; }
+  std::span<const index_t> rowind() const { return rowind_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  std::span<const index_t> col_rows(index_t j) const {
+    return {rowind_.data() + colp_[static_cast<std::size_t>(j)],
+            static_cast<std::size_t>(colp_[static_cast<std::size_t>(j) + 1] -
+                                     colp_[static_cast<std::size_t>(j)])};
+  }
+  std::span<const value_t> col_vals(index_t j) const {
+    return {vals_.data() + colp_[static_cast<std::size_t>(j)],
+            static_cast<std::size_t>(colp_[static_cast<std::size_t>(j) + 1] -
+                                     colp_[static_cast<std::size_t>(j)])};
+  }
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> colp_;    // size cols+1
+  std::vector<index_t> rowind_;  // size nnz, sorted within each column
+  std::vector<value_t> vals_;
+};
+
+class Cccs {
+ public:
+  Cccs() = default;
+  Cccs(index_t rows, index_t cols, std::vector<index_t> colind,
+       std::vector<index_t> colp, std::vector<index_t> rowind,
+       std::vector<value_t> vals);
+
+  static Cccs from_coo(const Coo& a);
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(vals_.size()); }
+
+  /// Number of stored (non-empty) columns.
+  index_t stored_cols() const { return static_cast<index_t>(colind_.size()); }
+
+  std::span<const index_t> colind() const { return colind_; }
+  std::span<const index_t> colp() const { return colp_; }
+  std::span<const index_t> rowind() const { return rowind_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  std::span<const index_t> stored_col_rows(index_t jc) const {
+    return {rowind_.data() + colp_[static_cast<std::size_t>(jc)],
+            static_cast<std::size_t>(colp_[static_cast<std::size_t>(jc) + 1] -
+                                     colp_[static_cast<std::size_t>(jc)])};
+  }
+  std::span<const value_t> stored_col_vals(index_t jc) const {
+    return {vals_.data() + colp_[static_cast<std::size_t>(jc)],
+            static_cast<std::size_t>(colp_[static_cast<std::size_t>(jc) + 1] -
+                                     colp_[static_cast<std::size_t>(jc)])};
+  }
+
+  /// Stored-column position of original column j, or -1 when column j has
+  /// no stored entries. O(log stored_cols).
+  index_t find_stored_col(index_t j) const;
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> colind_;  // original index of each stored column
+  std::vector<index_t> colp_;    // size stored_cols+1
+  std::vector<index_t> rowind_;
+  std::vector<value_t> vals_;
+};
+
+void spmv(const Ccs& a, ConstVectorView x, VectorView y);
+void spmv_add(const Ccs& a, ConstVectorView x, VectorView y);
+void spmv(const Cccs& a, ConstVectorView x, VectorView y);
+void spmv_add(const Cccs& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

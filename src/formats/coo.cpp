@@ -1,0 +1,146 @@
+#include "formats/coo.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+Coo::Coo(index_t rows, index_t cols, std::vector<Triplet> entries)
+    : rows_(rows), cols_(cols) {
+  BERNOULLI_CHECK(rows >= 0 && cols >= 0);
+  std::sort(entries.begin(), entries.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  rowind_.reserve(entries.size());
+  colind_.reserve(entries.size());
+  vals_.reserve(entries.size());
+  for (const Triplet& t : entries) {
+    BERNOULLI_CHECK_MSG(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+                        "entry (" << t.row << "," << t.col
+                                  << ") outside " << rows << "x" << cols);
+    if (!vals_.empty() && rowind_.back() == t.row && colind_.back() == t.col) {
+      vals_.back() += t.val;  // assembly: duplicates sum
+    } else {
+      rowind_.push_back(t.row);
+      colind_.push_back(t.col);
+      vals_.push_back(t.val);
+    }
+  }
+}
+
+namespace {
+
+// Index of the first stored entry with (row, col) >= (i, j), in canonical
+// order; returns nnz when none.
+index_t lower_bound_entry(std::span<const index_t> rowind,
+                          std::span<const index_t> colind, index_t i,
+                          index_t j) {
+  index_t lo = 0;
+  auto hi = static_cast<index_t>(rowind.size());
+  while (lo < hi) {
+    index_t mid = lo + (hi - lo) / 2;
+    bool less = rowind[mid] != i ? rowind[mid] < i : colind[mid] < j;
+    if (less)
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+value_t Coo::at(index_t i, index_t j) const {
+  index_t k = lower_bound_entry(rowind_, colind_, i, j);
+  if (k < nnz() && rowind_[k] == i && colind_[k] == j) return vals_[k];
+  return 0.0;
+}
+
+bool Coo::stored(index_t i, index_t j) const {
+  index_t k = lower_bound_entry(rowind_, colind_, i, j);
+  return k < nnz() && rowind_[k] == i && colind_[k] == j;
+}
+
+std::vector<Triplet> Coo::triplets() const {
+  std::vector<Triplet> out(vals_.size());
+  for (std::size_t k = 0; k < vals_.size(); ++k)
+    out[k] = {rowind_[k], colind_[k], vals_[k]};
+  return out;
+}
+
+index_t Coo::row_nnz(index_t i) const {
+  index_t lo = lower_bound_entry(rowind_, colind_, i, 0);
+  index_t hi = lower_bound_entry(rowind_, colind_, i + 1, 0);
+  return hi - lo;
+}
+
+std::vector<index_t> Coo::row_lengths() const {
+  std::vector<index_t> len(static_cast<std::size_t>(rows_), 0);
+  for (index_t r : rowind_) ++len[static_cast<std::size_t>(r)];
+  return len;
+}
+
+Coo Coo::transposed() const {
+  std::vector<Triplet> t;
+  t.reserve(vals_.size());
+  for (std::size_t k = 0; k < vals_.size(); ++k)
+    t.push_back({colind_[k], rowind_[k], vals_[k]});
+  return Coo(cols_, rows_, std::move(t));
+}
+
+bool Coo::is_symmetric(value_t tol) const {
+  if (rows_ != cols_) return false;
+  for (std::size_t k = 0; k < vals_.size(); ++k) {
+    index_t i = rowind_[k], j = colind_[k];
+    if (i == j) continue;
+    if (!stored(j, i)) return false;
+    value_t d = vals_[k] - at(j, i);
+    if (d < -tol || d > tol) return false;
+  }
+  return true;
+}
+
+void Coo::validate() const {
+  BERNOULLI_CHECK(rowind_.size() == colind_.size() &&
+                  rowind_.size() == vals_.size());
+  for (std::size_t k = 0; k < vals_.size(); ++k) {
+    BERNOULLI_CHECK(rowind_[k] >= 0 && rowind_[k] < rows_);
+    BERNOULLI_CHECK(colind_[k] >= 0 && colind_[k] < cols_);
+    if (k > 0) {
+      bool ordered = rowind_[k - 1] != rowind_[k]
+                         ? rowind_[k - 1] < rowind_[k]
+                         : colind_[k - 1] < colind_[k];
+      BERNOULLI_CHECK_MSG(ordered, "entries not in canonical order at " << k);
+    }
+  }
+}
+
+bool operator==(const Coo& a, const Coo& b) {
+  return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.rowind_ == b.rowind_ &&
+         a.colind_ == b.colind_ && a.vals_ == b.vals_;
+}
+
+Coo TripletBuilder::build() && {
+  return Coo(rows_, cols_, std::move(entries_));
+}
+
+void spmv(const Coo& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Coo& a, ConstVectorView x, VectorView y) {
+  auto rowind = a.rowind();
+  auto colind = a.colind();
+  auto vals = a.vals();
+  const index_t nnz = a.nnz();
+  for (index_t k = 0; k < nnz; ++k)
+    y[static_cast<std::size_t>(rowind[k])] +=
+        vals[k] * x[static_cast<std::size_t>(colind[k])];
+}
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,45 @@
+#include "formats/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+Dense Dense::from_coo(const Coo& a) {
+  Dense d(a.rows(), a.cols());
+  auto rowind = a.rowind();
+  auto colind = a.colind();
+  auto vals = a.vals();
+  for (index_t k = 0; k < a.nnz(); ++k) d.at(rowind[k], colind[k]) = vals[k];
+  return d;
+}
+
+Coo Dense::to_coo(value_t drop_tol) const {
+  TripletBuilder b(rows_, cols_);
+  for (index_t i = 0; i < rows_; ++i)
+    for (index_t j = 0; j < cols_; ++j)
+      if (std::abs(at(i, j)) > drop_tol) b.add(i, j, at(i, j));
+  return std::move(b).build();
+}
+
+void spmv(const Dense& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Dense& a, ConstVectorView x, VectorView y) {
+  const index_t m = a.rows(), n = a.cols();
+  for (index_t i = 0; i < m; ++i) {
+    auto row = a.row(i);
+    value_t sum = 0.0;
+    for (index_t j = 0; j < n; ++j)
+      sum += row[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] += sum;
+  }
+}
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,66 @@
+// Diagonal format (the paper's "Diagonal", Appendix A): a variant of banded
+// storage that keeps an arbitrary set of diagonals, and for each diagonal
+// stores only the entries between the first and last non-zero — i.e.
+// Skyline storage re-oriented along the diagonals.
+//
+// A diagonal is identified by its offset d = j - i. For each stored
+// diagonal k we keep:
+//   offset_[k]  — the offset d,
+//   first_[k]   — smallest row index i with a stored entry on the diagonal,
+//   dptr_[k]    — start of the diagonal's values in vals_ (dptr_ has one
+//                 extra trailing entry, like a row pointer).
+// vals_ holds, contiguously, positions first_[k] .. last (inclusive) of
+// each diagonal, including any interior zeros (they are stored entries).
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace bernoulli::formats {
+
+class Dia {
+ public:
+  Dia() = default;
+  Dia(index_t rows, index_t cols, std::vector<index_t> offsets,
+      std::vector<index_t> first, std::vector<index_t> dptr,
+      std::vector<value_t> vals);
+
+  static Dia from_coo(const Coo& a);
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  /// Number of stored positions (including interior zeros on a diagonal).
+  index_t stored() const { return static_cast<index_t>(vals_.size()); }
+  index_t num_diagonals() const { return static_cast<index_t>(offsets_.size()); }
+
+  std::span<const index_t> offsets() const { return offsets_; }
+  std::span<const index_t> first() const { return first_; }
+  std::span<const index_t> dptr() const { return dptr_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  /// Length (number of stored positions) of diagonal k.
+  index_t diag_len(index_t k) const {
+    return dptr_[static_cast<std::size_t>(k) + 1] -
+           dptr_[static_cast<std::size_t>(k)];
+  }
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> offsets_;  // sorted ascending, unique
+  std::vector<index_t> first_;    // first stored row per diagonal
+  std::vector<index_t> dptr_;     // size num_diagonals+1
+  std::vector<value_t> vals_;
+};
+
+void spmv(const Dia& a, ConstVectorView x, VectorView y);
+void spmv_add(const Dia& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,65 @@
+// ITPACK / ELLPACK format (the paper's "ITPACK", Appendix A; Kincaid et al.
+// Algorithm 586).
+//
+// Every row is padded to the width of the longest row. Two (rows x width)
+// arrays are stored column-major ("jagged column" major), matching the
+// Fortran layout of ITPACK 2C: position (i, k) lives at k*rows + i. Padding
+// slots use column 0 and value 0, so the kernel needs no branches; a
+// per-row length array records where the real entries end (ITPACK derives
+// this from its padding convention, which is ambiguous for stored zeros —
+// we keep it explicit).
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace bernoulli::formats {
+
+class Ell {
+ public:
+  Ell() = default;
+  Ell(index_t rows, index_t cols, index_t width, std::vector<index_t> colind,
+      std::vector<value_t> vals, std::vector<index_t> rownnz);
+
+  static Ell from_coo(const Coo& a);
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t width() const { return width_; }
+  /// Stored entries excluding padding.
+  index_t nnz() const;
+  /// Stored entries including padding (the memory the format touches).
+  index_t padded_size() const { return rows_ * width_; }
+
+  std::span<const index_t> colind() const { return colind_; }
+  std::span<const value_t> vals() const { return vals_; }
+  std::span<const index_t> rownnz() const { return rownnz_; }
+
+  index_t col_at(index_t i, index_t k) const {
+    return colind_[static_cast<std::size_t>(k) * static_cast<std::size_t>(rows_) +
+                   static_cast<std::size_t>(i)];
+  }
+  value_t val_at(index_t i, index_t k) const {
+    return vals_[static_cast<std::size_t>(k) * static_cast<std::size_t>(rows_) +
+                 static_cast<std::size_t>(i)];
+  }
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t width_ = 0;
+  std::vector<index_t> colind_;  // rows*width, column-major
+  std::vector<value_t> vals_;    // rows*width, column-major
+  std::vector<index_t> rownnz_;  // real entries per row
+};
+
+void spmv(const Ell& a, ConstVectorView x, VectorView y);
+void spmv_add(const Ell& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,108 @@
+#include "formats/formats.hpp"
+
+#include <array>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+std::string kind_name(Kind k) {
+  switch (k) {
+    case Kind::kDense: return "Dense";
+    case Kind::kCoo: return "Coordinate";
+    case Kind::kCsr: return "CRS";
+    case Kind::kCcs: return "CCS";
+    case Kind::kCccs: return "CCCS";
+    case Kind::kDia: return "Diagonal";
+    case Kind::kEll: return "ITPACK";
+    case Kind::kJds: return "JDiag";
+  }
+  return "?";
+}
+
+std::span<const Kind> sparse_kinds() {
+  static constexpr std::array<Kind, 7> kinds = {
+      Kind::kDia, Kind::kCoo, Kind::kCsr,  Kind::kCcs,
+      Kind::kCccs, Kind::kEll, Kind::kJds,
+  };
+  return kinds;
+}
+
+AnyFormat::AnyFormat(Kind kind, const Coo& a) : kind_(kind) {
+  switch (kind) {
+    case Kind::kDense: m_ = Dense::from_coo(a); break;
+    case Kind::kCoo: m_ = a; break;
+    case Kind::kCsr: m_ = Csr::from_coo(a); break;
+    case Kind::kCcs: m_ = Ccs::from_coo(a); break;
+    case Kind::kCccs: m_ = Cccs::from_coo(a); break;
+    case Kind::kDia: m_ = Dia::from_coo(a); break;
+    case Kind::kEll: m_ = Ell::from_coo(a); break;
+    case Kind::kJds: m_ = Jds::from_coo(a); break;
+  }
+}
+
+index_t AnyFormat::rows() const {
+  return std::visit([](const auto& m) { return m.rows(); }, m_);
+}
+
+index_t AnyFormat::cols() const {
+  return std::visit([](const auto& m) { return m.cols(); }, m_);
+}
+
+Coo AnyFormat::to_coo() const {
+  return std::visit(
+      [](const auto& m) -> Coo {
+        if constexpr (std::is_same_v<std::decay_t<decltype(m)>, Coo>)
+          return m;
+        else
+          return m.to_coo();
+      },
+      m_);
+}
+
+value_t AnyFormat::at(index_t i, index_t j) const {
+  return std::visit([&](const auto& m) { return m.at(i, j); }, m_);
+}
+
+void AnyFormat::spmv(ConstVectorView x, VectorView y) const {
+  std::visit([&](const auto& m) { formats::spmv(m, x, y); }, m_);
+}
+
+void AnyFormat::spmv_add(ConstVectorView x, VectorView y) const {
+  std::visit([&](const auto& m) { formats::spmv_add(m, x, y); }, m_);
+}
+
+std::size_t AnyFormat::storage_bytes() const {
+  return std::visit(
+      [](const auto& m) -> std::size_t {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Dense>) {
+          return m.data().size() * sizeof(value_t);
+        } else if constexpr (std::is_same_v<T, Coo>) {
+          return m.vals().size() * (sizeof(value_t) + 2 * sizeof(index_t));
+        } else if constexpr (std::is_same_v<T, Csr>) {
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +
+                 m.rowptr().size() * sizeof(index_t);
+        } else if constexpr (std::is_same_v<T, Ccs>) {
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +
+                 m.colp().size() * sizeof(index_t);
+        } else if constexpr (std::is_same_v<T, Cccs>) {
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +
+                 (m.colp().size() + m.colind().size()) * sizeof(index_t);
+        } else if constexpr (std::is_same_v<T, Dia>) {
+          return m.vals().size() * sizeof(value_t) +
+                 (m.offsets().size() + m.first().size() + m.dptr().size()) *
+                     sizeof(index_t);
+        } else if constexpr (std::is_same_v<T, Ell>) {
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t));
+        } else {
+          static_assert(std::is_same_v<T, Jds>);
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +
+                 (m.perm().size() + m.iperm().size() + m.jdptr().size()) *
+                     sizeof(index_t);
+        }
+      },
+      m_);
+}
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,66 @@
+// Umbrella header for all sparse formats plus a type-erased AnyFormat used
+// by benchmarks and parameterized tests to sweep format x matrix grids.
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "formats/ccs.hpp"
+#include "formats/coo.hpp"
+#include "formats/csr.hpp"
+#include "formats/dense.hpp"
+#include "formats/dia.hpp"
+#include "formats/ell.hpp"
+#include "formats/jds.hpp"
+
+namespace bernoulli::formats {
+
+enum class Kind {
+  kDense,
+  kCoo,
+  kCsr,
+  kCcs,
+  kCccs,
+  kDia,
+  kEll,
+  kJds,
+};
+
+/// Short human-readable name matching the paper's Table 1 column headers
+/// where applicable.
+std::string kind_name(Kind k);
+
+/// All sparse kinds (excludes Dense), in Table 1 column order where the
+/// paper lists them.
+std::span<const Kind> sparse_kinds();
+
+class AnyFormat {
+ public:
+  /// Converts a canonical COO matrix into the requested format.
+  AnyFormat(Kind kind, const Coo& a);
+
+  Kind kind() const { return kind_; }
+  index_t rows() const;
+  index_t cols() const;
+
+  /// Lowers back to canonical COO (identity round-trip for every kind).
+  Coo to_coo() const;
+
+  value_t at(index_t i, index_t j) const;
+
+  /// y = A * x through the format's tuned kernel.
+  void spmv(ConstVectorView x, VectorView y) const;
+
+  /// y += A * x
+  void spmv_add(ConstVectorView x, VectorView y) const;
+
+  /// Bytes of storage the format occupies (index + value arrays), used by
+  /// the format-comparison benches.
+  std::size_t storage_bytes() const;
+
+ private:
+  Kind kind_;
+  std::variant<Dense, Coo, Csr, Ccs, Cccs, Dia, Ell, Jds> m_;
+};
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,134 @@
+#include "formats/jds.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "formats/csr.hpp"
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+Jds::Jds(index_t rows, index_t cols, std::vector<index_t> perm,
+         std::vector<index_t> jdptr, std::vector<index_t> colind,
+         std::vector<value_t> vals)
+    : rows_(rows),
+      cols_(cols),
+      perm_(std::move(perm)),
+      jdptr_(std::move(jdptr)),
+      colind_(std::move(colind)),
+      vals_(std::move(vals)) {
+  iperm_.assign(perm_.size(), 0);
+  for (std::size_t ip = 0; ip < perm_.size(); ++ip)
+    iperm_[static_cast<std::size_t>(perm_[ip])] = static_cast<index_t>(ip);
+  validate();
+}
+
+Jds Jds::from_coo(const Coo& a) {
+  Csr csr = Csr::from_coo(a);
+  std::vector<index_t> len = a.row_lengths();
+
+  // Stable sort rows by decreasing length; stability keeps the permutation
+  // deterministic.
+  std::vector<index_t> perm(static_cast<std::size_t>(a.rows()));
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+    return len[static_cast<std::size_t>(x)] > len[static_cast<std::size_t>(y)];
+  });
+
+  index_t maxlen =
+      len.empty() ? 0 : len[static_cast<std::size_t>(perm.empty() ? 0 : perm[0])];
+  std::vector<index_t> jdptr{0};
+  std::vector<index_t> colind;
+  std::vector<value_t> vals;
+  colind.reserve(static_cast<std::size_t>(a.nnz()));
+  vals.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t k = 0; k < maxlen; ++k) {
+    for (index_t ip = 0; ip < a.rows(); ++ip) {
+      index_t i = perm[static_cast<std::size_t>(ip)];
+      if (len[static_cast<std::size_t>(i)] <= k) break;  // rows sorted by len
+      colind.push_back(csr.row_cols(i)[static_cast<std::size_t>(k)]);
+      vals.push_back(csr.row_vals(i)[static_cast<std::size_t>(k)]);
+    }
+    jdptr.push_back(static_cast<index_t>(colind.size()));
+  }
+  return Jds(a.rows(), a.cols(), std::move(perm), std::move(jdptr),
+             std::move(colind), std::move(vals));
+}
+
+Coo Jds::to_coo() const {
+  TripletBuilder b(rows_, cols_);
+  b.reserve(vals_.size());
+  for (index_t k = 0; k < num_jdiags(); ++k) {
+    const index_t begin = jdptr_[static_cast<std::size_t>(k)];
+    const index_t end = jdptr_[static_cast<std::size_t>(k) + 1];
+    for (index_t t = begin; t < end; ++t) {
+      index_t ip = t - begin;  // permuted row of this slot
+      b.add(perm_[static_cast<std::size_t>(ip)],
+            colind_[static_cast<std::size_t>(t)],
+            vals_[static_cast<std::size_t>(t)]);
+    }
+  }
+  return std::move(b).build();
+}
+
+value_t Jds::at(index_t i, index_t j) const {
+  index_t ip = iperm_[static_cast<std::size_t>(i)];
+  for (index_t k = 0; k < num_jdiags(); ++k) {
+    const index_t begin = jdptr_[static_cast<std::size_t>(k)];
+    const index_t end = jdptr_[static_cast<std::size_t>(k) + 1];
+    if (begin + ip >= end) break;  // row i has fewer than k+1 entries
+    if (colind_[static_cast<std::size_t>(begin + ip)] == j)
+      return vals_[static_cast<std::size_t>(begin + ip)];
+  }
+  return 0.0;
+}
+
+void Jds::validate() const {
+  BERNOULLI_CHECK(perm_.size() == static_cast<std::size_t>(rows_));
+  BERNOULLI_CHECK(!jdptr_.empty() && jdptr_.front() == 0);
+  BERNOULLI_CHECK(jdptr_.back() == static_cast<index_t>(vals_.size()));
+  BERNOULLI_CHECK(colind_.size() == vals_.size());
+  std::vector<bool> seen(perm_.size(), false);
+  for (index_t p : perm_) {
+    BERNOULLI_CHECK(p >= 0 && p < rows_);
+    BERNOULLI_CHECK_MSG(!seen[static_cast<std::size_t>(p)],
+                        "perm is not a permutation");
+    seen[static_cast<std::size_t>(p)] = true;
+  }
+  index_t prev_len = rows_ + 1;
+  for (index_t k = 0; k < num_jdiags(); ++k) {
+    index_t len = jdptr_[static_cast<std::size_t>(k) + 1] -
+                  jdptr_[static_cast<std::size_t>(k)];
+    BERNOULLI_CHECK_MSG(len <= prev_len, "jagged diagonals must shrink");
+    BERNOULLI_CHECK(len >= 1 && len <= rows_);
+    prev_len = len;
+  }
+  for (index_t c : colind_) BERNOULLI_CHECK(c >= 0 && c < cols_);
+}
+
+void spmv(const Jds& a, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  BERNOULLI_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  std::fill(y.begin(), y.end(), 0.0);
+  spmv_add(a, x, y);
+}
+
+void spmv_add(const Jds& a, ConstVectorView x, VectorView y) {
+  const index_t njd = a.num_jdiags();
+  auto perm = a.perm();
+  auto jdptr = a.jdptr();
+  auto colind = a.colind();
+  auto vals = a.vals();
+  for (index_t k = 0; k < njd; ++k) {
+    const index_t begin = jdptr[static_cast<std::size_t>(k)];
+    const index_t end = jdptr[static_cast<std::size_t>(k) + 1];
+    // Long unit-stride inner loops over the jagged diagonal — the format's
+    // vectorization payoff; y is accessed through the permutation.
+    for (index_t t = begin; t < end; ++t)
+      y[static_cast<std::size_t>(perm[static_cast<std::size_t>(t - begin)])] +=
+          vals[static_cast<std::size_t>(t)] *
+          x[static_cast<std::size_t>(colind[static_cast<std::size_t>(t)])];
+  }
+}
+
+}  // namespace bernoulli::formats

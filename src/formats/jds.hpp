@@ -1,0 +1,60 @@
+// Jagged Diagonal format (the paper's "JDiag", Saad 1989).
+//
+// Rows are permuted by decreasing length; the k-th jagged diagonal collects
+// the k-th stored entry of every (permuted) row that has one. This is the
+// paper's running example of a format involving an index permutation: the
+// permutation PERM / IPERM is itself a relation (§2.2).
+//
+// Layout:
+//   perm_[ip]  — original row index of permuted row ip (PERM),
+//   iperm_[i]  — permuted position of original row i (IPERM),
+//   jdptr_[k]  — start of jagged diagonal k in colind_/vals_; the k-th
+//                diagonal has jdptr_[k+1]-jdptr_[k] entries covering
+//                permuted rows 0 .. len-1.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+#include "support/types.hpp"
+
+namespace bernoulli::formats {
+
+class Jds {
+ public:
+  Jds() = default;
+  Jds(index_t rows, index_t cols, std::vector<index_t> perm,
+      std::vector<index_t> jdptr, std::vector<index_t> colind,
+      std::vector<value_t> vals);
+
+  static Jds from_coo(const Coo& a);
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t nnz() const { return static_cast<index_t>(vals_.size()); }
+  index_t num_jdiags() const { return static_cast<index_t>(jdptr_.size()) - 1; }
+
+  std::span<const index_t> perm() const { return perm_; }
+  std::span<const index_t> iperm() const { return iperm_; }
+  std::span<const index_t> jdptr() const { return jdptr_; }
+  std::span<const index_t> colind() const { return colind_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<index_t> perm_;    // permuted -> original
+  std::vector<index_t> iperm_;   // original -> permuted
+  std::vector<index_t> jdptr_;   // num_jdiags+1
+  std::vector<index_t> colind_;
+  std::vector<value_t> vals_;
+};
+
+void spmv(const Jds& a, ConstVectorView x, VectorView y);
+void spmv_add(const Jds& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

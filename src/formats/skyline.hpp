@@ -1,0 +1,58 @@
+// Skyline (profile/envelope) storage, George & Liu [10] — the classic
+// direct-solver format the paper's Diagonal storage re-orients: row i
+// stores the contiguous run first(i) .. i of its lower triangle (the
+// "profile"). Cholesky factorization fills in ONLY within the profile, so
+// a skyline factorizes in place with no symbolic phase — the property
+// that made it the workhorse of banded/envelope direct solvers (and why
+// RCM, which shrinks the envelope, matters; see workloads/rcm).
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::formats {
+
+/// Symmetric matrix stored by its lower-triangle envelope.
+class Skyline {
+ public:
+  Skyline() = default;
+
+  /// Builds from a structurally symmetric matrix (values of the lower
+  /// triangle are taken; the envelope is the span first-nonzero..diagonal
+  /// of each row, interior zeros stored explicitly).
+  static Skyline from_coo(const Coo& a);
+
+  /// The symmetric matrix (envelope zeros dropped).
+  Coo to_coo() const;
+
+  index_t rows() const { return static_cast<index_t>(first_.size()); }
+  /// Stored envelope slots (including interior zeros).
+  index_t stored() const { return static_cast<index_t>(vals_.size()); }
+
+  /// First stored column of row i.
+  index_t first(index_t i) const { return first_[static_cast<std::size_t>(i)]; }
+
+  value_t at(index_t i, index_t j) const;
+  value_t& at_mut(index_t i, index_t j);
+
+  /// y = A x using the symmetric envelope (each stored entry used twice).
+  void spmv_sym(ConstVectorView x, VectorView y) const;
+
+  /// In-place Cholesky A = L L^T within the envelope (no fill outside it —
+  /// a theorem of envelope methods). Throws on non-positive pivots. After
+  /// the call the storage holds L.
+  void cholesky_in_place();
+
+  /// Given the factored storage (L), solves L L^T x = b.
+  void solve_factored(ConstVectorView b, VectorView x) const;
+
+  void validate() const;
+
+ private:
+  std::vector<index_t> first_;  // first stored column per row
+  std::vector<index_t> rptr_;   // row start in vals_, size rows+1
+  std::vector<value_t> vals_;   // envelope, row-major, diagonal last per row
+};
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,88 @@
+#include "formats/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::formats {
+
+SparseVector::SparseVector(index_t size,
+                           std::vector<std::pair<index_t, value_t>> entries)
+    : size_(size) {
+  BERNOULLI_CHECK(size >= 0);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [i, v] : entries) {
+    BERNOULLI_CHECK_MSG(i >= 0 && i < size, "index " << i << " out of range");
+    if (!ind_.empty() && ind_.back() == i) {
+      vals_.back() += v;
+    } else {
+      ind_.push_back(i);
+      vals_.push_back(v);
+    }
+  }
+}
+
+SparseVector SparseVector::from_dense(ConstVectorView x, value_t drop_tol) {
+  std::vector<std::pair<index_t, value_t>> entries;
+  for (std::size_t i = 0; i < x.size(); ++i)
+    if (std::abs(x[i]) > drop_tol)
+      entries.emplace_back(static_cast<index_t>(i), x[i]);
+  return SparseVector(static_cast<index_t>(x.size()), std::move(entries));
+}
+
+Vector SparseVector::to_dense() const {
+  Vector out(static_cast<std::size_t>(size_), 0.0);
+  for (std::size_t k = 0; k < ind_.size(); ++k)
+    out[static_cast<std::size_t>(ind_[k])] = vals_[k];
+  return out;
+}
+
+value_t SparseVector::at(index_t i) const {
+  auto it = std::lower_bound(ind_.begin(), ind_.end(), i);
+  if (it != ind_.end() && *it == i)
+    return vals_[static_cast<std::size_t>(it - ind_.begin())];
+  return 0.0;
+}
+
+void SparseVector::validate() const {
+  BERNOULLI_CHECK(ind_.size() == vals_.size());
+  for (std::size_t k = 0; k < ind_.size(); ++k) {
+    BERNOULLI_CHECK(ind_[k] >= 0 && ind_[k] < size_);
+    if (k > 0) BERNOULLI_CHECK(ind_[k - 1] < ind_[k]);
+  }
+}
+
+value_t dot(const SparseVector& a, ConstVectorView x) {
+  BERNOULLI_CHECK(static_cast<index_t>(x.size()) == a.size());
+  value_t sum = 0.0;
+  auto ind = a.ind();
+  auto vals = a.vals();
+  for (std::size_t k = 0; k < ind.size(); ++k)
+    sum += vals[k] * x[static_cast<std::size_t>(ind[k])];
+  return sum;
+}
+
+value_t dot(const SparseVector& a, const SparseVector& b) {
+  BERNOULLI_CHECK(a.size() == b.size());
+  value_t sum = 0.0;
+  auto ai = a.ind(), bi = b.ind();
+  auto av = a.vals(), bv = b.vals();
+  std::size_t p = 0, q = 0;
+  // Two-finger merge join over the sorted index lists.
+  while (p < ai.size() && q < bi.size()) {
+    if (ai[p] < bi[q]) {
+      ++p;
+    } else if (ai[p] > bi[q]) {
+      ++q;
+    } else {
+      sum += av[p] * bv[q];
+      ++p;
+      ++q;
+    }
+  }
+  return sum;
+}
+
+}  // namespace bernoulli::formats

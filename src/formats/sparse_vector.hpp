@@ -1,0 +1,47 @@
+// Compressed sparse vector: sorted index list + values. The paper's
+// running query (§2) has both A and X sparse; this is the storage for a
+// sparse X, and its relation view enables merge joins against matrix rows.
+#pragma once
+
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace bernoulli::formats {
+
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Entries may arrive unsorted with duplicates (summed).
+  SparseVector(index_t size, std::vector<std::pair<index_t, value_t>> entries);
+
+  /// Compresses a dense vector, dropping entries with |v| <= drop_tol.
+  static SparseVector from_dense(ConstVectorView x, value_t drop_tol = 0.0);
+
+  Vector to_dense() const;
+
+  index_t size() const { return size_; }
+  index_t nnz() const { return static_cast<index_t>(vals_.size()); }
+
+  std::span<const index_t> ind() const { return ind_; }
+  std::span<const value_t> vals() const { return vals_; }
+
+  /// Value at index i (0 when not stored). O(log nnz).
+  value_t at(index_t i) const;
+
+  void validate() const;
+
+ private:
+  index_t size_ = 0;
+  std::vector<index_t> ind_;  // sorted, unique
+  std::vector<value_t> vals_;
+};
+
+/// dot(a, x) for dense x — the kernel a compiled sparse dot product uses.
+value_t dot(const SparseVector& a, ConstVectorView x);
+
+/// dot(a, b) by merge join over the two sorted index lists.
+value_t dot(const SparseVector& a, const SparseVector& b);
+
+}  // namespace bernoulli::formats

@@ -1,0 +1,146 @@
+#include "mm/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bernoulli::mm {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+// Reads the next line that is neither blank nor a % comment.
+bool next_data_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+formats::Coo read(std::istream& in) {
+  std::string header;
+  BERNOULLI_CHECK_MSG(std::getline(in, header), "empty Matrix Market stream");
+  std::istringstream hs(header);
+  std::string banner, object, fmt, field, sym;
+  hs >> banner >> object >> fmt >> field >> sym;
+  BERNOULLI_CHECK_MSG(banner == "%%MatrixMarket",
+                      "missing %%MatrixMarket banner, got: " << banner);
+  BERNOULLI_CHECK_MSG(lower(object) == "matrix",
+                      "unsupported object: " << object);
+  fmt = lower(fmt);
+  field = lower(field);
+  sym = lower(sym);
+  BERNOULLI_CHECK_MSG(fmt == "coordinate" || fmt == "array",
+                      "unsupported format: " << fmt);
+  BERNOULLI_CHECK_MSG(field == "real" || field == "pattern" ||
+                          field == "integer",
+                      "unsupported field: " << field);
+  BERNOULLI_CHECK_MSG(sym == "general" || sym == "symmetric",
+                      "unsupported symmetry: " << sym);
+  const bool symmetric = sym == "symmetric";
+  const bool pattern = field == "pattern";
+
+  std::string line;
+  BERNOULLI_CHECK_MSG(next_data_line(in, line), "missing size line");
+  std::istringstream ss(line);
+
+  if (fmt == "array") {
+    BERNOULLI_CHECK_MSG(!symmetric, "symmetric array reading not supported");
+    index_t rows = 0, cols = 0;
+    ss >> rows >> cols;
+    BERNOULLI_CHECK_MSG(rows >= 0 && cols >= 0, "bad array size line");
+    formats::TripletBuilder b(rows, cols);
+    // Array files are column-major, one value per line.
+    for (index_t j = 0; j < cols; ++j) {
+      for (index_t i = 0; i < rows; ++i) {
+        BERNOULLI_CHECK_MSG(next_data_line(in, line),
+                            "array data ended early at (" << i << "," << j << ")");
+        value_t v = 0;
+        std::istringstream vs(line);
+        BERNOULLI_CHECK_MSG(static_cast<bool>(vs >> v), "bad array value: " << line);
+        if (v != 0.0) b.add(i, j, v);
+      }
+    }
+    return std::move(b).build();
+  }
+
+  index_t rows = 0, cols = 0;
+  long long nnz = 0;
+  ss >> rows >> cols >> nnz;
+  BERNOULLI_CHECK_MSG(rows >= 0 && cols >= 0 && nnz >= 0, "bad size line: " << line);
+  formats::TripletBuilder b(rows, cols);
+  b.reserve(static_cast<std::size_t>(nnz) * (symmetric ? 2 : 1));
+  for (long long k = 0; k < nnz; ++k) {
+    BERNOULLI_CHECK_MSG(next_data_line(in, line),
+                        "coordinate data ended after " << k << " of " << nnz);
+    std::istringstream es(line);
+    index_t i = 0, j = 0;
+    value_t v = 1.0;
+    BERNOULLI_CHECK_MSG(static_cast<bool>(es >> i >> j), "bad entry: " << line);
+    if (!pattern) BERNOULLI_CHECK_MSG(static_cast<bool>(es >> v), "missing value: " << line);
+    BERNOULLI_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                        "entry out of range: " << line);
+    b.add(i - 1, j - 1, v);
+    if (symmetric && i != j) b.add(j - 1, i - 1, v);
+  }
+  return std::move(b).build();
+}
+
+formats::Coo read_string(const std::string& text) {
+  std::istringstream in(text);
+  return read(in);
+}
+
+formats::Coo read_file(const std::string& path) {
+  std::ifstream in(path);
+  BERNOULLI_CHECK_MSG(in.good(), "cannot open " << path);
+  return read(in);
+}
+
+void write(std::ostream& out, const formats::Coo& a, bool symmetric) {
+  if (symmetric)
+    BERNOULLI_CHECK_MSG(a.is_symmetric(),
+                        "matrix is not symmetric; cannot write symmetric file");
+  out << "%%MatrixMarket matrix coordinate real "
+      << (symmetric ? "symmetric" : "general") << '\n';
+  auto rowind = a.rowind();
+  auto colind = a.colind();
+  auto vals = a.vals();
+  index_t count = 0;
+  for (index_t k = 0; k < a.nnz(); ++k)
+    if (!symmetric || colind[k] <= rowind[k]) ++count;
+  out << a.rows() << ' ' << a.cols() << ' ' << count << '\n';
+  out.precision(17);
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    if (symmetric && colind[k] > rowind[k]) continue;
+    out << rowind[k] + 1 << ' ' << colind[k] + 1 << ' ' << vals[k] << '\n';
+  }
+}
+
+std::string write_string(const formats::Coo& a, bool symmetric) {
+  std::ostringstream out;
+  write(out, a, symmetric);
+  return out.str();
+}
+
+void write_file(const std::string& path, const formats::Coo& a,
+                bool symmetric) {
+  std::ofstream out(path);
+  BERNOULLI_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  write(out, a, symmetric);
+}
+
+}  // namespace bernoulli::mm

@@ -1,0 +1,38 @@
+// Matrix Market exchange-format I/O (Boisvert et al., the paper's matrix
+// source [8]).
+//
+// Supports the subset used by sparse linear-algebra suites:
+//   %%MatrixMarket matrix coordinate real    {general|symmetric}
+//   %%MatrixMarket matrix coordinate pattern {general|symmetric}
+//   %%MatrixMarket matrix array      real    general
+// Symmetric files store the lower triangle; reading expands it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::mm {
+
+/// Parses a Matrix Market stream into canonical COO. Pattern entries get
+/// value 1.0. Throws bernoulli::Error on malformed input.
+formats::Coo read(std::istream& in);
+
+/// Convenience: parse from a string (used heavily in tests).
+formats::Coo read_string(const std::string& text);
+
+/// Reads the file at `path`.
+formats::Coo read_file(const std::string& path);
+
+/// Writes `a` as `matrix coordinate real general` (1-based indices). When
+/// `symmetric` is requested the matrix must be symmetric; only the lower
+/// triangle is emitted.
+void write(std::ostream& out, const formats::Coo& a, bool symmetric = false);
+
+std::string write_string(const formats::Coo& a, bool symmetric = false);
+
+void write_file(const std::string& path, const formats::Coo& a,
+                bool symmetric = false);
+
+}  // namespace bernoulli::mm

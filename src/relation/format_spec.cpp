@@ -1,0 +1,377 @@
+#include "relation/format_spec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bernoulli::relation {
+
+namespace {
+
+// ---------------------------------------------------------------- levels
+// Generic level implementations parameterized by user arrays. These mirror
+// the built-in views' levels but carry the user's array names for honest
+// code emission.
+
+class GDenseLevel final : public IndexLevel {
+ public:
+  explicit GDenseLevel(index_t extent) : extent_(extent) {}
+
+  LevelProperties properties() const override {
+    return {true, true, SearchCost::kConstant};
+  }
+  void enumerate(index_t, const EnumFn& fn) const override {
+    for (index_t i = 0; i < extent_; ++i)
+      if (!fn(i, i)) return;
+  }
+  index_t search(index_t, index_t index) const override {
+    return index >= 0 && index < extent_ ? index : -1;
+  }
+  double expected_size() const override { return static_cast<double>(extent_); }
+  std::string emit_enumerate(const std::string&, const std::string& idx,
+                             const std::string& pos) const override {
+    return "for (int " + idx + " = 0; " + idx + " < " +
+           std::to_string(extent_) + "; ++" + idx + ") { const int " + pos +
+           " = " + idx + ";";
+  }
+  std::string emit_search(const std::string&, const std::string& idx,
+                          const std::string& pos) const override {
+    return "const int " + pos + " = " + idx + ";  /* dense: O(1) */";
+  }
+
+ private:
+  index_t extent_;
+};
+
+class GCompressedLevel final : public IndexLevel {
+ public:
+  GCompressedLevel(std::span<const index_t> ptr, std::span<const index_t> ind,
+                   bool sorted, std::string ptr_name, std::string ind_name)
+      : ptr_(ptr),
+        ind_(ind),
+        sorted_(sorted),
+        ptr_name_(std::move(ptr_name)),
+        ind_name_(std::move(ind_name)) {}
+
+  LevelProperties properties() const override {
+    return {sorted_, false, sorted_ ? SearchCost::kLog : SearchCost::kLinear};
+  }
+  void enumerate(index_t parent, const EnumFn& fn) const override {
+    const index_t end = ptr_[static_cast<std::size_t>(parent) + 1];
+    for (index_t k = ptr_[static_cast<std::size_t>(parent)]; k < end; ++k)
+      if (!fn(ind_[static_cast<std::size_t>(k)], k)) return;
+  }
+  index_t search(index_t parent, index_t index) const override {
+    const index_t begin = ptr_[static_cast<std::size_t>(parent)];
+    const index_t end = ptr_[static_cast<std::size_t>(parent) + 1];
+    if (sorted_) {
+      const index_t* lo = ind_.data() + begin;
+      const index_t* hi = ind_.data() + end;
+      const index_t* it = std::lower_bound(lo, hi, index);
+      if (it != hi && *it == index)
+        return static_cast<index_t>(it - ind_.data());
+      return -1;
+    }
+    for (index_t k = begin; k < end; ++k)
+      if (ind_[static_cast<std::size_t>(k)] == index) return k;
+    return -1;
+  }
+  double expected_size() const override {
+    return ptr_.size() > 1 ? static_cast<double>(ind_.size()) /
+                                 static_cast<double>(ptr_.size() - 1)
+                           : 0.0;
+  }
+  std::string emit_enumerate(const std::string& parent, const std::string& idx,
+                             const std::string& pos) const override {
+    return "for (int " + pos + " = " + ptr_name_ + "[" + parent + "]; " +
+           pos + " < " + ptr_name_ + "[" + parent + " + 1]; ++" + pos +
+           ") { const int " + idx + " = " + ind_name_ + "[" + pos + "];";
+  }
+  std::string emit_search(const std::string& parent, const std::string& idx,
+                          const std::string& pos) const override {
+    const char* fn = sorted_ ? "binsearch" : "scan";
+    return "const int " + pos + " = " + fn + "(" + ind_name_ + ", " +
+           ptr_name_ + "[" + parent + "], " + ptr_name_ + "[" + parent +
+           " + 1], " + idx + "); if (" + pos + " < 0) continue;";
+  }
+
+ private:
+  std::span<const index_t> ptr_;
+  std::span<const index_t> ind_;
+  bool sorted_;
+  std::string ptr_name_;
+  std::string ind_name_;
+};
+
+class GListLevel final : public IndexLevel {
+ public:
+  GListLevel(std::span<const index_t> list, bool sorted, std::string name)
+      : list_(list), sorted_(sorted), name_(std::move(name)) {}
+
+  LevelProperties properties() const override {
+    return {sorted_, false, sorted_ ? SearchCost::kLog : SearchCost::kLinear};
+  }
+  void enumerate(index_t, const EnumFn& fn) const override {
+    for (std::size_t k = 0; k < list_.size(); ++k)
+      if (!fn(list_[k], static_cast<index_t>(k))) return;
+  }
+  index_t search(index_t, index_t index) const override {
+    if (sorted_) {
+      auto it = std::lower_bound(list_.begin(), list_.end(), index);
+      if (it != list_.end() && *it == index)
+        return static_cast<index_t>(it - list_.begin());
+      return -1;
+    }
+    for (std::size_t k = 0; k < list_.size(); ++k)
+      if (list_[k] == index) return static_cast<index_t>(k);
+    return -1;
+  }
+  double expected_size() const override {
+    return static_cast<double>(list_.size());
+  }
+  std::string emit_enumerate(const std::string&, const std::string& idx,
+                             const std::string& pos) const override {
+    return "for (int " + pos + " = 0; " + pos + " < " +
+           std::to_string(list_.size()) + "; ++" + pos + ") { const int " +
+           idx + " = " + name_ + "[" + pos + "];";
+  }
+  std::string emit_search(const std::string&, const std::string& idx,
+                          const std::string& pos) const override {
+    const char* fn = sorted_ ? "binsearch" : "scan";
+    return "const int " + pos + " = " + std::string(fn) + "(" + name_ +
+           ", 0, " + std::to_string(list_.size()) + ", " + idx + "); if (" +
+           pos + " < 0) continue;";
+  }
+
+ private:
+  std::span<const index_t> list_;
+  bool sorted_;
+  std::string name_;
+};
+
+class GFunctionLevel final : public IndexLevel {
+ public:
+  GFunctionLevel(std::span<const index_t> map, std::string name)
+      : map_(map), name_(std::move(name)) {}
+
+  LevelProperties properties() const override {
+    return {true, false, SearchCost::kConstant};
+  }
+  void enumerate(index_t parent, const EnumFn& fn) const override {
+    fn(map_[static_cast<std::size_t>(parent)], parent);
+  }
+  index_t search(index_t parent, index_t index) const override {
+    return map_[static_cast<std::size_t>(parent)] == index ? parent : -1;
+  }
+  double expected_size() const override { return 1.0; }
+  std::string emit_enumerate(const std::string& parent, const std::string& idx,
+                             const std::string& pos) const override {
+    return "{ const int " + idx + " = " + name_ + "[" + parent +
+           "]; const int " + pos + " = " + parent + ";";
+  }
+  std::string emit_search(const std::string& parent, const std::string& idx,
+                          const std::string& pos) const override {
+    return "if (" + name_ + "[" + parent + "] != " + idx +
+           ") continue; const int " + pos + " = " + parent + ";";
+  }
+
+ private:
+  std::span<const index_t> map_;
+  std::string name_;
+};
+
+// ---------------------------------------------------------------- parser
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+std::vector<Token> tokenize(const std::string& spec) {
+  std::vector<Token> out;
+  std::string cur;
+  int line = 1;
+  auto flush = [&] {
+    if (!cur.empty()) {
+      out.push_back({cur, line});
+      cur.clear();
+    }
+  };
+  for (char c : spec) {
+    if (c == '\n') {
+      flush();
+      ++line;
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else if (c == '{' || c == '}' || c == '(' || c == ')' || c == ':' ||
+               c == ';' || c == ',' || c == '=') {
+      flush();
+      out.push_back({std::string(1, c), line});
+    } else {
+      cur.push_back(c);
+    }
+  }
+  flush();
+  return out;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& spec) : tokens_(tokenize(spec)) {}
+
+  const Token& peek() const {
+    BERNOULLI_CHECK_MSG(pos_ < tokens_.size(), "format spec ended early");
+    return tokens_[pos_];
+  }
+  Token next() {
+    Token t = peek();
+    ++pos_;
+    return t;
+  }
+  void expect(const std::string& text) {
+    Token t = next();
+    BERNOULLI_CHECK_MSG(t.text == text, "format spec line "
+                                            << t.line << ": expected '"
+                                            << text << "', got '" << t.text
+                                            << "'");
+  }
+  bool done() const { return pos_ >= tokens_.size(); }
+
+ private:
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+bool peek_is(Parser& p, const std::string& word) {
+  return !p.done() && p.peek().text == word;
+}
+
+// `sorted` is the default; `unsorted` demotes search to linear and keeps
+// the level out of merge joins.
+bool parse_sortedness(Parser& p) {
+  if (!p.done() && p.peek().text == "sorted") {
+    p.next();
+    return true;
+  }
+  if (!p.done() && p.peek().text == "unsorted") {
+    p.next();
+    return false;
+  }
+  return true;
+}
+
+std::span<const index_t> lookup_index(const FormatArrays& arrays,
+                                      const std::string& name, int line) {
+  auto it = arrays.index_arrays.find(name);
+  BERNOULLI_CHECK_MSG(it != arrays.index_arrays.end(),
+                      "format spec line " << line << ": unknown index array '"
+                                          << name << "'");
+  return it->second;
+}
+
+}  // namespace
+
+GenericFormatView::~GenericFormatView() = default;
+
+GenericFormatView::GenericFormatView(const std::string& spec,
+                                     const FormatArrays& arrays) {
+  Parser p(spec);
+  p.expect("format");
+  name_ = p.next().text;
+  p.expect("{");
+
+  while (peek_is(p, "level")) {
+    p.expect("level");
+    level_vars_.push_back(p.next().text);
+    p.expect(":");
+    Token kind = p.next();
+    if (kind.text == "dense") {
+      p.expect("(");
+      Token n = p.next();
+      p.expect(")");
+      index_t extent = 0;
+      try {
+        extent = static_cast<index_t>(std::stol(n.text));
+      } catch (...) {
+        BERNOULLI_CHECK_MSG(false, "format spec line "
+                                       << n.line << ": dense() needs a number");
+      }
+      levels_.push_back(std::make_unique<GDenseLevel>(extent));
+    } else if (kind.text == "compressed") {
+      p.expect("(");
+      p.expect("ptr");
+      p.expect("=");
+      Token ptr = p.next();
+      p.expect(",");
+      p.expect("ind");
+      p.expect("=");
+      Token ind = p.next();
+      p.expect(")");
+      bool sorted = parse_sortedness(p);
+      auto ptr_span = lookup_index(arrays, ptr.text, ptr.line);
+      auto ind_span = lookup_index(arrays, ind.text, ind.line);
+      BERNOULLI_CHECK_MSG(!ptr_span.empty(),
+                          "format spec line " << ptr.line
+                                              << ": empty ptr array");
+      levels_.push_back(std::make_unique<GCompressedLevel>(
+          ptr_span, ind_span, sorted, ptr.text, ind.text));
+    } else if (kind.text == "list") {
+      p.expect("(");
+      p.expect("ind");
+      p.expect("=");
+      Token ind = p.next();
+      p.expect(")");
+      bool sorted = parse_sortedness(p);
+      levels_.push_back(std::make_unique<GListLevel>(
+          lookup_index(arrays, ind.text, ind.line), sorted, ind.text));
+    } else if (kind.text == "function") {
+      p.expect("(");
+      p.expect("map");
+      p.expect("=");
+      Token map = p.next();
+      p.expect(")");
+      levels_.push_back(std::make_unique<GFunctionLevel>(
+          lookup_index(arrays, map.text, map.line), map.text));
+    } else {
+      BERNOULLI_CHECK_MSG(false, "format spec line "
+                                     << kind.line << ": unknown level kind '"
+                                     << kind.text << "'");
+    }
+    p.expect(";");
+  }
+
+  if (peek_is(p, "value")) {
+    p.expect("value");
+    Token v = p.next();
+    auto it = arrays.value_arrays.find(v.text);
+    BERNOULLI_CHECK_MSG(it != arrays.value_arrays.end(),
+                        "format spec line " << v.line
+                                            << ": unknown value array '"
+                                            << v.text << "'");
+    value_array_ = v.text;
+    values_ = it->second;
+    p.expect(";");
+  }
+  p.expect("}");
+  BERNOULLI_CHECK_MSG(!levels_.empty(), "format spec declares no levels");
+}
+
+const IndexLevel& GenericFormatView::level(index_t depth) const {
+  BERNOULLI_CHECK(depth >= 0 && depth < arity());
+  return *levels_[static_cast<std::size_t>(depth)];
+}
+
+value_t GenericFormatView::value_at(index_t pos) const {
+  BERNOULLI_CHECK_MSG(has_value(), name_ << " declares no value array");
+  BERNOULLI_CHECK(pos >= 0 &&
+                  pos < static_cast<index_t>(values_.size()));
+  return values_[static_cast<std::size_t>(pos)];
+}
+
+std::string GenericFormatView::value_expr(const std::string& pos) const {
+  return value_array_ + "[" + pos + "]";
+}
+
+}  // namespace bernoulli::relation

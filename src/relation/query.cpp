@@ -1,0 +1,38 @@
+#include "relation/query.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::relation {
+
+void Query::validate() const {
+  BERNOULLI_CHECK_MSG(!vars.empty(), "query has no loop variables");
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    for (std::size_t j = i + 1; j < vars.size(); ++j)
+      BERNOULLI_CHECK_MSG(vars[i] != vars[j],
+                          "duplicate loop variable " << vars[i]);
+
+  std::vector<bool> covered(vars.size(), false);
+  for (const auto& r : relations) {
+    BERNOULLI_CHECK(r.view != nullptr);
+    BERNOULLI_CHECK_MSG(
+        static_cast<index_t>(r.vars.size()) == r.view->arity(),
+        r.view->name() << ": bound " << r.vars.size() << " vars but arity is "
+                       << r.view->arity());
+    for (const auto& v : r.vars) {
+      auto it = std::find(vars.begin(), vars.end(), v);
+      BERNOULLI_CHECK_MSG(it != vars.end(),
+                          r.view->name() << " binds unknown variable " << v);
+      covered[static_cast<std::size_t>(it - vars.begin())] = true;
+    }
+    if (r.writes)
+      BERNOULLI_CHECK_MSG(r.view->writable(),
+                          r.view->name() << " is written but not writable");
+  }
+  for (std::size_t i = 0; i < vars.size(); ++i)
+    BERNOULLI_CHECK_MSG(covered[i],
+                        "variable " << vars[i] << " bound by no relation");
+}
+
+}  // namespace bernoulli::relation

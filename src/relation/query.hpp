@@ -1,0 +1,53 @@
+// Relational queries over array views (paper §2, Eq. 4):
+//
+//   Q_sparse = sigma_P ( I(i,j) |><| A(i,j,a) |><| X(j,x) |><| Y(i,y) )
+//
+// A Query binds each relation's hierarchy levels to loop-variable names and
+// records which relations *filter* (appear in the sparsity predicate P) and
+// which are written. The planner (src/compiler) turns a Query into an
+// executable Plan.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relation/view.hpp"
+
+namespace bernoulli::relation {
+
+struct BoundRelation {
+  /// The view; not owned. Must outlive the query and any plan built on it.
+  RelationView* view = nullptr;
+
+  /// Loop-variable name bound by each hierarchy level, outermost first;
+  /// size must equal view->arity().
+  std::vector<std::string> vars;
+
+  /// True when the relation participates in the sparsity predicate — its
+  /// stored entries constrain the iteration (NZ(A), NZ(X) in the paper).
+  /// Dense reads and outputs do not filter.
+  bool filters = false;
+
+  /// True when the computation writes this relation's value field.
+  bool writes = false;
+
+  /// True when the relation's hierarchy levels are independent and may be
+  /// visited in any order (a cross product of intervals — the iteration
+  /// space relation I). Storage-backed relations are order-bound: CCS can
+  /// only reach row indices through a column.
+  bool order_free = false;
+};
+
+struct Query {
+  std::vector<BoundRelation> relations;
+
+  /// All loop variables, in source-loop order (used for naming and as the
+  /// default order the planner starts from).
+  std::vector<std::string> vars;
+
+  /// Throws unless arities match, every variable is bound by at least one
+  /// relation, and written relations are writable.
+  void validate() const;
+};
+
+}  // namespace bernoulli::relation

@@ -1,0 +1,43 @@
+#include "relation/view.hpp"
+
+#include "support/error.hpp"
+
+namespace bernoulli::relation {
+
+index_t IndexLevel::insert(index_t, index_t) {
+  BERNOULLI_CHECK_MSG(false, "this access method does not support insertion");
+  __builtin_unreachable();
+}
+
+std::string IndexLevel::emit_enumerate(const std::string& parent,
+                                       const std::string& idx,
+                                       const std::string& pos) const {
+  return "for ((" + idx + ", " + pos + ") in level.enumerate(" + parent +
+         ")) {";
+}
+
+std::string IndexLevel::emit_search(const std::string& parent,
+                                    const std::string& idx,
+                                    const std::string& pos) const {
+  return "int " + pos + " = level.search(" + parent + ", " + idx + "); if (" +
+         pos + " < 0) continue;";
+}
+
+std::string RelationView::value_expr(const std::string& pos) const {
+  return name() + ".value(" + pos + ")";
+}
+
+value_t RelationView::value_at(index_t) const {
+  BERNOULLI_CHECK_MSG(false, "relation " << name() << " has no value field");
+  __builtin_unreachable();
+}
+
+void RelationView::value_add(index_t, value_t) {
+  BERNOULLI_CHECK_MSG(false, "relation " << name() << " is not writable");
+}
+
+void RelationView::value_set(index_t, value_t) {
+  BERNOULLI_CHECK_MSG(false, "relation " << name() << " is not writable");
+}
+
+}  // namespace bernoulli::relation

@@ -1,0 +1,113 @@
+// Relations as hierarchical views of array storage (paper §2.1).
+//
+// A sparse format is described to the compiler by its *access methods*:
+// each level of the index hierarchy (e.g. CCS is J -> (I, V)) provides an
+// enumeration method and a search method, plus properties (sortedness,
+// search cost, denseness) that the planner uses to choose join orders and
+// join implementations. The compiler never sees COLP/ROWIND/VALS — only
+// these methods — which is what makes the format set extensible.
+//
+// Runtime protocol: a *position* is an opaque index_t cursor into a level
+// (e.g. an offset into VALS). Level d enumerates/searches children of a
+// parent position from level d-1 (the root parent position is 0). The
+// position at the deepest level addresses the value.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace bernoulli::relation {
+
+/// Cost class of a level's search method, coarsened the way a query
+/// optimizer consumes it.
+enum class SearchCost {
+  kConstant,  // O(1): dense offsets, hash indexes
+  kLog,       // O(log n): binary search in a sorted segment
+  kLinear,    // O(n): scan
+};
+
+struct LevelProperties {
+  bool sorted = false;  // enumeration yields ascending indices
+  bool dense = false;   // enumeration covers every index of a contiguous range
+  SearchCost search_cost = SearchCost::kLinear;
+};
+
+/// Visit callback for enumeration: (index value, child position); return
+/// false to stop early.
+using EnumFn = std::function<bool(index_t index, index_t pos)>;
+
+class IndexLevel {
+ public:
+  virtual ~IndexLevel() = default;
+
+  virtual LevelProperties properties() const = 0;
+
+  /// Enumerates the (index, position) pairs under `parent`.
+  virtual void enumerate(index_t parent, const EnumFn& fn) const = 0;
+
+  /// Position of child with the given index under `parent`, or -1.
+  virtual index_t search(index_t parent, index_t index) const = 0;
+
+  /// For insertable levels (sparse accumulators): creates the child and
+  /// returns its position. Executors call this when a WRITTEN relation's
+  /// probe misses — the fill-in case of sparse outputs. Default: levels
+  /// are not insertable.
+  virtual bool insertable() const { return false; }
+  virtual index_t insert(index_t parent, index_t index);
+
+  /// Estimated number of children of one parent (planner cardinality).
+  virtual double expected_size() const = 0;
+
+  // --- Codegen hooks -------------------------------------------------
+  // The compiler's emitter materializes a plan as C-like source; each
+  // access method renders its own enumeration loop header and search
+  // statement. `parent`, `idx`, `pos` are identifier names to use. The
+  // defaults emit generic access-method calls, which is exactly what the
+  // Bernoulli compiler falls back to for formats without inlined methods.
+
+  /// A `for (...) {`-style header binding `idx` and `pos`.
+  virtual std::string emit_enumerate(const std::string& parent,
+                                     const std::string& idx,
+                                     const std::string& pos) const;
+
+  /// Statements that bind `pos` from a known `idx`, `continue`-ing on miss.
+  virtual std::string emit_search(const std::string& parent,
+                                  const std::string& idx,
+                                  const std::string& pos) const;
+};
+
+/// A relation R(v1, ..., vk [, value]) viewed through its access-method
+/// hierarchy. Levels are numbered outermost-first; level d binds index
+/// field d of the hierarchy.
+class RelationView {
+ public:
+  virtual ~RelationView() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Number of index fields (hierarchy depth).
+  virtual index_t arity() const = 0;
+
+  virtual const IndexLevel& level(index_t depth) const = 0;
+
+  /// Whether the relation carries a value field (sparse matrices and
+  /// vectors do; the iteration-space relation I(i,j) does not).
+  virtual bool has_value() const { return false; }
+
+  /// Value addressed by the deepest-level position.
+  virtual value_t value_at(index_t leaf_pos) const;
+
+  /// Mutable value access for output relations; default: not writable.
+  virtual bool writable() const { return false; }
+  virtual void value_add(index_t leaf_pos, value_t delta);
+  virtual void value_set(index_t leaf_pos, value_t v);
+
+  /// C expression for the value addressed by position identifier `pos`
+  /// (codegen hook; default renders a generic accessor call).
+  virtual std::string value_expr(const std::string& pos) const;
+};
+
+}  // namespace bernoulli::relation

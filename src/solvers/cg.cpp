@@ -1,0 +1,89 @@
+#include "solvers/cg.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+value_t dot(ConstVectorView a, ConstVectorView b) {
+  BERNOULLI_CHECK(a.size() == b.size());
+  value_t sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void axpy(value_t alpha, ConstVectorView x, VectorView y) {
+  BERNOULLI_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void xpby(ConstVectorView x, value_t beta, VectorView y) {
+  BERNOULLI_CHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = x[i] + beta * y[i];
+}
+
+Vector extract_diagonal(const formats::Csr& a) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  Vector d(static_cast<std::size_t>(a.rows()), 0.0);
+  for (index_t i = 0; i < a.rows(); ++i)
+    d[static_cast<std::size_t>(i)] = a.at(i, i);
+  return d;
+}
+
+CgResult cg(const formats::Csr& a, ConstVectorView b, VectorView x,
+            const CgOptions& opts) {
+  Vector diag = extract_diagonal(a);
+  for (value_t d : diag)
+    BERNOULLI_CHECK_MSG(d != 0.0, "zero diagonal entry; Jacobi needs D != 0");
+  return cg_preconditioned(
+      a, b, x,
+      [&diag](ConstVectorView r, VectorView z) {
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] / diag[i];
+      },
+      opts);
+}
+
+CgResult cg_preconditioned(const formats::Csr& a, ConstVectorView b,
+                           VectorView x, const Preconditioner& precond,
+                           const CgOptions& opts) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  const auto n = static_cast<std::size_t>(a.rows());
+  BERNOULLI_CHECK(b.size() == n && x.size() == n);
+
+  Vector r(n), z(n), p(n), q(n);
+  // r = b - A x
+  spmv(a, x, q);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - q[i];
+  precond(r, z);
+  p = z;
+  value_t rz = dot(r, z);
+  const value_t bnorm = std::sqrt(dot(b, b));
+  const value_t threshold =
+      opts.tolerance > 0 ? opts.tolerance * (bnorm > 0 ? bnorm : 1.0) : -1.0;
+
+  CgResult result;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    result.residual_norm = std::sqrt(dot(r, r));
+    if (threshold >= 0 && result.residual_norm <= threshold) {
+      result.converged = true;
+      return result;
+    }
+    spmv(a, p, q);
+    value_t pq = dot(p, q);
+    BERNOULLI_CHECK_MSG(pq != 0.0, "CG breakdown: p'Ap == 0");
+    value_t alpha = rz / pq;
+    axpy(alpha, p, x);
+    axpy(-alpha, q, r);
+    precond(r, z);
+    value_t rz_new = dot(r, z);
+    xpby(z, rz_new / rz, p);
+    rz = rz_new;
+    result.iterations = it + 1;
+  }
+  result.residual_norm = std::sqrt(dot(r, r));
+  result.converged = threshold >= 0 && result.residual_norm <= threshold;
+  return result;
+}
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,55 @@
+// Conjugate Gradient with diagonal (Jacobi) preconditioning — the paper's
+// evaluation driver (§4): "a parallel Conjugate Gradient solver with
+// diagonal preconditioning".
+//
+// Sequential version here; the SPMD version (dist_cg.hpp) runs the same
+// recurrence with distributed matvecs and allreduce dot products, so the
+// two converge iterate-for-iterate (a test relies on this).
+#pragma once
+
+#include <functional>
+
+#include "formats/csr.hpp"
+
+namespace bernoulli::solvers {
+
+struct CgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  // ||b - A x||_2 of the returned iterate
+  bool converged = false;
+};
+
+struct CgOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-10;  // on ||r||_2 / ||b||_2; <= 0 disables the test
+
+  /// Calibrated cost (seconds) of one iteration's BLAS-1 work, charged to
+  /// the virtual clock by dist_cg when >= 0 (manual-compute benchmark
+  /// runs). Ignored by the sequential solver.
+  double blas1_charge_per_iteration = -1.0;
+};
+
+/// Solves A x = b, overwriting x (initial guess taken from x's contents).
+/// A must be symmetric positive definite for CG to make sense; the
+/// diagonal must be non-zero.
+CgResult cg(const formats::Csr& a, ConstVectorView b, VectorView x,
+            const CgOptions& opts = {});
+
+/// A preconditioner application: z = M^{-1} r.
+using Preconditioner = std::function<void(ConstVectorView r, VectorView z)>;
+
+/// Preconditioned CG with an arbitrary SPD preconditioner (e.g.
+/// IncompleteCholesky::apply). cg() is this with Jacobi.
+CgResult cg_preconditioned(const formats::Csr& a, ConstVectorView b,
+                           VectorView x, const Preconditioner& precond,
+                           const CgOptions& opts = {});
+
+/// Diagonal of a square CSR matrix (zeros where no stored diagonal entry).
+Vector extract_diagonal(const formats::Csr& a);
+
+// BLAS-1 helpers shared by both CG versions.
+value_t dot(ConstVectorView a, ConstVectorView b);
+void axpy(value_t alpha, ConstVectorView x, VectorView y);   // y += alpha x
+void xpby(ConstVectorView x, value_t beta, VectorView y);    // y = x + beta y
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,83 @@
+#include "solvers/dist_cg.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+namespace {
+constexpr int kCgTag = 9301;
+}
+
+DistCgResult dist_cg_preconditioned(runtime::Process& p,
+                                    const spmd::DistSpmv& a,
+                                    const Preconditioner& precond_local,
+                                    ConstVectorView b_local,
+                                    VectorView x_local,
+                                    const CgOptions& opts) {
+  const auto n = static_cast<std::size_t>(a.local_rows());
+  BERNOULLI_CHECK(b_local.size() == n && x_local.size() == n);
+
+  Vector r(n), z(n), pv(n), q(n);
+  Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);
+
+  auto matvec = [&](ConstVectorView in, VectorView out) {
+    std::copy(in.begin(), in.end(), x_full.begin());
+    a.apply(p, x_full, out, kCgTag);
+  };
+  auto gdot = [&](ConstVectorView u, ConstVectorView v) {
+    return p.allreduce_sum(dot(u, v));
+  };
+
+  // r = b - A x
+  matvec(x_local, q);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - q[i];
+  precond_local(r, z);
+  pv = z;
+  value_t rz = gdot(r, z);
+  const value_t bnorm = std::sqrt(gdot(b_local, b_local));
+  const value_t threshold =
+      opts.tolerance > 0 ? opts.tolerance * (bnorm > 0 ? bnorm : 1.0) : -1.0;
+
+  DistCgResult result;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    result.residual_norm = std::sqrt(gdot(r, r));
+    if (threshold >= 0 && result.residual_norm <= threshold) {
+      result.converged = true;
+      return result;
+    }
+    matvec(pv, q);
+    value_t pq = gdot(pv, q);
+    BERNOULLI_CHECK_MSG(pq != 0.0, "CG breakdown: p'Ap == 0");
+    value_t alpha = rz / pq;
+    axpy(alpha, pv, x_local);
+    axpy(-alpha, q, r);
+    precond_local(r, z);
+    value_t rz_new = gdot(r, z);
+    xpby(z, rz_new / rz, pv);
+    rz = rz_new;
+    if (opts.blas1_charge_per_iteration >= 0)
+      p.charge_seconds(opts.blas1_charge_per_iteration);
+    result.iterations = it + 1;
+  }
+  result.residual_norm = std::sqrt(gdot(r, r));
+  result.converged = threshold >= 0 && result.residual_norm <= threshold;
+  return result;
+}
+
+DistCgResult dist_cg(runtime::Process& p, const spmd::DistSpmv& a,
+                     ConstVectorView diag_local, ConstVectorView b_local,
+                     VectorView x_local, const CgOptions& opts) {
+  const auto n = static_cast<std::size_t>(a.local_rows());
+  BERNOULLI_CHECK(diag_local.size() == n);
+  for (value_t d : diag_local) BERNOULLI_CHECK(d != 0.0);
+  return dist_cg_preconditioned(
+      p, a,
+      [diag_local](ConstVectorView r, VectorView z) {
+        for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] / diag_local[i];
+      },
+      b_local, x_local, opts);
+}
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,40 @@
+// Distributed diagonally-preconditioned CG — the executor the paper times
+// in Table 2. Runs the exact recurrence of solvers::cg with:
+//   - the distributed SpMV of the chosen variant (spmd::DistSpmv), and
+//   - allreduce-based dot products,
+// so it matches the sequential solver iterate-for-iterate regardless of
+// the number of ranks (a test depends on this).
+#pragma once
+
+#include "solvers/cg.hpp"
+#include "spmd/matvec.hpp"
+
+namespace bernoulli::solvers {
+
+struct DistCgResult {
+  int iterations = 0;
+  double residual_norm = 0.0;  // global ||r||_2
+  bool converged = false;
+};
+
+/// Collective over all ranks. All vectors are LOCAL slices laid out by the
+/// distribution used to build `a` (local offset order): b_local, x_local
+/// and diag_local have a.local_rows() entries. x_local holds the initial
+/// guess and receives the solution slice.
+DistCgResult dist_cg(runtime::Process& p, const spmd::DistSpmv& a,
+                     ConstVectorView diag_local, ConstVectorView b_local,
+                     VectorView x_local, const CgOptions& opts = {});
+
+/// Distributed PCG with a LOCAL preconditioner: each rank applies
+/// `precond_local` to its own residual slice (no communication), the
+/// block-Jacobi pattern. With per-rank incomplete Cholesky of the local
+/// diagonal block this is the parallel ICCG the BlockSolve library
+/// implements (its coloring exists to expose exactly this parallelism).
+DistCgResult dist_cg_preconditioned(runtime::Process& p,
+                                    const spmd::DistSpmv& a,
+                                    const Preconditioner& precond_local,
+                                    ConstVectorView b_local,
+                                    VectorView x_local,
+                                    const CgOptions& opts = {});
+
+}  // namespace bernoulli::solvers

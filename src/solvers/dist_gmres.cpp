@@ -1,0 +1,146 @@
+#include "solvers/dist_gmres.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+namespace {
+constexpr int kGmresTag = 9351;
+}
+
+GmresResult dist_gmres(runtime::Process& p, const spmd::DistSpmv& a,
+                       ConstVectorView b_local, VectorView x_local,
+                       const GmresOptions& opts,
+                       const Preconditioner& precond_local) {
+  const auto n = static_cast<std::size_t>(a.local_rows());
+  BERNOULLI_CHECK(b_local.size() == n && x_local.size() == n);
+  const int m = opts.restart;
+  BERNOULLI_CHECK(m >= 1);
+
+  Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);
+  auto matvec = [&](ConstVectorView in, VectorView out) {
+    std::copy(in.begin(), in.end(), x_full.begin());
+    a.apply(p, x_full, out, kGmresTag);
+  };
+  auto apply_right = [&](ConstVectorView in, VectorView out) {
+    if (precond_local) {
+      Vector tmp(n);
+      precond_local(in, tmp);
+      matvec(tmp, out);
+    } else {
+      matvec(in, out);
+    }
+  };
+  auto gdot = [&](ConstVectorView u, ConstVectorView v) {
+    return p.allreduce_sum(dot(u, v));
+  };
+
+  const value_t bnorm = std::sqrt(gdot(b_local, b_local));
+  const value_t threshold =
+      opts.tolerance > 0 ? opts.tolerance * (bnorm > 0 ? bnorm : 1.0) : -1.0;
+
+  GmresResult result;
+  Vector r(n), w(n);
+  std::vector<Vector> v(static_cast<std::size_t>(m) + 1, Vector(n));
+  std::vector<Vector> h(static_cast<std::size_t>(m) + 1,
+                        Vector(static_cast<std::size_t>(m), 0.0));
+  Vector cs(static_cast<std::size_t>(m), 0.0);
+  Vector sn(static_cast<std::size_t>(m), 0.0);
+  Vector g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  while (result.iterations < opts.max_iterations) {
+    matvec(x_local, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - r[i];
+    value_t beta = std::sqrt(gdot(r, r));
+    result.residual_norm = beta;
+    if ((threshold >= 0 && beta <= threshold) || beta == 0.0) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) v[0][i] = r[i] / beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;
+    for (; k < m && result.iterations < opts.max_iterations; ++k) {
+      apply_right(v[static_cast<std::size_t>(k)], w);
+      ++result.iterations;
+      for (int i = 0; i <= k; ++i) {
+        value_t hik = gdot(w, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+        axpy(-hik, v[static_cast<std::size_t>(i)], w);
+      }
+      value_t hkk = std::sqrt(gdot(w, w));
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hkk;
+      if (hkk != 0.0)
+        for (std::size_t i = 0; i < n; ++i)
+          v[static_cast<std::size_t>(k) + 1][i] = w[i] / hkk;
+
+      for (int i = 0; i < k; ++i) {
+        value_t hi = h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+        value_t hi1 =
+            h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+            cs[static_cast<std::size_t>(i)] * hi +
+            sn[static_cast<std::size_t>(i)] * hi1;
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] =
+            -sn[static_cast<std::size_t>(i)] * hi +
+            cs[static_cast<std::size_t>(i)] * hi1;
+      }
+      value_t hk = h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+      value_t hk1 =
+          h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)];
+      value_t denom = std::sqrt(hk * hk + hk1 * hk1);
+      BERNOULLI_CHECK_MSG(denom != 0.0, "GMRES breakdown");
+      cs[static_cast<std::size_t>(k)] = hk / denom;
+      sn[static_cast<std::size_t>(k)] = hk1 / denom;
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = denom;
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+      value_t gk = g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
+      g[static_cast<std::size_t>(k) + 1] =
+          -sn[static_cast<std::size_t>(k)] * gk;
+
+      if (threshold >= 0 &&
+          std::abs(g[static_cast<std::size_t>(k) + 1]) <= threshold) {
+        ++k;
+        break;
+      }
+      if (hkk == 0.0) {
+        ++k;
+        break;
+      }
+    }
+
+    Vector y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      value_t sum = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j)
+        sum -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               y[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] =
+          sum / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    Vector update(n, 0.0);
+    for (int j = 0; j < k; ++j)
+      axpy(y[static_cast<std::size_t>(j)], v[static_cast<std::size_t>(j)],
+           update);
+    if (precond_local) {
+      Vector tmp(n);
+      precond_local(update, tmp);
+      axpy(1.0, tmp, x_local);
+    } else {
+      axpy(1.0, update, x_local);
+    }
+  }
+
+  matvec(x_local, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - r[i];
+  result.residual_norm = std::sqrt(gdot(r, r));
+  result.converged = threshold >= 0 && result.residual_norm <= threshold;
+  return result;
+}
+
+}  // namespace bernoulli::solvers

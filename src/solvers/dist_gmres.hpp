@@ -1,0 +1,20 @@
+// Distributed restarted GMRES(m): the same recurrence as solvers::gmres
+// with distributed matvecs and allreduce-based inner products, matching
+// the sequential solver iterate-for-iterate (same Arnoldi vectors up to
+// rounding) — the unsymmetric companion of dist_cg.
+#pragma once
+
+#include "solvers/gmres.hpp"
+#include "spmd/matvec.hpp"
+
+namespace bernoulli::solvers {
+
+/// Collective over all ranks. All vectors are LOCAL slices in the row
+/// distribution used to build `a`. Right-preconditioned with a LOCAL
+/// (block-Jacobi) preconditioner when provided.
+GmresResult dist_gmres(runtime::Process& p, const spmd::DistSpmv& a,
+                       ConstVectorView b_local, VectorView x_local,
+                       const GmresOptions& opts = {},
+                       const Preconditioner& precond_local = nullptr);
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,87 @@
+#include "solvers/gauss_seidel.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+using formats::Csr;
+
+namespace {
+
+// Relaxes one row: x[i] = (b[i] - sum_{j != i} A(i,j) x[j]) / A(i,i).
+void relax_row(const Csr& a, ConstVectorView b, VectorView x, index_t i) {
+  auto cols = a.row_cols(i);
+  auto vals = a.row_vals(i);
+  value_t sum = b[static_cast<std::size_t>(i)];
+  value_t diag = 0.0;
+  for (std::size_t k = 0; k < cols.size(); ++k) {
+    if (cols[k] == i) {
+      diag = vals[k];
+    } else {
+      sum -= vals[k] * x[static_cast<std::size_t>(cols[k])];
+    }
+  }
+  BERNOULLI_CHECK_MSG(diag != 0.0, "zero diagonal in row " << i);
+  x[static_cast<std::size_t>(i)] = sum / diag;
+}
+
+}  // namespace
+
+void gauss_seidel_sweep(const Csr& a, ConstVectorView b, VectorView x) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  BERNOULLI_CHECK(b.size() == x.size() &&
+                  static_cast<index_t>(x.size()) == a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) relax_row(a, b, x, i);
+}
+
+void gauss_seidel_multicolor_sweep(const Csr& a_permuted,
+                                   std::span<const index_t> color_ptr,
+                                   ConstVectorView b, VectorView x) {
+  BERNOULLI_CHECK(a_permuted.rows() == a_permuted.cols());
+  BERNOULLI_CHECK(!color_ptr.empty() && color_ptr.front() == 0 &&
+                  color_ptr.back() == a_permuted.rows());
+  for (std::size_t c = 0; c + 1 < color_ptr.size(); ++c) {
+    // Within a color the rows are independent (no row of this color
+    // references another row of the same color off its clique's diagonal
+    // block... for singleton cliques, none at all); reverse order proves
+    // it — the result must match any order.
+    for (index_t i = color_ptr[c + 1] - 1; i >= color_ptr[c]; --i) {
+      relax_row(a_permuted, b, x, i);
+      if (i == color_ptr[c]) break;  // index_t underflow guard at row 0
+    }
+  }
+}
+
+GsResult gauss_seidel_solve(const Csr& a, ConstVectorView b, VectorView x,
+                            int max_sweeps, double tol) {
+  const auto n = static_cast<std::size_t>(a.rows());
+  Vector r(n);
+  const value_t bnorm = [&] {
+    value_t s = 0;
+    for (value_t v : b) s += v * v;
+    return std::sqrt(s);
+  }();
+  const value_t threshold = tol * (bnorm > 0 ? bnorm : 1.0);
+
+  GsResult result;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    gauss_seidel_sweep(a, b, x);
+    result.sweeps = sweep + 1;
+    spmv(a, x, r);
+    value_t rn = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      value_t d = b[i] - r[i];
+      rn += d * d;
+    }
+    result.residual_norm = std::sqrt(rn);
+    if (result.residual_norm <= threshold) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace bernoulli::solvers

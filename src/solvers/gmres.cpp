@@ -1,0 +1,146 @@
+#include "solvers/gmres.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+GmresResult gmres(const formats::Csr& a, ConstVectorView b, VectorView x,
+                  const GmresOptions& opts, const Preconditioner& precond) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  const auto n = static_cast<std::size_t>(a.rows());
+  BERNOULLI_CHECK(b.size() == n && x.size() == n);
+  const int m = opts.restart;
+  BERNOULLI_CHECK(m >= 1);
+
+  auto apply_right = [&](ConstVectorView in, VectorView out) {
+    // out = A M^{-1} in
+    if (precond) {
+      Vector tmp(n);
+      precond(in, tmp);
+      spmv(a, tmp, out);
+    } else {
+      spmv(a, in, out);
+    }
+  };
+
+  const value_t bnorm = std::sqrt(dot(b, b));
+  const value_t threshold =
+      opts.tolerance > 0 ? opts.tolerance * (bnorm > 0 ? bnorm : 1.0) : -1.0;
+
+  GmresResult result;
+  Vector r(n), w(n);
+
+  // Krylov basis (m+1 vectors) and the Hessenberg factorization state.
+  std::vector<Vector> v(static_cast<std::size_t>(m) + 1, Vector(n));
+  std::vector<Vector> h(static_cast<std::size_t>(m) + 1,
+                        Vector(static_cast<std::size_t>(m), 0.0));
+  Vector cs(static_cast<std::size_t>(m), 0.0);
+  Vector sn(static_cast<std::size_t>(m), 0.0);
+  Vector g(static_cast<std::size_t>(m) + 1, 0.0);
+
+  while (result.iterations < opts.max_iterations) {
+    // r = b - A x (true residual at each restart).
+    spmv(a, x, r);
+    for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+    value_t beta = std::sqrt(dot(r, r));
+    result.residual_norm = beta;
+    if (threshold >= 0 && beta <= threshold) {
+      result.converged = true;
+      return result;
+    }
+    if (beta == 0.0) {
+      result.converged = true;
+      return result;
+    }
+    for (std::size_t i = 0; i < n; ++i) v[0][i] = r[i] / beta;
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+
+    int k = 0;  // columns built this cycle
+    for (; k < m && result.iterations < opts.max_iterations; ++k) {
+      apply_right(v[static_cast<std::size_t>(k)], w);
+      ++result.iterations;
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        value_t hik = dot(w, v[static_cast<std::size_t>(i)]);
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] = hik;
+        axpy(-hik, v[static_cast<std::size_t>(i)], w);
+      }
+      value_t hkk = std::sqrt(dot(w, w));
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = hkk;
+      if (hkk != 0.0)
+        for (std::size_t i = 0; i < n; ++i)
+          v[static_cast<std::size_t>(k) + 1][i] = w[i] / hkk;
+
+      // Apply accumulated Givens rotations to the new column.
+      for (int i = 0; i < k; ++i) {
+        value_t hi = h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)];
+        value_t hi1 =
+            h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)];
+        h[static_cast<std::size_t>(i)][static_cast<std::size_t>(k)] =
+            cs[static_cast<std::size_t>(i)] * hi +
+            sn[static_cast<std::size_t>(i)] * hi1;
+        h[static_cast<std::size_t>(i) + 1][static_cast<std::size_t>(k)] =
+            -sn[static_cast<std::size_t>(i)] * hi +
+            cs[static_cast<std::size_t>(i)] * hi1;
+      }
+      // New rotation annihilating h[k+1][k].
+      value_t hk = h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)];
+      value_t hk1 =
+          h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)];
+      value_t denom = std::sqrt(hk * hk + hk1 * hk1);
+      BERNOULLI_CHECK_MSG(denom != 0.0, "GMRES breakdown (happy or fatal)");
+      cs[static_cast<std::size_t>(k)] = hk / denom;
+      sn[static_cast<std::size_t>(k)] = hk1 / denom;
+      h[static_cast<std::size_t>(k)][static_cast<std::size_t>(k)] = denom;
+      h[static_cast<std::size_t>(k) + 1][static_cast<std::size_t>(k)] = 0.0;
+      value_t gk = g[static_cast<std::size_t>(k)];
+      g[static_cast<std::size_t>(k)] = cs[static_cast<std::size_t>(k)] * gk;
+      g[static_cast<std::size_t>(k) + 1] =
+          -sn[static_cast<std::size_t>(k)] * gk;
+
+      // |g[k+1]| is the current residual norm estimate.
+      if (threshold >= 0 &&
+          std::abs(g[static_cast<std::size_t>(k) + 1]) <= threshold) {
+        ++k;
+        break;
+      }
+      if (hkk == 0.0) {  // invariant subspace found
+        ++k;
+        break;
+      }
+    }
+
+    // Back-substitute y from the triangular H and update x += M^{-1} V y.
+    Vector y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+      value_t sum = g[static_cast<std::size_t>(i)];
+      for (int j = i + 1; j < k; ++j)
+        sum -= h[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] *
+               y[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] =
+          sum / h[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)];
+    }
+    Vector update(n, 0.0);
+    for (int j = 0; j < k; ++j)
+      axpy(y[static_cast<std::size_t>(j)], v[static_cast<std::size_t>(j)],
+           update);
+    if (precond) {
+      Vector tmp(n);
+      precond(update, tmp);
+      axpy(1.0, tmp, x);
+    } else {
+      axpy(1.0, update, x);
+    }
+  }
+
+  spmv(a, x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  result.residual_norm = std::sqrt(dot(r, r));
+  result.converged = threshold >= 0 && result.residual_norm <= threshold;
+  return result;
+}
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,32 @@
+// Restarted GMRES(m) — the general (unsymmetric) Krylov solver from the
+// PETSc-style solver family the paper positions its compiler against
+// (Saad [18]). Arnoldi with modified Gram-Schmidt, Givens-rotation least
+// squares, restart every m iterations; preconditioning via the same
+// Preconditioner hook as CG.
+#pragma once
+
+#include "solvers/cg.hpp"
+
+namespace bernoulli::solvers {
+
+struct GmresOptions {
+  int restart = 30;          // Krylov basis size m
+  int max_iterations = 500;  // total matvecs across restarts
+  double tolerance = 1e-10;  // on ||r||_2 / ||b||_2
+};
+
+struct GmresResult {
+  int iterations = 0;          // matvecs performed
+  double residual_norm = 0.0;  // ||b - A x||_2 (recomputed, not recursed)
+  bool converged = false;
+};
+
+/// Solves A x = b for general (square, possibly unsymmetric) A,
+/// overwriting x. Right-preconditioned when `precond` is provided
+/// (A M^{-1} u = b, x = M^{-1} u), so the reported residual is the TRUE
+/// residual.
+GmresResult gmres(const formats::Csr& a, ConstVectorView b, VectorView x,
+                  const GmresOptions& opts = {},
+                  const Preconditioner& precond = nullptr);
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,126 @@
+#include "solvers/ic.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bernoulli::solvers {
+
+using formats::Csr;
+
+void solve_lower(const Csr& l, ConstVectorView b, VectorView x) {
+  const index_t n = l.rows();
+  BERNOULLI_CHECK(l.cols() == n);
+  BERNOULLI_CHECK(static_cast<index_t>(b.size()) == n &&
+                  static_cast<index_t>(x.size()) == n);
+  for (index_t i = 0; i < n; ++i) {
+    auto cols = l.row_cols(i);
+    auto vals = l.row_vals(i);
+    BERNOULLI_CHECK_MSG(!cols.empty() && cols.back() == i,
+                        "row " << i << " lacks a trailing diagonal entry");
+    value_t sum = b[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k + 1 < cols.size(); ++k)
+      sum -= vals[k] * x[static_cast<std::size_t>(cols[k])];
+    x[static_cast<std::size_t>(i)] = sum / vals[cols.size() - 1];
+  }
+}
+
+void solve_lower_transpose(const Csr& l, ConstVectorView b, VectorView x) {
+  const index_t n = l.rows();
+  BERNOULLI_CHECK(l.cols() == n);
+  BERNOULLI_CHECK(static_cast<index_t>(b.size()) == n &&
+                  static_cast<index_t>(x.size()) == n);
+  // Backward substitution: process rows last-to-first; once x[i] is known,
+  // scatter its contribution to the earlier unknowns (column-sweep of
+  // L^T via the rows of L).
+  std::copy(b.begin(), b.end(), x.begin());
+  for (index_t i = n - 1; i >= 0; --i) {
+    auto cols = l.row_cols(i);
+    auto vals = l.row_vals(i);
+    BERNOULLI_CHECK(!cols.empty() && cols.back() == i);
+    x[static_cast<std::size_t>(i)] /= vals[cols.size() - 1];
+    const value_t xi = x[static_cast<std::size_t>(i)];
+    for (std::size_t k = 0; k + 1 < cols.size(); ++k)
+      x[static_cast<std::size_t>(cols[k])] -= vals[k] * xi;
+    if (i == 0) break;
+  }
+}
+
+IncompleteCholesky IncompleteCholesky::factor(const Csr& a) {
+  const index_t n = a.rows();
+  BERNOULLI_CHECK(a.cols() == n);
+
+  // Build L's pattern: the lower triangle of A, diagonal included (and
+  // required). Values computed row by row:
+  //   L(i,j) = (A(i,j) - sum_k L(i,k) L(j,k)) / L(j,j)   for j < i
+  //   L(i,i) = sqrt(A(i,i) - sum_k L(i,k)^2)
+  // with sums restricted to the stored pattern (no fill).
+  std::vector<index_t> rowptr{0};
+  std::vector<index_t> colind;
+  std::vector<value_t> vals;
+  for (index_t i = 0; i < n; ++i) {
+    auto cols = a.row_cols(i);
+    auto av = a.row_vals(i);
+    bool has_diag = false;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] > i) break;
+      colind.push_back(cols[k]);
+      vals.push_back(av[k]);
+      if (cols[k] == i) has_diag = true;
+    }
+    BERNOULLI_CHECK_MSG(has_diag, "IC(0) needs a stored diagonal in row " << i);
+    rowptr.push_back(static_cast<index_t>(colind.size()));
+  }
+
+  // In-place factorization over the (rowptr, colind, vals) arrays.
+  auto row_begin = [&](index_t r) { return rowptr[static_cast<std::size_t>(r)]; };
+  auto row_end = [&](index_t r) { return rowptr[static_cast<std::size_t>(r) + 1]; };
+
+  for (index_t i = 0; i < n; ++i) {
+    for (index_t e = row_begin(i); e < row_end(i); ++e) {
+      const index_t j = colind[static_cast<std::size_t>(e)];
+      // Dot product of rows i and j of L over columns < j (both sorted).
+      value_t dot = 0.0;
+      index_t pi = row_begin(i), pj = row_begin(j);
+      while (pi < e && pj < row_end(j)) {
+        index_t ci = colind[static_cast<std::size_t>(pi)];
+        index_t cj = colind[static_cast<std::size_t>(pj)];
+        if (cj >= j) break;
+        if (ci < cj) {
+          ++pi;
+        } else if (cj < ci) {
+          ++pj;
+        } else {
+          dot += vals[static_cast<std::size_t>(pi)] *
+                 vals[static_cast<std::size_t>(pj)];
+          ++pi;
+          ++pj;
+        }
+      }
+      if (j < i) {
+        // L(j,j) is the last entry of row j.
+        value_t ljj = vals[static_cast<std::size_t>(row_end(j)) - 1];
+        vals[static_cast<std::size_t>(e)] =
+            (vals[static_cast<std::size_t>(e)] - dot) / ljj;
+      } else {  // j == i: the pivot
+        value_t pivot = vals[static_cast<std::size_t>(e)] - dot;
+        BERNOULLI_CHECK_MSG(pivot > 0.0,
+                            "IC(0) breakdown at row " << i << " (pivot "
+                                                      << pivot << ")");
+        vals[static_cast<std::size_t>(e)] = std::sqrt(pivot);
+      }
+    }
+  }
+
+  IncompleteCholesky out;
+  out.l_ = Csr(n, n, std::move(rowptr), std::move(colind), std::move(vals));
+  return out;
+}
+
+void IncompleteCholesky::apply(ConstVectorView r, VectorView z) const {
+  Vector tmp(r.size());
+  solve_lower(l_, r, tmp);
+  solve_lower_transpose(l_, tmp, z);
+}
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,41 @@
+// Incomplete Cholesky factorization IC(0) and sparse triangular solves —
+// the paper's "ongoing work" (§6): extending the generated-kernel set from
+// products to "matrix factorizations (full and incomplete) and triangular
+// linear system solution".
+//
+// IC(0) factors a symmetric positive-definite A into L L^T restricted to
+// A's lower-triangular sparsity pattern (no fill). Combined with CG it
+// gives the classical ICCG solver the paper's introduction places among
+// the target applications.
+#pragma once
+
+#include "formats/csr.hpp"
+
+namespace bernoulli::solvers {
+
+/// x = L^{-1} b for lower-triangular L stored in CSR with a stored,
+/// non-zero diagonal as the LAST entry of each row.
+void solve_lower(const formats::Csr& l, ConstVectorView b, VectorView x);
+
+/// x = L^{-T} b for the same L (backward substitution through the
+/// transpose without materializing it).
+void solve_lower_transpose(const formats::Csr& l, ConstVectorView b,
+                           VectorView x);
+
+class IncompleteCholesky {
+ public:
+  /// Factors SPD `a` on its lower pattern. Throws bernoulli::Error when a
+  /// pivot is non-positive (matrix not SPD enough for IC(0)).
+  static IncompleteCholesky factor(const formats::Csr& a);
+
+  /// z = (L L^T)^{-1} r — the preconditioner application.
+  void apply(ConstVectorView r, VectorView z) const;
+
+  /// The factor L (lower triangular CSR, diagonal last in each row).
+  const formats::Csr& lower() const { return l_; }
+
+ private:
+  formats::Csr l_;
+};
+
+}  // namespace bernoulli::solvers

@@ -1,0 +1,89 @@
+#include "spmd/dist_compile.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::spmd {
+
+using distrib::Distribution;
+using formats::Csr;
+
+VectorView DistKernel::x_owned() {
+  return VectorView(*x_full_).first(static_cast<std::size_t>(sched_.owned));
+}
+
+ConstVectorView DistKernel::y_local() const { return *y_; }
+
+void DistKernel::run(runtime::Process& p, int tag) const {
+  std::fill(y_->begin(), y_->end(), 0.0);
+  sched_.exchange(p, *x_full_, tag);
+  kernel_->run();
+}
+
+std::string DistKernel::emit(const std::string& function_name) const {
+  return kernel_->emit(function_name);
+}
+
+std::string DistKernel::describe_plan() const {
+  return kernel_->describe_plan();
+}
+
+DistKernel compile_dist_matvec(runtime::Process& p, const Csr& a,
+                               const Distribution& rows, int build_tag) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  // Reuse the inspector machinery to obtain the localized fragment and
+  // the communication schedule (collocation of A and Y on the row
+  // distribution is what lets the fragment's rows stay purely local —
+  // Eq. 20); then compile the local DENSE program against the fragment.
+  DistSpmv built = build_dist_spmv(p, a, rows, Variant::kBernoulliMixed);
+  (void)build_tag;
+
+  DistKernel k;
+  k.sched_ = built.sched;
+
+  // Fuse the local and non-local parts into one localized fragment: the
+  // compiled local query iterates a single A' whose columns address
+  // x_full slots directly.
+  {
+    const index_t m = built.a_local.rows();
+    const index_t width = built.sched.full_size();
+    std::vector<index_t> ptr{0}, ind;
+    std::vector<value_t> vals;
+    for (index_t i = 0; i < m; ++i) {
+      auto lc = built.a_local.row_cols(i);
+      auto lv = built.a_local.row_vals(i);
+      auto nc = built.a_nonlocal.row_cols(i);
+      auto nv = built.a_nonlocal.row_vals(i);
+      // Local columns (< owned) precede ghost slots (>= owned), so the
+      // concatenation stays sorted.
+      ind.insert(ind.end(), lc.begin(), lc.end());
+      vals.insert(vals.end(), lv.begin(), lv.end());
+      ind.insert(ind.end(), nc.begin(), nc.end());
+      vals.insert(vals.end(), nv.begin(), nv.end());
+      ptr.push_back(static_cast<index_t>(ind.size()));
+    }
+    k.local_ = std::make_shared<Csr>(m, width, std::move(ptr), std::move(ind),
+                                     std::move(vals));
+  }
+
+  k.x_full_ = std::make_shared<Vector>(
+      static_cast<std::size_t>(k.sched_.full_size()), 0.0);
+  k.y_ = std::make_shared<Vector>(static_cast<std::size_t>(k.sched_.owned),
+                                  0.0);
+
+  // The LOCAL dense program, compiled by the ordinary sequential pipeline.
+  k.bindings_ = std::make_shared<compiler::Bindings>();
+  k.bindings_->bind_csr("A", *k.local_);
+  k.bindings_->bind_dense_vector("X", ConstVectorView(*k.x_full_));
+  k.bindings_->bind_dense_vector("Y", VectorView(*k.y_));
+  compiler::LoopNest local_nest{
+      {{"i", k.local_->rows()}, {"j", k.local_->cols()}},
+      {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0},
+  };
+  k.kernel_ = std::make_shared<compiler::CompiledKernel>(
+      compiler::compile(local_nest, *k.bindings_));
+  return k;
+}
+
+}  // namespace bernoulli::spmd

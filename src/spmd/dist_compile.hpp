@@ -1,0 +1,71 @@
+// Distributed compilation (paper §3.2): from the DENSE data-parallel
+// program
+//
+//   DO i / DO j:  Y(i) += A(i,j) * X(j)
+//
+// plus distribution relations, generate the SPMD inspector/executor pair:
+//   1. exploit collocation — A and Y are distributed by the same rows, so
+//      their join on i translates directly to a join of local fragments
+//      (Eq. 20);
+//   2. compute the communication sets for the non-collocated X with the
+//      Used/RecvInd queries (Eq. 21-22) and build the CommSchedule;
+//   3. compile the LOCAL query over the localized fragment through the
+//      ordinary sequential pipeline (extract -> plan -> run/emit).
+//
+// This module is the API-level composition of src/compiler and src/spmd:
+// the same planner that chooses sequential join orders plans the local
+// query; the distributed part only adds fragmentation and communication.
+#pragma once
+
+#include <memory>
+
+#include "compiler/loopnest.hpp"
+#include "distrib/distribution.hpp"
+#include "spmd/matvec.hpp"
+
+namespace bernoulli::spmd {
+
+/// Per-rank compiled distributed matvec kernel: owns the localized
+/// fragment, the x buffer (owned + ghost layout), the local y slice, the
+/// communication schedule, and the compiled local query.
+class DistKernel {
+ public:
+  /// The owned part of x — fill before each run().
+  VectorView x_owned();
+
+  /// This rank's slice of the result.
+  ConstVectorView y_local() const;
+
+  /// y = A x: zeroes y, exchanges ghosts, runs the compiled local plan.
+  void run(runtime::Process& p, int tag) const;
+
+  const CommSchedule& schedule() const { return sched_; }
+  index_t local_rows() const { return sched_.owned; }
+
+  /// The generated C for the LOCAL program (what each node executes
+  /// between exchanges).
+  std::string emit(const std::string& function_name = "local_kernel") const;
+  std::string describe_plan() const;
+
+ private:
+  friend DistKernel compile_dist_matvec(runtime::Process&,
+                                        const formats::Csr&,
+                                        const distrib::Distribution&, int);
+  CommSchedule sched_;
+  // Heap-anchored so views bound at compile time survive moves of the
+  // kernel object.
+  std::shared_ptr<formats::Csr> local_;   // columns are x_full slots
+  std::shared_ptr<Vector> x_full_;
+  std::shared_ptr<Vector> y_;
+  std::shared_ptr<compiler::Bindings> bindings_;
+  std::shared_ptr<compiler::CompiledKernel> kernel_;
+};
+
+/// Collective. Compiles Y(i) += A(i,j) * X(j) for row-aligned A, X, Y
+/// under `rows` (the global matrix `a` must stay alive only during this
+/// call; the kernel keeps its own localized fragment).
+DistKernel compile_dist_matvec(runtime::Process& p, const formats::Csr& a,
+                               const distrib::Distribution& rows,
+                               int build_tag = 9401);
+
+}  // namespace bernoulli::spmd

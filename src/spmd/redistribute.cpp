@@ -1,0 +1,55 @@
+#include "spmd/redistribute.hpp"
+
+#include "support/error.hpp"
+
+namespace bernoulli::spmd {
+
+namespace {
+
+struct Routed {
+  index_t dest_local;
+  value_t value;
+};
+
+}  // namespace
+
+Vector redistribute(runtime::Process& p, ConstVectorView local_from,
+                    const distrib::Distribution& from,
+                    const distrib::Distribution& to, int tag) {
+  BERNOULLI_CHECK(from.global_size() == to.global_size());
+  BERNOULLI_CHECK(from.nprocs() == p.nprocs() && to.nprocs() == p.nprocs());
+  const int me = p.rank();
+  BERNOULLI_CHECK(static_cast<index_t>(local_from.size()) ==
+                  from.local_size(me));
+
+  // Route every owned value to its new owner, tagged with its new local
+  // offset (the receiver needs no reverse lookup).
+  std::vector<std::vector<Routed>> out(static_cast<std::size_t>(p.nprocs()));
+  for (index_t k = 0; k < from.local_size(me); ++k) {
+    index_t global = from.to_global(me, k);
+    auto ol = to.owner_local(global);
+    out[static_cast<std::size_t>(ol.owner)].push_back(
+        {ol.local, local_from[static_cast<std::size_t>(k)]});
+  }
+  auto in = p.alltoallv(out, tag);
+
+  Vector result(static_cast<std::size_t>(to.local_size(me)), 0.0);
+  std::vector<bool> filled(result.size(), false);
+  for (const auto& batch : in) {
+    for (const Routed& r : batch) {
+      BERNOULLI_CHECK(r.dest_local >= 0 &&
+                      r.dest_local < to.local_size(me));
+      BERNOULLI_CHECK_MSG(!filled[static_cast<std::size_t>(r.dest_local)],
+                          "slot " << r.dest_local << " received twice — "
+                                  << "inconsistent distributions");
+      filled[static_cast<std::size_t>(r.dest_local)] = true;
+      result[static_cast<std::size_t>(r.dest_local)] = r.value;
+    }
+  }
+  for (std::size_t k = 0; k < filled.size(); ++k)
+    BERNOULLI_CHECK_MSG(filled[k], "slot " << k << " never received — "
+                                           << "inconsistent distributions");
+  return result;
+}
+
+}  // namespace bernoulli::spmd

@@ -1,0 +1,20 @@
+// Redistribution: move a distributed vector between distribution
+// relations. The fragmentation equation (paper Eq. 15) makes this a pure
+// relational rewrite — join the source fragments with the target IND and
+// route; no semantics change, only data placement.
+#pragma once
+
+#include "distrib/distribution.hpp"
+#include "runtime/machine.hpp"
+
+namespace bernoulli::spmd {
+
+/// Collective. `local_from` holds this rank's slice under `from` (local
+/// offset order); returns this rank's slice under `to`. Both distributions
+/// must be replicated (ownership computable locally) and describe the same
+/// global size.
+Vector redistribute(runtime::Process& p, ConstVectorView local_from,
+                    const distrib::Distribution& from,
+                    const distrib::Distribution& to, int tag);
+
+}  // namespace bernoulli::spmd

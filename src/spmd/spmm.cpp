@@ -1,0 +1,85 @@
+#include "spmd/spmm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::spmd {
+
+using formats::Csr;
+using formats::Dense;
+
+namespace {
+
+// C (+)= A * X with X addressed through an optional global->slot
+// translation (naive variants keep global columns).
+void block_pass(const Csr& a, std::span<const index_t> xtrans,
+                const Dense& x, Dense& c, bool accumulate) {
+  const index_t width = x.cols();
+  for (index_t i = 0; i < a.rows(); ++i) {
+    value_t* crow = c.data().data() + static_cast<std::size_t>(i) *
+                                          static_cast<std::size_t>(width);
+    if (!accumulate)
+      std::fill(crow, crow + width, 0.0);
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      index_t slot = xtrans.empty()
+                         ? cols[k]
+                         : xtrans[static_cast<std::size_t>(cols[k])];
+      const value_t* xrow = x.row(slot).data();
+      const value_t av = vals[k];
+      for (index_t r = 0; r < width; ++r)
+        crow[static_cast<std::size_t>(r)] +=
+            av * xrow[static_cast<std::size_t>(r)];
+    }
+  }
+}
+
+}  // namespace
+
+void dist_spmv_transpose(runtime::Process& p, const DistSpmv& a,
+                         ConstVectorView x_local, VectorView y_scratch,
+                         int tag) {
+  BERNOULLI_CHECK_MSG(!variant_is_naive(a.variant),
+                      "transpose executor is generated for the mixed "
+                      "(localized-column) storage only");
+  const auto owned = static_cast<std::size_t>(a.sched.owned);
+  BERNOULLI_CHECK(x_local.size() == owned);
+  BERNOULLI_CHECK(static_cast<index_t>(y_scratch.size()) ==
+                  a.sched.full_size());
+  std::fill(y_scratch.begin(), y_scratch.end(), 0.0);
+
+  // Scatter pass: row i contributes x[i] * A(i, slot) to y[slot], where
+  // slots cover owned columns (a_local) and ghost slots (a_nonlocal).
+  auto scatter = [&](const Csr& m) {
+    for (index_t i = 0; i < m.rows(); ++i) {
+      const value_t xi = x_local[static_cast<std::size_t>(i)];
+      auto cols = m.row_cols(i);
+      auto vals = m.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k)
+        y_scratch[static_cast<std::size_t>(cols[k])] += vals[k] * xi;
+    }
+  };
+  scatter(a.a_local);
+  scatter(a.a_nonlocal);
+
+  // Ghost partial sums go home and accumulate.
+  a.sched.reverse_exchange_add(p, y_scratch, tag);
+}
+
+void dist_spmm(runtime::Process& p, const DistSpmv& a, Dense& x_full,
+               Dense& y, int tag) {
+  const index_t width = x_full.cols();
+  BERNOULLI_CHECK(x_full.rows() == a.sched.full_size());
+  BERNOULLI_CHECK(y.rows() == a.local_rows() && y.cols() == width);
+
+  a.sched.exchange_block(p, x_full.data(), width, tag);
+  std::span<const index_t> trans =
+      variant_is_naive(a.variant) ? std::span<const index_t>(a.xtrans)
+                                  : std::span<const index_t>();
+  block_pass(a.a_local, trans, x_full, y, /*accumulate=*/false);
+  block_pass(a.a_nonlocal, trans, x_full, y, /*accumulate=*/true);
+}
+
+}  // namespace bernoulli::spmd

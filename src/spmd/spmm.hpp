@@ -1,0 +1,29 @@
+// Distributed sparse x skinny-dense product (multi-RHS SpMV): the second
+// core operation the paper names (§6) — one inspector-built schedule
+// serves every column of the block, amortizing the communication setup
+// across right-hand sides.
+#pragma once
+
+#include "formats/dense.hpp"
+#include "spmd/matvec.hpp"
+
+namespace bernoulli::spmd {
+
+/// Y = A * X for the distributed matrix behind `a`. X_full is
+/// (full_size x width) row-major with owned rows filled and ghost rows as
+/// scratch; Y is (local_rows x width). Works for every variant (the naive
+/// ones route through xtrans exactly like their SpMV).
+void dist_spmm(runtime::Process& p, const DistSpmv& a,
+               formats::Dense& x_full, formats::Dense& y, int tag);
+
+/// y = A^T x for the distributed matrix behind `a` (mixed variants only).
+/// x_local holds this rank's owned slice of x; y_scratch is a full_size
+/// buffer that receives this rank's owned slice of A^T x in its first
+/// local_rows entries. Local rows scatter into both owned and ghost-slot
+/// columns; the ghost partial sums then travel BACK to their owners
+/// through the same schedule (reverse_exchange_add).
+void dist_spmv_transpose(runtime::Process& p, const DistSpmv& a,
+                         ConstVectorView x_local, VectorView y_scratch,
+                         int tag);
+
+}  // namespace bernoulli::spmd

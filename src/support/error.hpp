@@ -1,0 +1,50 @@
+// Error handling helpers.
+//
+// Library invariants are enforced with BERNOULLI_CHECK, which throws
+// bernoulli::Error (derived from std::runtime_error) with the failing
+// expression and location. Checks guard API misuse and data-structure
+// invariants; they are always on — sparse-format corruption is far more
+// expensive to debug than the branch is to execute.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bernoulli {
+
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace bernoulli
+
+/// Throws bernoulli::Error when `expr` is false. Extra stream-style message
+/// may be appended: BERNOULLI_CHECK(i < n) << is illegal; use the _MSG form.
+#define BERNOULLI_CHECK(expr)                                             \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::bernoulli::detail::check_failed(#expr, __FILE__, __LINE__, "");   \
+  } while (0)
+
+#define BERNOULLI_CHECK_MSG(expr, msg)                                    \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream os_;                                             \
+      os_ << msg;                                                         \
+      ::bernoulli::detail::check_failed(#expr, __FILE__, __LINE__,        \
+                                        os_.str());                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,60 @@
+// Deterministic pseudo-random number generation for workload generators.
+//
+// SplitMix64 is small, fast and has well-understood statistical quality; we
+// avoid std::mt19937 in generators so that matrix suites are reproducible
+// byte-for-byte across standard-library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "support/types.hpp"
+
+namespace bernoulli {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  index_t next_index(index_t bound) {
+    return static_cast<index_t>(next_below(static_cast<std::uint64_t>(bound)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_double(double lo, double hi) {
+    return lo + (hi - lo) * next_double();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace bernoulli

@@ -1,0 +1,38 @@
+// Small statistics accumulator used by benchmark harnesses (best-of-k
+// timing, message-count summaries).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bernoulli {
+
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    // Welford's online mean/variance update.
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  long long count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return mean_; }
+  double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  long long n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bernoulli

@@ -1,0 +1,63 @@
+#include "support/text_table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bernoulli {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  BERNOULLI_CHECK(!headers_.empty());
+}
+
+void TextTable::new_row() { cells_.emplace_back(); }
+
+void TextTable::add(std::string cell) {
+  BERNOULLI_CHECK_MSG(!cells_.empty(), "call new_row() before add()");
+  BERNOULLI_CHECK_MSG(cells_.back().size() < headers_.size(),
+                      "row has more cells than headers");
+  cells_.back().push_back(std::move(cell));
+}
+
+void TextTable::add(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  add(os.str());
+}
+
+void TextTable::add(long long v) { add(std::to_string(v)); }
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : cells_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row, bool left_first) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << (c == 0 ? "" : "  ");
+      if (c == 0 && left_first)
+        os << std::left << std::setw(static_cast<int>(width[c])) << cell;
+      else
+        os << std::right << std::setw(static_cast<int>(width[c])) << cell;
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, /*left_first=*/true);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : cells_) emit_row(row, /*left_first=*/true);
+  return os.str();
+}
+
+}  // namespace bernoulli

@@ -1,0 +1,36 @@
+// Plain-text table formatting for benchmark harnesses.
+//
+// Every bench binary reproduces one of the paper's tables; TextTable keeps
+// the printed output aligned and diff-friendly so EXPERIMENTS.md can quote
+// it verbatim.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bernoulli {
+
+class TextTable {
+ public:
+  /// Starts a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Begins a new row; subsequent add() calls fill its cells left to right.
+  void new_row();
+
+  void add(std::string cell);
+  void add(double v, int precision = 2);
+  void add(long long v);
+  void add(int v) { add(static_cast<long long>(v)); }
+
+  /// Renders the table with a header underline and right-aligned numbers.
+  std::string str() const;
+
+  std::size_t rows() const { return cells_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+}  // namespace bernoulli

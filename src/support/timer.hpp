@@ -1,0 +1,51 @@
+// Timers.
+//
+// WallTimer measures elapsed real time; ThreadCpuTimer measures CPU time
+// consumed by the calling thread only. The simulated distributed runtime
+// (src/runtime) charges compute segments with ThreadCpuTimer so that
+// per-rank "virtual time" is insensitive to how the host OS interleaves the
+// rank threads on a small number of cores.
+#pragma once
+
+#include <ctime>
+
+#include <chrono>
+
+namespace bernoulli {
+
+class WallTimer {
+ public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() { reset(); }
+
+  void reset() { start_ = now(); }
+
+  /// CPU seconds consumed by this thread since construction/reset.
+  double seconds() const { return now() - start_; }
+
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+
+ private:
+  double start_ = 0.0;
+};
+
+}  // namespace bernoulli

@@ -1,0 +1,38 @@
+// Fundamental scalar types used throughout the Bernoulli library.
+//
+// The paper's formats index with 32-bit integers (Fortran INTEGER); we keep
+// that choice for storage arrays but use std::size_t for container sizes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bernoulli {
+
+/// Array/row/column index type used inside sparse storage arrays.
+using index_t = std::int32_t;
+
+/// Numeric value type of matrix and vector entries.
+using value_t = double;
+
+/// A (row, column, value) triple; the unit of the Coordinate format and the
+/// exchange currency between all formats.
+struct Triplet {
+  index_t row = 0;
+  index_t col = 0;
+  value_t val = 0.0;
+
+  friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Dense vector of matrix values.
+using Vector = std::vector<value_t>;
+
+/// Read-only view over a dense vector.
+using ConstVectorView = std::span<const value_t>;
+
+/// Mutable view over a dense vector.
+using VectorView = std::span<value_t>;
+
+}  // namespace bernoulli

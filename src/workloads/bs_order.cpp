@@ -1,0 +1,62 @@
+#include "workloads/bs_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "workloads/cliques.hpp"
+#include "workloads/coloring.hpp"
+
+namespace bernoulli::workloads {
+
+formats::BsOrdering blocksolve_ordering(const formats::Coo& a, index_t dof,
+                                        index_t max_clique) {
+  NodeGraph g = node_graph_from_matrix(a, dof);
+  auto cliques = clique_partition(g, max_clique);
+  CliqueColoring coloring = color_cliques(g, cliques);
+
+  // Layout: cliques sorted by (color, first node); nodes keep their clique
+  // order; each node contributes its dof consecutive unknowns.
+  std::vector<index_t> order(cliques.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](index_t x, index_t y) {
+    return coloring.color[static_cast<std::size_t>(x)] <
+           coloring.color[static_cast<std::size_t>(y)];
+  });
+
+  formats::BsOrdering ord;
+  ord.dof = dof;
+  ord.num_colors = coloring.num_colors;
+  const index_t n = a.rows();
+  ord.old_to_new.assign(static_cast<std::size_t>(n), -1);
+  ord.new_to_old.assign(static_cast<std::size_t>(n), -1);
+  ord.color_ptr.assign(static_cast<std::size_t>(ord.num_colors) + 1, 0);
+
+  index_t next = 0;
+  for (index_t c : order) {
+    const auto& clique = cliques[static_cast<std::size_t>(c)];
+    formats::BsOrdering::CliqueRange range;
+    range.first = next;
+    range.size = static_cast<index_t>(clique.size()) * dof;
+    range.color = coloring.color[static_cast<std::size_t>(c)];
+    for (index_t node : clique) {
+      for (index_t d = 0; d < dof; ++d) {
+        index_t old = node * dof + d;
+        ord.old_to_new[static_cast<std::size_t>(old)] = next;
+        ord.new_to_old[static_cast<std::size_t>(next)] = old;
+        ++next;
+      }
+    }
+    ord.cliques.push_back(range);
+    ord.color_ptr[static_cast<std::size_t>(range.color) + 1] = next;
+  }
+  BERNOULLI_CHECK(next == n);
+  // Colors with no cliques (impossible with first-fit, but keep the
+  // prefix-fill robust): carry forward boundaries.
+  for (std::size_t c = 1; c < ord.color_ptr.size(); ++c)
+    ord.color_ptr[c] = std::max(ord.color_ptr[c], ord.color_ptr[c - 1]);
+  ord.validate();
+  return ord;
+}
+
+}  // namespace bernoulli::workloads

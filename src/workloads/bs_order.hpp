@@ -1,0 +1,16 @@
+// Computes the BlockSolve ordering for a matrix: node graph -> clique
+// partition -> contracted-graph coloring -> color-major layout. This is
+// the preprocessing the BlockSolve library performs before storing a
+// matrix (paper Fig. 2).
+#pragma once
+
+#include "formats/blocksolve.hpp"
+
+namespace bernoulli::workloads {
+
+/// `dof` unknowns per discretization point (5 in the paper's experiments);
+/// `max_clique` caps the greedy clique size in *nodes*.
+formats::BsOrdering blocksolve_ordering(const formats::Coo& a, index_t dof,
+                                        index_t max_clique = 8);
+
+}  // namespace bernoulli::workloads

@@ -1,0 +1,90 @@
+#include "workloads/cliques.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::workloads {
+
+bool NodeGraph::adjacent(index_t a, index_t b) const {
+  const auto& n = adj[static_cast<std::size_t>(a)];
+  return std::binary_search(n.begin(), n.end(), b);
+}
+
+NodeGraph node_graph_from_matrix(const formats::Coo& a, index_t dof) {
+  BERNOULLI_CHECK(a.rows() == a.cols());
+  BERNOULLI_CHECK(dof >= 1 && a.rows() % dof == 0);
+  NodeGraph g;
+  g.num_nodes = a.rows() / dof;
+  g.adj.resize(static_cast<std::size_t>(g.num_nodes));
+  auto rowind = a.rowind();
+  auto colind = a.colind();
+  for (index_t k = 0; k < a.nnz(); ++k) {
+    index_t p = rowind[static_cast<std::size_t>(k)] / dof;
+    index_t q = colind[static_cast<std::size_t>(k)] / dof;
+    if (p != q) {
+      g.adj[static_cast<std::size_t>(p)].push_back(q);
+      g.adj[static_cast<std::size_t>(q)].push_back(p);
+    }
+  }
+  for (auto& n : g.adj) {
+    std::sort(n.begin(), n.end());
+    n.erase(std::unique(n.begin(), n.end()), n.end());
+  }
+  return g;
+}
+
+std::vector<std::vector<index_t>> clique_partition(const NodeGraph& g,
+                                                   index_t max_size) {
+  BERNOULLI_CHECK(max_size >= 1);
+  std::vector<bool> assigned(static_cast<std::size_t>(g.num_nodes), false);
+  std::vector<std::vector<index_t>> cliques;
+  for (index_t v = 0; v < g.num_nodes; ++v) {
+    if (assigned[static_cast<std::size_t>(v)]) continue;
+    std::vector<index_t> clique{v};
+    assigned[static_cast<std::size_t>(v)] = true;
+    // Grow greedily among unassigned neighbours of v that are adjacent to
+    // every current member.
+    for (index_t u : g.adj[static_cast<std::size_t>(v)]) {
+      if (static_cast<index_t>(clique.size()) >= max_size) break;
+      if (assigned[static_cast<std::size_t>(u)]) continue;
+      bool ok = true;
+      for (index_t w : clique) {
+        if (w != v && !g.adjacent(u, w)) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        clique.push_back(u);
+        assigned[static_cast<std::size_t>(u)] = true;
+      }
+    }
+    std::sort(clique.begin(), clique.end());
+    cliques.push_back(std::move(clique));
+  }
+  return cliques;
+}
+
+void check_clique_partition(const NodeGraph& g,
+                            const std::vector<std::vector<index_t>>& cliques) {
+  std::vector<int> count(static_cast<std::size_t>(g.num_nodes), 0);
+  for (const auto& c : cliques) {
+    BERNOULLI_CHECK(!c.empty());
+    for (std::size_t a = 0; a < c.size(); ++a) {
+      BERNOULLI_CHECK(c[a] >= 0 && c[a] < g.num_nodes);
+      ++count[static_cast<std::size_t>(c[a])];
+      for (std::size_t b = a + 1; b < c.size(); ++b)
+        BERNOULLI_CHECK_MSG(g.adjacent(c[a], c[b]),
+                            "clique members " << c[a] << " and " << c[b]
+                                              << " are not adjacent");
+    }
+  }
+  for (index_t v = 0; v < g.num_nodes; ++v)
+    BERNOULLI_CHECK_MSG(count[static_cast<std::size_t>(v)] == 1,
+                        "node " << v << " appears in "
+                                << count[static_cast<std::size_t>(v)]
+                                << " cliques");
+}
+
+}  // namespace bernoulli::workloads

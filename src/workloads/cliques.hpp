@@ -1,0 +1,40 @@
+// Node graphs and clique partitions (BlockSolve's preprocessing, paper
+// Fig. 2(a)).
+//
+// With d degrees of freedom per discretization point, unknowns collapse to
+// "nodes" (one per point); BlockSolve partitions the node graph into
+// cliques — groups of mutually adjacent nodes — whose induced matrix blocks
+// are dense and can be stored and multiplied as dense triangles/blocks.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::workloads {
+
+struct NodeGraph {
+  index_t num_nodes = 0;
+  // Sorted adjacency per node, self-loops excluded.
+  std::vector<std::vector<index_t>> adj;
+
+  bool adjacent(index_t a, index_t b) const;
+};
+
+/// Collapses a (num_nodes*dof) square matrix to its node graph: nodes p, q
+/// are adjacent when any unknown of p couples to any unknown of q.
+/// Requires rows == cols and rows % dof == 0.
+NodeGraph node_graph_from_matrix(const formats::Coo& a, index_t dof);
+
+/// Greedy clique partition: every node lands in exactly one clique, each
+/// clique's nodes are mutually adjacent, clique size is capped by
+/// `max_size`. Returns cliques as lists of node ids; deterministic.
+std::vector<std::vector<index_t>> clique_partition(const NodeGraph& g,
+                                                   index_t max_size);
+
+/// Validates that `cliques` is a partition of g's nodes into mutually
+/// adjacent groups; throws otherwise.
+void check_clique_partition(const NodeGraph& g,
+                            const std::vector<std::vector<index_t>>& cliques);
+
+}  // namespace bernoulli::workloads

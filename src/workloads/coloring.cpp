@@ -1,0 +1,75 @@
+#include "workloads/coloring.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bernoulli::workloads {
+
+namespace {
+
+// Contracted-graph adjacency: for each clique, the sorted set of adjacent
+// cliques.
+std::vector<std::vector<index_t>> contracted_adj(
+    const NodeGraph& g, const std::vector<std::vector<index_t>>& cliques) {
+  std::vector<index_t> clique_of(static_cast<std::size_t>(g.num_nodes), -1);
+  for (std::size_t c = 0; c < cliques.size(); ++c)
+    for (index_t v : cliques[c])
+      clique_of[static_cast<std::size_t>(v)] = static_cast<index_t>(c);
+
+  std::vector<std::vector<index_t>> adj(cliques.size());
+  for (index_t v = 0; v < g.num_nodes; ++v) {
+    index_t cv = clique_of[static_cast<std::size_t>(v)];
+    BERNOULLI_CHECK_MSG(cv >= 0, "node " << v << " not covered by cliques");
+    for (index_t u : g.adj[static_cast<std::size_t>(v)]) {
+      index_t cu = clique_of[static_cast<std::size_t>(u)];
+      if (cu != cv) adj[static_cast<std::size_t>(cv)].push_back(cu);
+    }
+  }
+  for (auto& n : adj) {
+    std::sort(n.begin(), n.end());
+    n.erase(std::unique(n.begin(), n.end()), n.end());
+  }
+  return adj;
+}
+
+}  // namespace
+
+CliqueColoring color_cliques(const NodeGraph& g,
+                             const std::vector<std::vector<index_t>>& cliques) {
+  auto adj = contracted_adj(g, cliques);
+  CliqueColoring out;
+  out.color.assign(cliques.size(), -1);
+  std::vector<bool> used;
+  for (std::size_t c = 0; c < cliques.size(); ++c) {
+    used.assign(adj[c].size() + 1, false);
+    for (index_t n : adj[c]) {
+      index_t col = out.color[static_cast<std::size_t>(n)];
+      if (col >= 0 && col < static_cast<index_t>(used.size()))
+        used[static_cast<std::size_t>(col)] = true;
+    }
+    index_t col = 0;
+    while (used[static_cast<std::size_t>(col)]) ++col;
+    out.color[c] = col;
+    out.num_colors = std::max(out.num_colors, col + 1);
+  }
+  return out;
+}
+
+void check_coloring(const NodeGraph& g,
+                    const std::vector<std::vector<index_t>>& cliques,
+                    const CliqueColoring& coloring) {
+  BERNOULLI_CHECK(coloring.color.size() == cliques.size());
+  auto adj = contracted_adj(g, cliques);
+  for (std::size_t c = 0; c < cliques.size(); ++c) {
+    BERNOULLI_CHECK(coloring.color[c] >= 0 &&
+                    coloring.color[c] < coloring.num_colors);
+    for (index_t n : adj[c])
+      BERNOULLI_CHECK_MSG(
+          coloring.color[static_cast<std::size_t>(n)] != coloring.color[c],
+          "adjacent cliques " << c << " and " << n << " share color "
+                              << coloring.color[c]);
+  }
+}
+
+}  // namespace bernoulli::workloads

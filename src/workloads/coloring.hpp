@@ -1,0 +1,31 @@
+// Coloring of the contracted clique graph (paper Fig. 2(b)).
+//
+// BlockSolve contracts each clique to a vertex, colors the contracted
+// graph, and orders the matrix color-by-color: within one color no two
+// cliques are adjacent, so their updates are independent — the basis for
+// both the parallel partition and the communication structure.
+#pragma once
+
+#include <vector>
+
+#include "workloads/cliques.hpp"
+
+namespace bernoulli::workloads {
+
+struct CliqueColoring {
+  // Color of each clique (indexed like the `cliques` argument).
+  std::vector<index_t> color;
+  index_t num_colors = 0;
+};
+
+/// Greedy (first-fit) coloring of the contracted graph: cliques c1, c2 are
+/// adjacent when any node of c1 is adjacent to any node of c2.
+CliqueColoring color_cliques(const NodeGraph& g,
+                             const std::vector<std::vector<index_t>>& cliques);
+
+/// Throws unless the coloring is proper on the contracted graph.
+void check_coloring(const NodeGraph& g,
+                    const std::vector<std::vector<index_t>>& cliques,
+                    const CliqueColoring& coloring);
+
+}  // namespace bernoulli::workloads

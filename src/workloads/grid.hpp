@@ -1,0 +1,44 @@
+// Structured-grid matrix generators.
+//
+// The paper's parallel experiments use "synthetic three-dimensional grid
+// problems [whose] connectivity corresponds to a 7-point stencil with 5
+// degrees of freedom at each discretization point" (§4). grid3d_7pt
+// generates exactly that family; the 2-D variants cover the Table-1
+// analogues (gr_30_30 etc.).
+//
+// All generators produce symmetric positive-definite matrices (random
+// symmetric couplings, diagonally dominant diagonal blocks) so Conjugate
+// Gradient converges on them.
+#pragma once
+
+#include <cstdint>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::workloads {
+
+struct GridMeta {
+  index_t num_points = 0;  // discretization points
+  index_t dof = 1;         // unknowns per point
+  index_t rows = 0;        // num_points * dof
+};
+
+struct GridMatrix {
+  formats::Coo matrix;
+  GridMeta meta;
+};
+
+/// 2-D nx x ny grid, 5-point stencil, `dof` unknowns per point.
+GridMatrix grid2d_5pt(index_t nx, index_t ny, index_t dof = 1,
+                      std::uint64_t seed = 1);
+
+/// 2-D nx x ny grid, 9-point stencil (includes diagonals).
+GridMatrix grid2d_9pt(index_t nx, index_t ny, index_t dof = 1,
+                      std::uint64_t seed = 1);
+
+/// 3-D nx x ny x nz grid, 7-point stencil, `dof` unknowns per point — the
+/// paper's CG workload with dof = 5.
+GridMatrix grid3d_7pt(index_t nx, index_t ny, index_t nz, index_t dof = 1,
+                      std::uint64_t seed = 1);
+
+}  // namespace bernoulli::workloads

@@ -1,0 +1,42 @@
+#include "workloads/inode.hpp"
+
+#include <functional>
+
+#include "support/error.hpp"
+
+namespace bernoulli::workloads {
+
+namespace {
+
+// Column structure of row i with a column filter applied.
+std::vector<index_t> filtered_cols(const formats::Csr& a, index_t i,
+                                   const std::function<bool(index_t)>& keep) {
+  std::vector<index_t> out;
+  for (index_t c : a.row_cols(i))
+    if (keep(c)) out.push_back(c);
+  return out;
+}
+
+}  // namespace
+
+std::vector<Inode> find_inodes(const formats::Csr& a) {
+  return find_inodes_filtered(a, 0, a.rows(), [](index_t) { return true; });
+}
+
+std::vector<Inode> find_inodes_filtered(
+    const formats::Csr& a, index_t first, index_t count,
+    const std::function<bool(index_t)>& keep_col) {
+  BERNOULLI_CHECK(first >= 0 && count >= 0 && first + count <= a.rows());
+  std::vector<Inode> out;
+  index_t i = first;
+  while (i < first + count) {
+    std::vector<index_t> sig = filtered_cols(a, i, keep_col);
+    index_t j = i + 1;
+    while (j < first + count && filtered_cols(a, j, keep_col) == sig) ++j;
+    out.push_back({i, j - i});
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace bernoulli::workloads

@@ -1,0 +1,30 @@
+// I-node ("identical node") detection — BlockSolve's key structural
+// compression (paper Fig. 2(c)): maximal groups of consecutive rows with
+// identical column structure, whose values can then be stored as one dense
+// (rows x cols) block.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "formats/csr.hpp"
+
+namespace bernoulli::workloads {
+
+struct Inode {
+  index_t first_row = 0;
+  index_t num_rows = 0;
+};
+
+/// Partitions rows 0..rows-1 into maximal runs of consecutive rows with
+/// identical column structure.
+std::vector<Inode> find_inodes(const formats::Csr& a);
+
+/// Same, but restricted to the sub-range [first, first+count) of rows and
+/// comparing only columns for which `keep_col` returns true (used to group
+/// off-diagonal structure while ignoring the clique-diagonal columns).
+std::vector<Inode> find_inodes_filtered(
+    const formats::Csr& a, index_t first, index_t count,
+    const std::function<bool(index_t)>& keep_col);
+
+}  // namespace bernoulli::workloads

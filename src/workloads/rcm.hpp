@@ -1,0 +1,27 @@
+// Reverse Cuthill-McKee ordering (George & Liu, the paper's ref [10]):
+// bandwidth-reducing symmetric permutation. Complements the Diagonal
+// format — after RCM an irregular matrix's nonzeros cluster near the
+// diagonal, so the skyline-along-diagonals storage stops exploding
+// (bench_ablation_convert shows the before/after).
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::workloads {
+
+/// RCM permutation of a square (structurally symmetric) matrix.
+/// Returns new_to_old: position k of the new ordering holds old row
+/// new_to_old[k]. Components are processed in order of their
+/// lowest-numbered vertex, each started from a pseudo-peripheral vertex.
+std::vector<index_t> rcm_ordering(const formats::Coo& a);
+
+/// Symmetric permutation: B(i', j') = A(new_to_old[i'], new_to_old[j']).
+formats::Coo permute_symmetric(const formats::Coo& a,
+                               std::span<const index_t> new_to_old);
+
+/// Bandwidth: max |i - j| over stored entries (0 for diagonal/empty).
+index_t bandwidth(const formats::Coo& a);
+
+}  // namespace bernoulli::workloads

@@ -1,0 +1,35 @@
+// Synthetic structural analogues of the paper's Table-1 matrix suite.
+//
+// The original matrices come from the PETSc example set and the Matrix
+// Market (Appendix A); neither is redistributable offline, so each entry
+// here generates a matrix with matching *structural* parameters —
+// dimension, nnz density, bandedness, row-length distribution, block
+// structure — which are what drive the per-format SpMV behaviour Table 1
+// demonstrates. See DESIGN.md §3 for the per-matrix mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::workloads {
+
+struct SuiteMatrix {
+  std::string name;        // Table-1 row label
+  std::string provenance;  // what the original is / what we generate
+  formats::Coo matrix;
+  index_t dof = 1;         // unknowns per node (for BlockSolve conversion)
+};
+
+/// One matrix by name: small, medium, cfd.1.10, 685_bus, bcsstm27,
+/// gr_30_30, memplus, sherman1. Throws on unknown names.
+SuiteMatrix suite_matrix(const std::string& name);
+
+/// All eight matrices, in the paper's Table-1 row order.
+std::vector<SuiteMatrix> table1_suite();
+
+/// The eight Table-1 names in row order.
+std::vector<std::string> table1_names();
+
+}  // namespace bernoulli::workloads

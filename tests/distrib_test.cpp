@@ -1,0 +1,205 @@
+// Distribution relations: bijection invariants for every replicated
+// format, the BlockSolve run construction, and the Chaos distributed
+// translation table (build + query against the replicated reference).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "distrib/chaos.hpp"
+#include "distrib/distribution.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bernoulli::distrib {
+namespace {
+
+TEST(BlockDist, BasicLayout) {
+  BlockDist d(10, 3);  // B = 4: [0,4) [4,8) [8,10)
+  EXPECT_EQ(d.local_size(0), 4);
+  EXPECT_EQ(d.local_size(1), 4);
+  EXPECT_EQ(d.local_size(2), 2);
+  EXPECT_EQ(d.owner_local(5), (OwnerLocal{1, 1}));
+  EXPECT_EQ(d.to_global(2, 1), 9);
+  check_distribution(d);
+}
+
+TEST(CyclicDist, BasicLayout) {
+  CyclicDist d(10, 3);
+  EXPECT_EQ(d.owner_local(0), (OwnerLocal{0, 0}));
+  EXPECT_EQ(d.owner_local(4), (OwnerLocal{1, 1}));
+  EXPECT_EQ(d.local_size(0), 4);  // 0,3,6,9
+  EXPECT_EQ(d.local_size(2), 3);  // 2,5,8
+  check_distribution(d);
+}
+
+TEST(BlockCyclicDist, DealsBlocksRoundRobin) {
+  distrib::BlockCyclicDist d(14, 3, 2);  // blocks: p0:{0,1},{6,7},{12,13} ...
+  EXPECT_EQ(d.owner_local(0), (OwnerLocal{0, 0}));
+  EXPECT_EQ(d.owner_local(1), (OwnerLocal{0, 1}));
+  EXPECT_EQ(d.owner_local(2), (OwnerLocal{1, 0}));
+  EXPECT_EQ(d.owner_local(6), (OwnerLocal{0, 2}));
+  EXPECT_EQ(d.owner_local(13), (OwnerLocal{0, 5}));
+  EXPECT_EQ(d.local_size(0), 6);
+  EXPECT_EQ(d.local_size(1), 4);
+  EXPECT_EQ(d.local_size(2), 4);
+  check_distribution(d);
+}
+
+TEST(BlockCyclicDist, DegeneratesToBlockAndCyclic) {
+  const index_t n = 20;
+  const int P = 4;
+  distrib::BlockCyclicDist as_cyclic(n, P, 1);
+  CyclicDist cyclic(n, P);
+  distrib::BlockCyclicDist as_block(n, P, (n + P - 1) / P);
+  BlockDist block(n, P);
+  for (index_t i = 0; i < n; ++i) {
+    EXPECT_EQ(as_cyclic.owner_local(i), cyclic.owner_local(i));
+    EXPECT_EQ(as_block.owner_local(i), block.owner_local(i));
+  }
+  check_distribution(as_cyclic);
+  check_distribution(as_block);
+}
+
+TEST(GeneralizedBlockDist, UnevenBlocks) {
+  GeneralizedBlockDist d(10, {1, 6, 0, 3});
+  EXPECT_EQ(d.owner_local(0).owner, 0);
+  EXPECT_EQ(d.owner_local(1).owner, 1);
+  EXPECT_EQ(d.owner_local(6).owner, 1);
+  EXPECT_EQ(d.owner_local(7), (OwnerLocal{3, 0}));
+  check_distribution(d);
+  EXPECT_THROW(GeneralizedBlockDist(10, {5, 4}), Error);  // sums to 9
+}
+
+TEST(IndirectDist, ArbitraryMap) {
+  std::vector<int> map{2, 0, 0, 1, 2, 2, 1, 0};
+  IndirectDist d(map, 3);
+  EXPECT_EQ(d.local_size(0), 3);
+  EXPECT_EQ(d.local_size(1), 2);
+  EXPECT_EQ(d.local_size(2), 3);
+  EXPECT_EQ(d.owner_local(3), (OwnerLocal{1, 0}));
+  EXPECT_EQ(d.owner_local(6), (OwnerLocal{1, 1}));
+  check_distribution(d);
+  EXPECT_THROW(IndirectDist({0, 5}, 3), Error);
+}
+
+TEST(RowRunsDist, SeveralRunsPerProc) {
+  // Two colors, two procs: p0 gets [0,3) and [6,8); p1 gets [3,6) and [8,10).
+  RowRunsDist d(10, 2,
+                {{0, 3, 0}, {3, 3, 1}, {6, 2, 0}, {8, 2, 1}});
+  EXPECT_EQ(d.local_size(0), 5);
+  EXPECT_EQ(d.local_size(1), 5);
+  EXPECT_EQ(d.owner_local(7), (OwnerLocal{0, 4}));
+  EXPECT_EQ(d.owner_local(9), (OwnerLocal{1, 4}));
+  EXPECT_EQ(d.to_global(0, 3), 6);
+  check_distribution(d);
+  auto runs0 = d.local_runs(0);
+  ASSERT_EQ(runs0.size(), 2u);
+  EXPECT_EQ(runs0[1].local_start, 3);
+  EXPECT_THROW(RowRunsDist(10, 2, {{0, 5, 0}}), Error);  // does not tile
+}
+
+TEST(RowRunsDist, FromColorPtr) {
+  // Colors covering [0,12): sizes 7 and 5, on 3 procs.
+  std::vector<index_t> color_ptr{0, 7, 12};
+  RowRunsDist d = rowruns_from_color_ptr(color_ptr, 12, 3);
+  check_distribution(d);
+  // Every proc owns at most one run per color.
+  for (int p = 0; p < 3; ++p) EXPECT_LE(d.local_runs(p).size(), 2u);
+  // Work is balanced within a factor of the chunk rounding.
+  for (int p = 0; p < 3; ++p) EXPECT_LE(d.local_size(p), 6);
+}
+
+TEST(AllReplicated, BijectionSweep) {
+  SplitMix64 rng(77);
+  for (index_t n : {1, 7, 64, 301}) {
+    for (int P : {1, 2, 5, 16}) {
+      check_distribution(BlockDist(n, P));
+      check_distribution(CyclicDist(n, P));
+
+      std::vector<int> map(static_cast<std::size_t>(n));
+      for (auto& m : map) m = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(P)));
+      check_distribution(IndirectDist(map, P));
+
+      std::vector<index_t> sizes(static_cast<std::size_t>(P), 0);
+      for (index_t i = 0; i < n; ++i)
+        ++sizes[rng.next_below(static_cast<std::uint64_t>(P))];
+      check_distribution(GeneralizedBlockDist(n, std::move(sizes)));
+
+      for (index_t blk : {1, 3, 7})
+        check_distribution(distrib::BlockCyclicDist(n, P, blk));
+    }
+  }
+}
+
+TEST(Chaos, MatchesReplicatedReference) {
+  // The distributed table must answer exactly like the replicated
+  // IndirectDist it was fed from.
+  const index_t n = 40;
+  const int P = 4;
+  SplitMix64 rng(5);
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (auto& m : map) m = static_cast<int>(rng.next_below(P));
+  IndirectDist ref(map, P);
+
+  runtime::Machine machine(P);
+  std::vector<std::vector<OwnerLocal>> answers(P);
+  machine.run([&](runtime::Process& p) {
+    auto mine = ref.owned_indices(p.rank());
+    ChaosTranslationTable table(p, n, mine);
+    // Every rank queries a different slice of all indices.
+    std::vector<index_t> ask;
+    for (index_t i = static_cast<index_t>(p.rank()); i < n; i += P)
+      ask.push_back(i);
+    answers[static_cast<std::size_t>(p.rank())] = table.query(p, ask);
+  });
+  for (int r = 0; r < P; ++r) {
+    std::size_t k = 0;
+    for (index_t i = static_cast<index_t>(r); i < n; i += P, ++k)
+      EXPECT_EQ(answers[static_cast<std::size_t>(r)][k], ref.owner_local(i))
+          << "rank " << r << " index " << i;
+  }
+}
+
+TEST(Chaos, BuildCostScalesWithProblemSize) {
+  // The all-to-all that builds the table must move ~N entries in total —
+  // the asymptotic cost Table 3 attributes to the Indirect inspectors.
+  const int P = 4;
+  long long bytes_small = 0, bytes_large = 0;
+  for (auto [n, out] : {std::pair<index_t, long long*>{200, &bytes_small},
+                        std::pair<index_t, long long*>{800, &bytes_large}}) {
+    runtime::Machine machine(P);
+    CyclicDist ref(n, P);  // cyclic so nearly all entries cross ranks
+    auto reports = machine.run([&](runtime::Process& p) {
+      auto mine = ref.owned_indices(p.rank());
+      ChaosTranslationTable table(p, n, mine);
+    });
+    long long total = 0;
+    for (const auto& r : reports) total += r.stats.bytes;
+    *out = total;
+  }
+  EXPECT_GE(bytes_large, 3 * bytes_small);
+}
+
+TEST(Chaos, EmptyQueriesParticipate) {
+  const index_t n = 12;
+  const int P = 3;
+  BlockDist ref(n, P);
+  runtime::Machine machine(P);
+  std::vector<OwnerLocal> got;
+  machine.run([&](runtime::Process& p) {
+    auto mine = ref.owned_indices(p.rank());
+    ChaosTranslationTable table(p, n, mine);
+    std::vector<index_t> ask;
+    if (p.rank() == 0) ask = {11, 0, 5};
+    auto ans = table.query(p, ask);
+    if (p.rank() == 0) got = ans;
+  });
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], ref.owner_local(11));
+  EXPECT_EQ(got[1], ref.owner_local(0));
+  EXPECT_EQ(got[2], ref.owner_local(5));
+}
+
+}  // namespace
+}  // namespace bernoulli::distrib

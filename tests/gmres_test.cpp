@@ -1,0 +1,148 @@
+// GMRES(m): convergence on unsymmetric systems, restarts, and
+// preconditioning.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solvers/gmres.hpp"
+#include "solvers/ic.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+namespace bernoulli::solvers {
+namespace {
+
+using formats::Csr;
+using formats::TripletBuilder;
+
+// Convection-diffusion-like: a grid Laplacian with an asymmetric advection
+// perturbation; diagonally dominant, not symmetric.
+Csr unsymmetric_system(index_t nx, index_t ny, std::uint64_t seed) {
+  auto g = workloads::grid2d_5pt(nx, ny, 1, seed);
+  TripletBuilder b(g.matrix.rows(), g.matrix.cols());
+  auto rowind = g.matrix.rowind();
+  auto colind = g.matrix.colind();
+  auto vals = g.matrix.vals();
+  for (index_t k = 0; k < g.matrix.nnz(); ++k) {
+    value_t v = vals[k];
+    if (colind[k] > rowind[k]) v *= 0.6;   // downwind weakened
+    if (colind[k] < rowind[k]) v *= 1.25;  // upwind strengthened
+    b.add(rowind[k], colind[k], v);
+  }
+  return Csr::from_coo(std::move(b).build());
+}
+
+TEST(Gmres, SolvesUnsymmetricSystem) {
+  Csr a = unsymmetric_system(10, 10, 1);
+  const auto n = static_cast<std::size_t>(a.rows());
+  SplitMix64 rng(2);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-1, 1);
+  Vector b(n);
+  spmv(a, x_true, b);
+
+  Vector x(n, 0.0);
+  GmresOptions opts;
+  opts.restart = 30;
+  opts.max_iterations = 400;
+  opts.tolerance = 1e-12;
+  GmresResult res = gmres(a, b, x, opts);
+  EXPECT_TRUE(res.converged) << "residual " << res.residual_norm;
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Gmres, SmallRestartStillConverges) {
+  Csr a = unsymmetric_system(8, 8, 3);
+  const auto n = static_cast<std::size_t>(a.rows());
+  Vector b(n, 1.0);
+
+  GmresOptions tight;
+  tight.restart = 5;
+  tight.max_iterations = 2000;
+  tight.tolerance = 1e-10;
+  Vector x1(n, 0.0);
+  GmresResult r_tight = gmres(a, b, x1, tight);
+  EXPECT_TRUE(r_tight.converged);
+
+  GmresOptions wide = tight;
+  wide.restart = 60;
+  Vector x2(n, 0.0);
+  GmresResult r_wide = gmres(a, b, x2, wide);
+  EXPECT_TRUE(r_wide.converged);
+  // Restarting loses Krylov information: the small restart needs at least
+  // as many matvecs.
+  EXPECT_GE(r_tight.iterations, r_wide.iterations);
+}
+
+TEST(Gmres, MatchesCgOnSpdSystem) {
+  auto g = workloads::grid2d_5pt(9, 9, 1, 4);
+  Csr a = Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+  SplitMix64 rng(5);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-1, 1);
+  Vector b(n);
+  spmv(a, x_true, b);
+
+  Vector x_cg(n, 0.0), x_gm(n, 0.0);
+  CgOptions copts;
+  copts.max_iterations = 500;
+  copts.tolerance = 1e-12;
+  ASSERT_TRUE(cg(a, b, x_cg, copts).converged);
+  GmresOptions gopts;
+  gopts.max_iterations = 500;
+  gopts.tolerance = 1e-12;
+  ASSERT_TRUE(gmres(a, b, x_gm, gopts).converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_gm[i], x_cg[i], 1e-6);
+}
+
+TEST(Gmres, JacobiPreconditioningReducesIterations) {
+  // Scale rows wildly so unpreconditioned GMRES struggles.
+  Csr base = unsymmetric_system(10, 10, 6);
+  TripletBuilder tb(base.rows(), base.cols());
+  for (index_t i = 0; i < base.rows(); ++i) {
+    value_t scale = 1.0 + 99.0 * static_cast<double>(i % 7) / 6.0;
+    auto cols = base.row_cols(i);
+    auto vals = base.row_vals(i);
+    for (std::size_t k = 0; k < cols.size(); ++k)
+      tb.add(i, cols[k], vals[k] * scale);
+  }
+  Csr a = Csr::from_coo(std::move(tb).build());
+  const auto n = static_cast<std::size_t>(a.rows());
+  Vector b(n, 1.0);
+  Vector diag = extract_diagonal(a);
+
+  GmresOptions opts;
+  opts.restart = 20;
+  opts.max_iterations = 3000;
+  opts.tolerance = 1e-10;
+
+  Vector x1(n, 0.0);
+  GmresResult plain = gmres(a, b, x1, opts);
+  Vector x2(n, 0.0);
+  GmresResult pre = gmres(a, b, x2, opts,
+                          [&](ConstVectorView r, VectorView z) {
+                            for (std::size_t i = 0; i < z.size(); ++i)
+                              z[i] = r[i] / diag[i];
+                          });
+  EXPECT_TRUE(pre.converged);
+  if (plain.converged) {
+    EXPECT_LE(pre.iterations, plain.iterations);
+  }
+  // Preconditioned solution is the true solution.
+  Vector ax(n);
+  spmv(a, x2, ax);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-7);
+}
+
+TEST(Gmres, ZeroRhsConvergesImmediately) {
+  Csr a = unsymmetric_system(4, 4, 7);
+  const auto n = static_cast<std::size_t>(a.rows());
+  Vector b(n, 0.0), x(n, 0.0);
+  GmresResult res = gmres(a, b, x, {});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+}  // namespace
+}  // namespace bernoulli::solvers

@@ -1,0 +1,159 @@
+// Incomplete Cholesky + triangular solves + ICCG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "formats/dense.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/ic.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+namespace bernoulli::solvers {
+namespace {
+
+using formats::Csr;
+using formats::TripletBuilder;
+
+Csr lower_tri_example() {
+  // L = [2 0 0; 1 3 0; 0 4 5]
+  TripletBuilder b(3, 3);
+  b.add(0, 0, 2.0);
+  b.add(1, 0, 1.0);
+  b.add(1, 1, 3.0);
+  b.add(2, 1, 4.0);
+  b.add(2, 2, 5.0);
+  return Csr::from_coo(std::move(b).build());
+}
+
+TEST(TriangularSolve, LowerForward) {
+  Csr l = lower_tri_example();
+  Vector b{2.0, 7.0, 18.0};
+  Vector x(3);
+  solve_lower(l, b, x);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);  // 2x0 = 2
+  EXPECT_DOUBLE_EQ(x[1], 2.0);  // 1 + 3x1 = 7
+  EXPECT_DOUBLE_EQ(x[2], 2.0);  // 8 + 5x2 = 18
+}
+
+TEST(TriangularSolve, LowerTransposeBackward) {
+  Csr l = lower_tri_example();
+  // Solve L^T x = b; verify by applying L^T.
+  Vector b{3.0, -1.0, 10.0};
+  Vector x(3);
+  solve_lower_transpose(l, b, x);
+  // L^T = [2 1 0; 0 3 4; 0 0 5]
+  EXPECT_NEAR(2 * x[0] + 1 * x[1], 3.0, 1e-12);
+  EXPECT_NEAR(3 * x[1] + 4 * x[2], -1.0, 1e-12);
+  EXPECT_NEAR(5 * x[2], 10.0, 1e-12);
+}
+
+TEST(TriangularSolve, RoundTrip) {
+  Csr l = lower_tri_example();
+  SplitMix64 rng(1);
+  Vector x_true(3);
+  for (auto& v : x_true) v = rng.next_double(-2, 2);
+  // b = L (L^T x)
+  Vector t(3), b(3);
+  // compute L^T x then L ·
+  Vector lt_x(3, 0.0);
+  lt_x[0] = 2 * x_true[0] + 1 * x_true[1];
+  lt_x[1] = 3 * x_true[1] + 4 * x_true[2];
+  lt_x[2] = 5 * x_true[2];
+  formats::spmv(l, lt_x, b);
+  Vector x(3);
+  solve_lower(l, b, t);
+  solve_lower_transpose(l, t, x);
+  for (int i = 0; i < 3; ++i) ASSERT_NEAR(x[static_cast<std::size_t>(i)],
+                                          x_true[static_cast<std::size_t>(i)],
+                                          1e-12);
+}
+
+TEST(TriangularSolve, RejectsMissingDiagonal) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(1, 0, 1.0);  // no (1,1)
+  Csr l = Csr::from_coo(std::move(b).build());
+  Vector rhs(2, 1.0), x(2);
+  EXPECT_THROW(solve_lower(l, rhs, x), Error);
+}
+
+TEST(IncompleteCholesky, ExactOnTridiagonal) {
+  // For a tridiagonal SPD matrix IC(0) has no dropped fill: L L^T == A.
+  TripletBuilder b(6, 6);
+  for (index_t i = 0; i < 6; ++i) {
+    b.add(i, i, 4.0);
+    if (i > 0) {
+      b.add(i, i - 1, -1.0);
+      b.add(i - 1, i, -1.0);
+    }
+  }
+  Csr a = Csr::from_coo(std::move(b).build());
+  auto ic = IncompleteCholesky::factor(a);
+
+  // Verify L L^T == A entrywise.
+  const Csr& l = ic.lower();
+  formats::Dense ld = formats::Dense::from_coo(l.to_coo());
+  for (index_t i = 0; i < 6; ++i)
+    for (index_t j = 0; j < 6; ++j) {
+      value_t sum = 0;
+      for (index_t k = 0; k < 6; ++k) sum += ld.at(i, k) * ld.at(j, k);
+      ASSERT_NEAR(sum, a.at(i, j), 1e-12) << i << "," << j;
+    }
+}
+
+TEST(IncompleteCholesky, ApplyIsSpdAction) {
+  auto g = workloads::grid2d_5pt(6, 6, 1, 2);
+  Csr a = Csr::from_coo(g.matrix);
+  auto ic = IncompleteCholesky::factor(a);
+  const auto n = static_cast<std::size_t>(a.rows());
+  SplitMix64 rng(3);
+  Vector r(n), z(n);
+  for (auto& v : r) v = rng.next_double(-1, 1);
+  ic.apply(r, z);
+  // z' r = r' M^{-1} r > 0 for SPD M.
+  EXPECT_GT(dot(z, r), 0.0);
+}
+
+TEST(IncompleteCholesky, RejectsIndefinite) {
+  TripletBuilder b(2, 2);
+  b.add(0, 0, 1.0);
+  b.add(0, 1, 5.0);
+  b.add(1, 0, 5.0);
+  b.add(1, 1, 1.0);  // indefinite
+  EXPECT_THROW(IncompleteCholesky::factor(Csr::from_coo(std::move(b).build())),
+               Error);
+}
+
+TEST(Iccg, ConvergesFasterThanJacobiCg) {
+  auto g = workloads::grid3d_7pt(6, 6, 6, 1, 4);
+  Csr a = Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+  SplitMix64 rng(5);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-1, 1);
+  Vector b(n);
+  formats::spmv(a, x_true, b);
+
+  CgOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-10;
+
+  Vector x_jac(n, 0.0);
+  CgResult jac = cg(a, b, x_jac, opts);
+  ASSERT_TRUE(jac.converged);
+
+  auto ic = IncompleteCholesky::factor(a);
+  Vector x_ic(n, 0.0);
+  CgResult iccg = cg_preconditioned(
+      a, b, x_ic, [&](ConstVectorView r, VectorView z) { ic.apply(r, z); },
+      opts);
+  ASSERT_TRUE(iccg.converged);
+  EXPECT_LT(iccg.iterations, jac.iterations);
+
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_ic[i], x_true[i], 1e-6);
+}
+
+}  // namespace
+}  // namespace bernoulli::solvers

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "mm/matrix_market.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bernoulli::mm {
+namespace {
+
+using formats::Coo;
+using formats::TripletBuilder;
+
+TEST(MatrixMarket, ReadsCoordinateGeneral) {
+  Coo a = read_string(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 4 3\n"
+      "1 1 2.5\n"
+      "3 4 -1\n"
+      "2 2 7\n");
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 4);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 3), -1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 7.0);
+}
+
+TEST(MatrixMarket, ExpandsSymmetric) {
+  Coo a = read_string(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "1 1 1\n"
+      "2 1 5\n"
+      "3 3 2\n");
+  EXPECT_EQ(a.nnz(), 4);  // off-diagonal mirrored
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 5.0);
+  EXPECT_TRUE(a.is_symmetric());
+}
+
+TEST(MatrixMarket, ReadsPattern) {
+  Coo a = read_string(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 2\n"
+      "1 2\n"
+      "2 1\n");
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+}
+
+TEST(MatrixMarket, ReadsArray) {
+  Coo a = read_string(
+      "%%MatrixMarket matrix array real general\n"
+      "2 2\n"
+      "1\n0\n0\n4\n");
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  EXPECT_THROW(read_string("no banner\n1 1 0\n"), Error);
+  EXPECT_THROW(read_string("%%MatrixMarket matrix coordinate real general\n"
+                           "2 2 1\n"
+                           "3 1 1.0\n"),
+               Error);  // out of range
+  EXPECT_THROW(read_string("%%MatrixMarket matrix coordinate real general\n"
+                           "2 2 2\n"
+                           "1 1 1.0\n"),
+               Error);  // truncated
+  EXPECT_THROW(read_string("%%MatrixMarket matrix coordinate complex general\n"
+                           "1 1 0\n"),
+               Error);  // unsupported field
+}
+
+TEST(MatrixMarket, GeneralRoundTrip) {
+  SplitMix64 rng(9);
+  TripletBuilder b(20, 15);
+  for (int k = 0; k < 70; ++k)
+    b.add(rng.next_index(20), rng.next_index(15), rng.next_double(-3.0, 3.0));
+  Coo a = std::move(b).build();
+  Coo back = read_string(write_string(a));
+  EXPECT_EQ(back, a);
+}
+
+TEST(MatrixMarket, SymmetricRoundTripHalvesStorage) {
+  TripletBuilder b(4, 4);
+  for (index_t i = 0; i < 4; ++i) b.add(i, i, static_cast<value_t>(i + 1));
+  b.add(2, 0, 5.0);
+  b.add(0, 2, 5.0);
+  Coo a = std::move(b).build();
+  std::string text = write_string(a, /*symmetric=*/true);
+  // The written file holds 5 entries (4 diagonal + 1 lower).
+  EXPECT_NE(text.find("4 4 5"), std::string::npos);
+  EXPECT_EQ(read_string(text), a);
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+  SplitMix64 rng(21);
+  TripletBuilder b(30, 30);
+  for (int k = 0; k < 120; ++k)
+    b.add(rng.next_index(30), rng.next_index(30), rng.next_double(-2.0, 2.0));
+  Coo a = std::move(b).build();
+  std::string path = ::testing::TempDir() + "bernoulli_mm_roundtrip.mtx";
+  write_file(path, a);
+  EXPECT_EQ(read_file(path), a);
+  std::remove(path.c_str());
+}
+
+TEST(MatrixMarket, ReadFileMissingThrows) {
+  EXPECT_THROW(read_file("/nonexistent/definitely/missing.mtx"), Error);
+}
+
+TEST(MatrixMarket, WriteSymmetricRejectsUnsymmetric) {
+  TripletBuilder b(2, 2);
+  b.add(0, 1, 1.0);
+  Coo a = std::move(b).build();
+  std::ostringstream out;
+  EXPECT_THROW(write(out, a, /*symmetric=*/true), Error);
+}
+
+}  // namespace
+}  // namespace bernoulli::mm

@@ -1,0 +1,108 @@
+// Reverse Cuthill-McKee ordering and its interaction with banded storage.
+#include <gtest/gtest.h>
+
+#include "formats/dia.hpp"
+#include "formats/dense.hpp"
+#include "support/rng.hpp"
+#include "workloads/rcm.hpp"
+#include "workloads/suite.hpp"
+
+namespace bernoulli::workloads {
+namespace {
+
+using formats::Coo;
+using formats::TripletBuilder;
+
+TEST(Rcm, IsAPermutation) {
+  Coo a = suite_matrix("685_bus").matrix;
+  auto order = rcm_ordering(a);
+  std::vector<bool> seen(static_cast<std::size_t>(a.rows()), false);
+  for (index_t v : order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, a.rows());
+    ASSERT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Rcm, PermuteSymmetricPreservesValues) {
+  SplitMix64 rng(1);
+  TripletBuilder b(10, 10);
+  for (int k = 0; k < 30; ++k) {
+    index_t i = rng.next_index(10), j = rng.next_index(10);
+    b.add(i, j, rng.next_double(-1, 1));
+  }
+  Coo a = std::move(b).build();
+  auto order = rcm_ordering(a);
+  Coo pa = permute_symmetric(a, order);
+  EXPECT_EQ(pa.nnz(), a.nnz());
+  formats::Dense d = formats::Dense::from_coo(a);
+  for (index_t ip = 0; ip < 10; ++ip)
+    for (index_t jp = 0; jp < 10; ++jp)
+      EXPECT_DOUBLE_EQ(pa.at(ip, jp),
+                       d.at(order[static_cast<std::size_t>(ip)],
+                            order[static_cast<std::size_t>(jp)]));
+}
+
+// A grid matrix scrambled by a random symmetric permutation: bandwidth
+// ~n. RCM's job is to recover a tight band.
+formats::Coo scrambled_grid() {
+  Coo grid = suite_matrix("gr_30_30").matrix;
+  SplitMix64 rng(9);
+  std::vector<index_t> shuffle(static_cast<std::size_t>(grid.rows()));
+  for (std::size_t i = 0; i < shuffle.size(); ++i)
+    shuffle[i] = static_cast<index_t>(i);
+  for (std::size_t i = shuffle.size(); i > 1; --i)
+    std::swap(shuffle[i - 1], shuffle[rng.next_below(i)]);
+  return permute_symmetric(grid, shuffle);
+}
+
+TEST(Rcm, RecoversTightBandOnScrambledGrid) {
+  Coo a = scrambled_grid();
+  index_t before = bandwidth(a);
+  EXPECT_GT(before, 700);  // scrambled: bandwidth ~ n
+  Coo pa = permute_symmetric(a, rcm_ordering(a));
+  index_t after = bandwidth(pa);
+  EXPECT_LT(after, before / 8) << "before " << before << " after " << after;
+}
+
+TEST(Rcm, ShrinksDiagonalStorage) {
+  // The point of pairing RCM with the Diagonal format: the skyline
+  // storage collapses once the band is tight.
+  Coo a = scrambled_grid();
+  formats::Dia before = formats::Dia::from_coo(a);
+  Coo pa = permute_symmetric(a, rcm_ordering(a));
+  formats::Dia after = formats::Dia::from_coo(pa);
+  EXPECT_LT(after.stored(), before.stored() / 4)
+      << "before " << before.stored() << " after " << after.stored();
+  EXPECT_EQ(after.to_coo().nnz(), a.nnz());
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two separate triangles plus an isolated vertex.
+  TripletBuilder b(7, 7);
+  auto tri = [&](index_t base) {
+    for (index_t i = 0; i < 3; ++i)
+      for (index_t j = 0; j < 3; ++j)
+        if (i != j) b.add(base + i, base + j, 1.0);
+  };
+  tri(0);
+  tri(3);
+  b.add(6, 6, 1.0);
+  Coo a = std::move(b).build();
+  auto order = rcm_ordering(a);
+  EXPECT_EQ(order.size(), 7u);
+  std::sort(order.begin(), order.end());
+  for (index_t i = 0; i < 7; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rcm, BandwidthHelpers) {
+  TripletBuilder b(5, 5);
+  b.add(0, 4, 1.0);
+  b.add(2, 2, 1.0);
+  EXPECT_EQ(bandwidth(std::move(b).build()), 4);
+  EXPECT_EQ(bandwidth(Coo(3, 3, {})), 0);
+}
+
+}  // namespace
+}  // namespace bernoulli::workloads

@@ -1,0 +1,95 @@
+// Vector redistribution between distribution relations.
+#include <gtest/gtest.h>
+
+#include "distrib/distribution.hpp"
+#include "spmd/redistribute.hpp"
+#include "support/rng.hpp"
+
+namespace bernoulli::spmd {
+namespace {
+
+using distrib::BlockDist;
+using distrib::CyclicDist;
+using distrib::Distribution;
+using distrib::IndirectDist;
+
+// Scatter a global vector under `d`, run `fn` per rank, gather back.
+Vector scatter_run_gather(
+    const Vector& global, const Distribution& from, const Distribution& to,
+    int P) {
+  runtime::Machine machine(P);
+  Vector out(global.size(), 0.0);
+  std::mutex mu;
+  machine.run([&](runtime::Process& p) {
+    auto mine = from.owned_indices(p.rank());
+    Vector local(mine.size());
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      local[k] = global[static_cast<std::size_t>(mine[k])];
+    Vector moved = redistribute(p, local, from, to, /*tag=*/11);
+    auto dest = to.owned_indices(p.rank());
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t k = 0; k < dest.size(); ++k)
+      out[static_cast<std::size_t>(dest[k])] = moved[k];
+  });
+  return out;
+}
+
+TEST(Redistribute, BlockToCyclicPreservesValues) {
+  const index_t n = 37;
+  const int P = 4;
+  SplitMix64 rng(1);
+  Vector global(static_cast<std::size_t>(n));
+  for (auto& v : global) v = rng.next_double(-5, 5);
+
+  BlockDist from(n, P);
+  CyclicDist to(n, P);
+  EXPECT_EQ(scatter_run_gather(global, from, to, P), global);
+}
+
+TEST(Redistribute, ToRandomIndirectAndBack) {
+  const index_t n = 50;
+  const int P = 3;
+  SplitMix64 rng(2);
+  Vector global(static_cast<std::size_t>(n));
+  for (auto& v : global) v = rng.next_double(-1, 1);
+  std::vector<int> map(static_cast<std::size_t>(n));
+  for (auto& m : map) m = static_cast<int>(rng.next_below(P));
+
+  BlockDist block(n, P);
+  IndirectDist indirect(map, P);
+  EXPECT_EQ(scatter_run_gather(global, block, indirect, P), global);
+  EXPECT_EQ(scatter_run_gather(global, indirect, block, P), global);
+}
+
+TEST(Redistribute, IdentityRedistributionIsFree) {
+  const index_t n = 24;
+  const int P = 3;
+  BlockDist d(n, P);
+  Vector global(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < global.size(); ++i)
+    global[i] = static_cast<value_t>(i);
+
+  runtime::Machine machine(P);
+  auto reports = machine.run([&](runtime::Process& p) {
+    auto mine = d.owned_indices(p.rank());
+    Vector local(mine.size());
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      local[k] = global[static_cast<std::size_t>(mine[k])];
+    Vector moved = redistribute(p, local, d, d, 12);
+    EXPECT_EQ(moved, local);
+  });
+  for (const auto& r : reports) EXPECT_EQ(r.stats.bytes, 0);
+}
+
+TEST(Redistribute, RejectsSizeMismatch) {
+  runtime::Machine machine(2);
+  EXPECT_THROW(machine.run([&](runtime::Process& p) {
+                 BlockDist a(10, 2), b(11, 2);
+                 Vector local(static_cast<std::size_t>(a.local_size(p.rank())), 0.0);
+                 redistribute(p, local, a, b, 13);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace bernoulli::spmd

@@ -1,0 +1,102 @@
+// Virtual-clock accounting modes: manual compute, explicit charges, solo
+// sections — the measurement machinery the calibrated benches rely on.
+#include <gtest/gtest.h>
+
+#include "runtime/machine.hpp"
+
+namespace bernoulli::runtime {
+namespace {
+
+void burn_cpu(int loops) {
+  volatile double sink = 0;
+  for (int i = 0; i < loops; ++i) sink = sink + 1.0;
+}
+
+TEST(Modes, ManualComputeIgnoresCpuTime) {
+  Machine m(1);
+  auto reports = m.run([&](Process& p) {
+    p.set_manual_compute(true);
+    burn_cpu(5000000);  // must NOT appear on the virtual clock
+    p.charge_seconds(0.25);
+  });
+  EXPECT_GE(reports[0].virtual_time, 0.25);
+  EXPECT_LT(reports[0].virtual_time, 0.26);
+}
+
+TEST(Modes, ManualModeStillChargesMessages) {
+  CostModel cm;
+  cm.latency_s = 0.125;
+  cm.bytes_per_s = 1e12;
+  Machine m(2, cm);
+  auto reports = m.run([&](Process& p) {
+    p.set_manual_compute(true);
+    if (p.rank() == 0)
+      p.send_value<int>(1, 1, 7);
+    else
+      (void)p.recv_value<int>(0, 1);
+  });
+  EXPECT_GE(reports[0].virtual_time, 0.125);   // sender latency
+  EXPECT_GE(reports[1].virtual_time, 0.25);    // arrival = send + charge
+}
+
+TEST(Modes, TogglingBackResumesCpuAccounting) {
+  Machine m(1);
+  auto reports = m.run([&](Process& p) {
+    p.set_manual_compute(true);
+    burn_cpu(3000000);
+    p.set_manual_compute(false);
+    burn_cpu(3000000);  // counted
+  });
+  EXPECT_GT(reports[0].virtual_time, 0.0);
+}
+
+TEST(Modes, SoloSerializesButKeepsClockSemantics) {
+  const int P = 4;
+  Machine m(P);
+  std::vector<double> vt(P, 0.0);
+  m.run([&](Process& p) {
+    p.solo([&] { burn_cpu(2000000); });
+    vt[static_cast<std::size_t>(p.rank())] = p.virtual_time();
+  });
+  // Every rank's clock reflects roughly its own solo work — similar across
+  // ranks, all positive, none wildly larger (waiting for the lock is off
+  // the clock).
+  double mn = 1e30, mx = 0;
+  for (double v : vt) {
+    EXPECT_GT(v, 0.0);
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_LT(mx, 50 * mn) << "lock waiting leaked into a virtual clock";
+}
+
+TEST(Modes, ChargeSecondsRejectsNegative) {
+  Machine m(1);
+  EXPECT_THROW(m.run([&](Process& p) { p.charge_seconds(-1.0); }), Error);
+}
+
+TEST(Modes, CommOperationsOwnCpuIsDiscarded) {
+  // A rank that only sends/receives large buffers accrues (almost) no
+  // compute time beyond the modeled charges.
+  CostModel cm;
+  cm.latency_s = 0.0;
+  cm.bytes_per_s = 1e15;  // negligible transfer charge
+  Machine m(2, cm);
+  auto reports = m.run([&](Process& p) {
+    std::vector<double> payload(1 << 16, 1.0);
+    for (int k = 0; k < 20; ++k) {
+      if (p.rank() == 0) {
+        p.send<double>(1, k, payload);
+      } else {
+        (void)p.recv<double>(0, k);
+      }
+    }
+  });
+  // Copying 20 x 512KiB through mailboxes costs real CPU; virtually it
+  // must be (near) free.
+  EXPECT_LT(reports[0].virtual_time, 0.05);
+  EXPECT_LT(reports[1].virtual_time, 0.05);
+}
+
+}  // namespace
+}  // namespace bernoulli::runtime

@@ -1,0 +1,191 @@
+// CG: convergence on SPD systems, exact agreement between sequential and
+// distributed versions, and behaviour across variants and distributions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "distrib/distribution.hpp"
+#include "solvers/cg.hpp"
+#include "solvers/dist_cg.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+namespace bernoulli::solvers {
+namespace {
+
+using distrib::BlockDist;
+using formats::Csr;
+
+TEST(Cg, SolvesSmallSpdSystem) {
+  auto g = workloads::grid2d_5pt(8, 8, 1, 31);
+  Csr a = Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+
+  SplitMix64 rng(1);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-2.0, 2.0);
+  Vector b(n);
+  spmv(a, x_true, b);
+
+  Vector x(n, 0.0);
+  CgOptions opts;
+  opts.max_iterations = 500;
+  opts.tolerance = 1e-12;
+  CgResult res = cg(a, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-7);
+}
+
+TEST(Cg, FixedIterationMode) {
+  auto g = workloads::grid2d_5pt(6, 6, 1, 32);
+  Csr a = Csr::from_coo(g.matrix);
+  Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  Vector x(b.size(), 0.0);
+  CgOptions opts;
+  opts.max_iterations = 10;
+  opts.tolerance = -1.0;  // no convergence test: exactly 10 iterations
+  CgResult res = cg(a, b, x, opts);
+  EXPECT_EQ(res.iterations, 10);
+  EXPECT_FALSE(res.converged);
+}
+
+TEST(Cg, ResidualDecreases) {
+  auto g = workloads::grid3d_7pt(4, 4, 4, 1, 33);
+  Csr a = Csr::from_coo(g.matrix);
+  Vector b(static_cast<std::size_t>(a.rows()), 1.0);
+  double prev = 1e30;
+  for (int iters : {1, 5, 20}) {
+    Vector x(b.size(), 0.0);
+    CgOptions opts;
+    opts.max_iterations = iters;
+    opts.tolerance = -1.0;
+    CgResult res = cg(a, b, x, opts);
+    EXPECT_LT(res.residual_norm, prev);
+    prev = res.residual_norm;
+  }
+}
+
+TEST(Cg, RejectsZeroDiagonal) {
+  formats::TripletBuilder tb(2, 2);
+  tb.add(0, 1, 1.0);
+  tb.add(1, 0, 1.0);
+  Csr a = Csr::from_coo(std::move(tb).build());
+  Vector b(2, 1.0), x(2, 0.0);
+  EXPECT_THROW(cg(a, b, x), Error);
+}
+
+TEST(ExtractDiagonal, PicksDiagonalEntries) {
+  formats::TripletBuilder tb(3, 3);
+  tb.add(0, 0, 5.0);
+  tb.add(1, 2, 1.0);
+  tb.add(2, 2, -2.0);
+  Vector d = extract_diagonal(Csr::from_coo(std::move(tb).build()));
+  EXPECT_DOUBLE_EQ(d[0], 5.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -2.0);
+}
+
+// Distributed CG must match sequential CG iterate-for-iterate: same
+// residuals, same solution, independent of rank count and variant.
+class DistCgSweep : public ::testing::TestWithParam<spmd::Variant> {};
+
+TEST_P(DistCgSweep, MatchesSequentialExactly) {
+  spmd::Variant variant = GetParam();
+  auto g = workloads::grid3d_7pt(4, 4, 3, 2, 34);
+  Csr a = Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+
+  SplitMix64 rng(7);
+  Vector b(n);
+  for (auto& v : b) v = rng.next_double(-1.0, 1.0);
+
+  CgOptions opts;
+  opts.max_iterations = 15;
+  opts.tolerance = -1.0;
+  Vector x_seq(n, 0.0);
+  CgResult seq = cg(a, b, x_seq, opts);
+
+  const int P = 4;
+  BlockDist rows(a.rows(), P);
+  Vector diag = extract_diagonal(a);
+
+  runtime::Machine machine(P);
+  Vector x_dist(n, 0.0);
+  std::vector<DistCgResult> results(P);
+  std::mutex mu;
+  machine.run([&](runtime::Process& p) {
+    spmd::DistSpmv dist = spmd::build_dist_spmv(p, a, rows, variant);
+    auto mine = rows.owned_indices(p.rank());
+    Vector bl(mine.size()), dl(mine.size()), xl(mine.size(), 0.0);
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      bl[k] = b[static_cast<std::size_t>(mine[k])];
+      dl[k] = diag[static_cast<std::size_t>(mine[k])];
+    }
+    DistCgResult res = dist_cg(p, dist, dl, bl, xl, opts);
+    std::lock_guard<std::mutex> lk(mu);
+    results[static_cast<std::size_t>(p.rank())] = res;
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      x_dist[static_cast<std::size_t>(mine[k])] = xl[k];
+  });
+
+  for (const auto& r : results) {
+    EXPECT_EQ(r.iterations, seq.iterations);
+    EXPECT_NEAR(r.residual_norm, seq.residual_norm,
+                1e-9 * (1.0 + seq.residual_norm));
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_NEAR(x_dist[i], x_seq[i], 1e-8) << "x[" << i << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DistCgSweep,
+    ::testing::Values(spmd::Variant::kBlockSolve,
+                      spmd::Variant::kBernoulliMixed, spmd::Variant::kBernoulli,
+                      spmd::Variant::kIndirectMixed, spmd::Variant::kIndirect),
+    [](const ::testing::TestParamInfo<spmd::Variant>& info) {
+      std::string s = spmd::variant_name(info.param);
+      for (char& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+TEST(DistCg, ConvergesToSolution) {
+  auto g = workloads::grid3d_7pt(4, 4, 4, 1, 35);
+  Csr a = Csr::from_coo(g.matrix);
+  const auto n = static_cast<std::size_t>(a.rows());
+  SplitMix64 rng(8);
+  Vector x_true(n);
+  for (auto& v : x_true) v = rng.next_double(-1.0, 1.0);
+  Vector b(n);
+  spmv(a, x_true, b);
+
+  const int P = 3;
+  BlockDist rows(a.rows(), P);
+  Vector diag = extract_diagonal(a);
+  Vector x_dist(n, 0.0);
+  std::mutex mu;
+  runtime::Machine machine(P);
+  machine.run([&](runtime::Process& p) {
+    spmd::DistSpmv dist =
+        spmd::build_dist_spmv(p, a, rows, spmd::Variant::kBlockSolve);
+    auto mine = rows.owned_indices(p.rank());
+    Vector bl(mine.size()), dl(mine.size()), xl(mine.size(), 0.0);
+    for (std::size_t k = 0; k < mine.size(); ++k) {
+      bl[k] = b[static_cast<std::size_t>(mine[k])];
+      dl[k] = diag[static_cast<std::size_t>(mine[k])];
+    }
+    CgOptions opts;
+    opts.max_iterations = 400;
+    opts.tolerance = 1e-12;
+    DistCgResult res = dist_cg(p, dist, dl, bl, xl, opts);
+    EXPECT_TRUE(res.converged);
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      x_dist[static_cast<std::size_t>(mine[k])] = xl[k];
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_dist[i], x_true[i], 1e-7);
+}
+
+}  // namespace
+}  // namespace bernoulli::solvers

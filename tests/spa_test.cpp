@@ -1,0 +1,131 @@
+// Sparse-accumulator output: sparse-times-sparse products through the
+// compiler with a SPARSE result whose structure is discovered (fill-in)
+// during execution.
+#include <gtest/gtest.h>
+
+#include "blas/spgemm.hpp"
+#include "compiler/executor.hpp"
+#include "compiler/planner.hpp"
+#include "formats/csr.hpp"
+#include "relation/array_views.hpp"
+#include "relation/spa_view.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bernoulli::relation {
+namespace {
+
+using formats::Coo;
+using formats::Csr;
+using formats::TripletBuilder;
+
+Coo random_matrix(index_t rows, index_t cols, index_t nnz, std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  TripletBuilder b(rows, cols);
+  for (index_t k = 0; k < nnz; ++k)
+    b.add(rng.next_index(rows), rng.next_index(cols),
+          rng.next_double(-1.0, 1.0));
+  return std::move(b).build();
+}
+
+TEST(Spa, InsertOnMissAndHarvest) {
+  SpaView c("C", 4, 5);
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.level(1).search(2, 3), -1);
+  auto& col = const_cast<IndexLevel&>(c.level(1));
+  index_t p = col.insert(2, 3);
+  EXPECT_EQ(c.level(1).search(2, 3), p);
+  c.value_add(p, 1.5);
+  c.value_add(p, 2.0);
+  index_t q = col.insert(0, 4);
+  c.value_set(q, -1.0);
+  Coo out = c.harvest();
+  EXPECT_EQ(out.nnz(), 2);
+  EXPECT_DOUBLE_EQ(out.at(2, 3), 3.5);
+  EXPECT_DOUBLE_EQ(out.at(0, 4), -1.0);
+  c.clear();
+  EXPECT_EQ(c.nnz(), 0);
+  EXPECT_EQ(c.level(1).search(2, 3), -1);
+}
+
+TEST(Spa, SparseSpGemmThroughCompiler) {
+  // C(i,j) += A(i,k) * B(k,j) with sparse A, B and a SPA C: result must
+  // equal the Gustavson kernel, structure included.
+  Coo a = random_matrix(14, 18, 60, 1);
+  Coo b = random_matrix(18, 11, 55, 2);
+  Csr acsr = Csr::from_coo(a);
+  Csr bcsr = Csr::from_coo(b);
+
+  CsrView aview("A", acsr);
+  CsrView bview("B", bcsr);
+  SpaView cview("C", 14, 11);
+  IntervalView iview("I", {14, 18, 11});
+
+  Query q;
+  q.vars = {"i", "k", "j"};
+  q.relations.push_back({&iview, {"i", "k", "j"}, true, false, true});
+  q.relations.push_back({&aview, {"i", "k"}, true, false, false});
+  q.relations.push_back({&bview, {"k", "j"}, true, false, false});
+  q.relations.push_back({&cview, {"i", "j"}, false, true, false});
+
+  compiler::Plan plan = compiler::plan_query(q);
+  compiler::execute(plan, q, compiler::multiply_accumulate(q, 3, {1, 2}));
+
+  Csr ref = blas::spgemm(acsr, bcsr);
+  Coo got = cview.harvest();
+  EXPECT_EQ(got, ref.to_coo());  // values AND structure
+}
+
+TEST(Spa, ReusableAcrossRuns) {
+  Coo a = random_matrix(6, 6, 12, 3);
+  Csr acsr = Csr::from_coo(a);
+  CsrView aview("A", acsr);
+  SpaView cview("C", 6, 6);
+  IntervalView iview("I", {6, 6});
+
+  // C(i,j) += A(i,j): copies A's structure into the SPA.
+  Query q;
+  q.vars = {"i", "j"};
+  q.relations.push_back({&iview, {"i", "j"}, true, false, true});
+  q.relations.push_back({&aview, {"i", "j"}, true, false, false});
+  q.relations.push_back({&cview, {"i", "j"}, false, true, false});
+  compiler::Plan plan = compiler::plan_query(q);
+
+  compiler::execute(plan, q, compiler::multiply_accumulate(q, 2, {1}));
+  EXPECT_EQ(cview.harvest(), a);
+
+  // Second run without clear(): values double, structure unchanged.
+  compiler::execute(plan, q, compiler::multiply_accumulate(q, 2, {1}));
+  Coo doubled = cview.harvest();
+  EXPECT_EQ(doubled.nnz(), a.nnz());
+  for (index_t k = 0; k < a.nnz(); ++k)
+    EXPECT_DOUBLE_EQ(doubled.vals()[static_cast<std::size_t>(k)],
+                     2.0 * a.vals()[static_cast<std::size_t>(k)]);
+
+  cview.clear();
+  compiler::execute(plan, q, compiler::multiply_accumulate(q, 2, {1}));
+  EXPECT_EQ(cview.harvest(), a);
+}
+
+TEST(Spa, NonInsertableMissStillErrors) {
+  // A written DENSE vector that cannot cover the index space must still
+  // fail loudly (no silent skips).
+  Vector y(2, 0.0);
+  DenseVectorView yview("Y", VectorView(y));
+  IntervalView iview("I", {4});
+  Query q;
+  q.vars = {"i"};
+  q.relations.push_back({&iview, {"i"}, true, false, true});
+  q.relations.push_back({&yview, {"i"}, false, true, false});
+  compiler::Plan plan = compiler::plan_query(q);
+  Vector x(4, 1.0);
+  DenseVectorView xview("X", ConstVectorView(x));
+  q.relations.push_back({&xview, {"i"}, false, false, false});
+  plan = compiler::plan_query(q);
+  EXPECT_THROW(
+      compiler::execute(plan, q, compiler::multiply_accumulate(q, 1, {2})),
+      bernoulli::Error);
+}
+
+}  // namespace
+}  // namespace bernoulli::relation

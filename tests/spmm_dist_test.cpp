@@ -1,0 +1,103 @@
+// Distributed SpMM: every variant must reproduce the sequential
+// sparse x skinny-dense product, and one schedule must serve all widths.
+#include <gtest/gtest.h>
+
+#include "blas/spmm.hpp"
+#include "distrib/distribution.hpp"
+#include "spmd/spmm.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+namespace bernoulli::spmd {
+namespace {
+
+using distrib::BlockDist;
+using formats::Csr;
+using formats::Dense;
+
+class DistSpmmSweep : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(DistSpmmSweep, MatchesSequentialSpmm) {
+  Variant variant = GetParam();
+  auto g = workloads::grid3d_7pt(4, 4, 3, 2, 51);
+  Csr a = Csr::from_coo(g.matrix);
+  const index_t n = a.rows();
+  const index_t width = 4;
+  const int P = 4;
+  BlockDist rows(n, P);
+
+  Dense x(n, width);
+  SplitMix64 rng(3);
+  for (index_t i = 0; i < n; ++i)
+    for (index_t r = 0; r < width; ++r) x.at(i, r) = rng.next_double(-1, 1);
+  Dense y_ref(n, width);
+  blas::spmm(a, x, y_ref);
+
+  Dense y(n, width);
+  std::mutex mu;
+  runtime::Machine machine(P);
+  machine.run([&](runtime::Process& p) {
+    DistSpmv dist = build_dist_spmv(p, a, rows, variant);
+    auto mine = rows.owned_indices(p.rank());
+    Dense x_full(dist.sched.full_size(), width);
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      for (index_t r = 0; r < width; ++r)
+        x_full.at(static_cast<index_t>(k), r) = x.at(mine[k], r);
+    Dense yl(static_cast<index_t>(mine.size()), width);
+    dist_spmm(p, dist, x_full, yl, /*tag=*/3);
+    std::lock_guard<std::mutex> lk(mu);
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      for (index_t r = 0; r < width; ++r)
+        y.at(mine[k], r) = yl.at(static_cast<index_t>(k), r);
+  });
+
+  for (index_t i = 0; i < n; ++i)
+    for (index_t r = 0; r < width; ++r)
+      ASSERT_NEAR(y.at(i, r), y_ref.at(i, r), 1e-11) << i << "," << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, DistSpmmSweep,
+    ::testing::Values(Variant::kBlockSolve, Variant::kBernoulliMixed,
+                      Variant::kBernoulli, Variant::kIndirectMixed,
+                      Variant::kIndirect),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      std::string s = variant_name(info.param);
+      for (char& c : s)
+        if (c == '-') c = '_';
+      return s;
+    });
+
+TEST(DistSpmm, WidthOneEqualsDistSpmv) {
+  auto g = workloads::grid2d_5pt(8, 8, 1, 52);
+  Csr a = Csr::from_coo(g.matrix);
+  const index_t n = a.rows();
+  const int P = 2;
+  BlockDist rows(n, P);
+  Vector diff(static_cast<std::size_t>(P), 0.0);
+  runtime::Machine machine(P);
+  machine.run([&](runtime::Process& p) {
+    DistSpmv dist = build_dist_spmv(p, a, rows, Variant::kBernoulliMixed);
+    auto mine = rows.owned_indices(p.rank());
+    Vector x_full(static_cast<std::size_t>(dist.sched.full_size()));
+    for (std::size_t k = 0; k < x_full.size(); ++k)
+      x_full[k] = static_cast<value_t>(k % 5) - 2.0;
+    Dense xb(dist.sched.full_size(), 1);
+    for (index_t i = 0; i < dist.sched.full_size(); ++i)
+      xb.at(i, 0) = x_full[static_cast<std::size_t>(i)];
+
+    Vector y1(mine.size());
+    Vector x_copy = x_full;
+    dist.apply(p, x_copy, y1, 4);
+    Dense y2(static_cast<index_t>(mine.size()), 1);
+    dist_spmm(p, dist, xb, y2, 5);
+    double d = 0;
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      d = std::max(d, std::abs(y1[k] - y2.at(static_cast<index_t>(k), 0)));
+    diff[static_cast<std::size_t>(p.rank())] = d;
+  });
+  for (double d : diff) EXPECT_LT(d, 1e-12);
+}
+
+}  // namespace
+}  // namespace bernoulli::spmd

@@ -1,0 +1,84 @@
+// Matrix profiling and the Table-1 format recommender: the heuristic must
+// point at each suite matrix's empirically winning (or near-winning)
+// format family.
+#include <gtest/gtest.h>
+
+#include "workloads/grid.hpp"
+#include "workloads/stats.hpp"
+#include "workloads/suite.hpp"
+
+namespace bernoulli::workloads {
+namespace {
+
+using formats::Kind;
+
+TEST(Profile, GridIsBandedAndUniform) {
+  auto p = profile_matrix(suite_matrix("gr_30_30").matrix);
+  EXPECT_EQ(p.rows, 900);
+  EXPECT_GT(p.diagonal_fill, 0.8);
+  EXPECT_LE(p.num_diagonals, 16);
+  EXPECT_LT(p.row_cv, 0.3);
+  EXPECT_TRUE(p.structurally_symmetric);
+}
+
+TEST(Profile, MemplusIsSkewed) {
+  auto p = profile_matrix(suite_matrix("memplus").matrix);
+  EXPECT_GT(p.row_cv, 1.0);
+  EXPECT_GT(static_cast<double>(p.max_row), 10 * p.avg_row);
+  EXPECT_LT(p.diagonal_fill, 0.1);
+}
+
+TEST(Profile, DofBlockDetection) {
+  auto g5 = grid3d_7pt(3, 3, 3, 5, 1);
+  EXPECT_EQ(profile_matrix(g5.matrix).dof_block, 5);
+  auto g1 = grid2d_5pt(6, 6, 1, 2);
+  EXPECT_EQ(profile_matrix(g1.matrix).dof_block, 1);
+  // dof-6 (bcsstm27 analogue) detected as 6 (also divisible by 2 and 3,
+  // but the largest qualifying block wins).
+  EXPECT_EQ(profile_matrix(suite_matrix("bcsstm27").matrix).dof_block, 6);
+}
+
+TEST(Recommend, SuiteWinnersMatchTable1) {
+  // The empirical winners from bench_table1_formats (Diagonal for banded
+  // stencils, JDiag for the skewed/irregular pair, CRS family for the
+  // block matrices where BS95/CRS tie).
+  EXPECT_EQ(recommend_format(profile_matrix(suite_matrix("small").matrix)).kind,
+            Kind::kDia);
+  EXPECT_EQ(
+      recommend_format(profile_matrix(suite_matrix("medium").matrix)).kind,
+      Kind::kDia);
+  EXPECT_EQ(
+      recommend_format(profile_matrix(suite_matrix("gr_30_30").matrix)).kind,
+      Kind::kDia);
+  EXPECT_EQ(
+      recommend_format(profile_matrix(suite_matrix("sherman1").matrix)).kind,
+      Kind::kDia);
+  EXPECT_EQ(
+      recommend_format(profile_matrix(suite_matrix("memplus").matrix)).kind,
+      Kind::kJds);
+  auto bus = recommend_format(profile_matrix(suite_matrix("685_bus").matrix));
+  EXPECT_NE(bus.kind, Kind::kDia) << bus.reason;  // Diagonal collapses there
+  EXPECT_NE(bus.kind, Kind::kEll) << bus.reason;  // so does ITPACK
+}
+
+TEST(Recommend, ReasonsAreHumanReadable) {
+  auto rec = recommend_format(profile_matrix(suite_matrix("memplus").matrix));
+  EXPECT_FALSE(rec.reason.empty());
+  EXPECT_NE(rec.reason.find("skewed"), std::string::npos);
+}
+
+TEST(Profile, EmptyAndTinyMatrices) {
+  formats::Coo empty(0, 0, {});
+  auto p = profile_matrix(empty);
+  EXPECT_EQ(p.nnz, 0);
+
+  formats::TripletBuilder b(1, 1);
+  b.add(0, 0, 1.0);
+  auto p1 = profile_matrix(std::move(b).build());
+  EXPECT_EQ(p1.num_diagonals, 1);
+  EXPECT_DOUBLE_EQ(p1.diagonal_fill, 1.0);
+  EXPECT_TRUE(p1.structurally_symmetric);
+}
+
+}  // namespace
+}  // namespace bernoulli::workloads

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/text_table.hpp"
+#include "support/timer.hpp"
+
+namespace bernoulli {
+namespace {
+
+TEST(Error, CheckThrowsWithLocation) {
+  try {
+    BERNOULLI_CHECK_MSG(1 == 2, "one is not " << 2);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("one is not 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(BERNOULLI_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    auto v = rng.next_below(13);
+    EXPECT_LT(v, 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  SplitMix64 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRangeRespected) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+  }
+}
+
+TEST(Stats, MeanMinMax) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_EQ(s.count(), 3);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+}
+
+TEST(Stats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"Name", "MFlops"});
+  t.new_row();
+  t.add("small");
+  t.add(123.456, 1);
+  t.new_row();
+  t.add("a-very-long-name");
+  t.add(7.0, 1);
+  std::string out = t.str();
+  EXPECT_NE(out.find("Name"), std::string::npos);
+  EXPECT_NE(out.find("123.5"), std::string::npos);
+  EXPECT_NE(out.find("a-very-long-name"), std::string::npos);
+  // Every line has the same length (alignment invariant).
+  std::size_t prev = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t nl = out.find('\n', pos);
+    std::size_t len = nl - pos;
+    if (prev != std::string::npos) { EXPECT_EQ(len, prev); }
+    prev = len;
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, RejectsOverfullRow) {
+  TextTable t({"A"});
+  t.new_row();
+  t.add("x");
+  EXPECT_THROW(t.add("y"), Error);
+}
+
+TEST(Timer, WallTimeAdvances) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, ThreadCpuTimeAdvancesUnderWork) {
+  ThreadCpuTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + 1.0;
+  EXPECT_GT(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace bernoulli

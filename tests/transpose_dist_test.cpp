@@ -1,0 +1,91 @@
+// Distributed transpose product: the reverse (scatter-add) communication
+// pattern over the forward schedule.
+#include <gtest/gtest.h>
+
+#include "blas/transpose.hpp"
+#include "distrib/distribution.hpp"
+#include "spmd/spmm.hpp"
+#include "support/rng.hpp"
+#include "workloads/grid.hpp"
+
+namespace bernoulli::spmd {
+namespace {
+
+using distrib::BlockDist;
+using distrib::CyclicDist;
+using formats::Csr;
+
+void check_transpose(const Csr& a, const distrib::Distribution& rows, int P) {
+  const index_t n = a.rows();
+  SplitMix64 rng(7);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y_ref(static_cast<std::size_t>(n));
+  blas::spmv_transpose(a, x, y_ref);
+
+  Vector y(static_cast<std::size_t>(n), 0.0);
+  std::mutex mu;
+  runtime::Machine machine(P);
+  machine.run([&](runtime::Process& p) {
+    DistSpmv dist = build_dist_spmv(p, a, rows, Variant::kBernoulliMixed);
+    auto mine = rows.owned_indices(p.rank());
+    Vector xl(mine.size());
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      xl[k] = x[static_cast<std::size_t>(mine[k])];
+    Vector scratch(static_cast<std::size_t>(dist.sched.full_size()));
+    dist_spmv_transpose(p, dist, xl, scratch, /*tag=*/6);
+    std::lock_guard<std::mutex> lk(mu);
+    // The owned slice of A^T x lands in the first owned entries.
+    for (std::size_t k = 0; k < mine.size(); ++k)
+      y[static_cast<std::size_t>(mine[k])] = scratch[k];
+  });
+  for (std::size_t i = 0; i < y.size(); ++i)
+    ASSERT_NEAR(y[i], y_ref[i], 1e-11) << "row " << i;
+}
+
+TEST(DistTranspose, BlockDistMatchesSequential) {
+  // The forward schedule's ghost set is exactly the set of non-owned
+  // columns this rank's rows reference — which is exactly where its
+  // transpose contributions land, so the reverse exchange covers ANY
+  // structure.
+  auto g = workloads::grid3d_7pt(4, 4, 3, 2, 91);
+  check_transpose(Csr::from_coo(g.matrix), BlockDist(g.matrix.rows(), 4), 4);
+}
+
+TEST(DistTranspose, CyclicDistMatchesSequential) {
+  auto g = workloads::grid2d_5pt(9, 6, 1, 92);
+  check_transpose(Csr::from_coo(g.matrix), CyclicDist(g.matrix.rows(), 3), 3);
+}
+
+TEST(DistTranspose, UnsymmetricValues) {
+  // Neither values nor structure symmetry is required; perturb a grid
+  // matrix's values asymmetrically.
+  auto g = workloads::grid2d_5pt(6, 6, 1, 93);
+  formats::TripletBuilder b(g.matrix.rows(), g.matrix.cols());
+  auto rowind = g.matrix.rowind();
+  auto colind = g.matrix.colind();
+  auto vals = g.matrix.vals();
+  for (index_t k = 0; k < g.matrix.nnz(); ++k)
+    b.add(rowind[k], colind[k],
+          vals[k] * (1.0 + 0.1 * static_cast<double>(rowind[k] % 7)));
+  Csr a = Csr::from_coo(std::move(b).build());
+  check_transpose(a, BlockDist(a.rows(), 3), 3);
+}
+
+TEST(DistTranspose, RejectsNaiveVariant) {
+  auto g = workloads::grid2d_5pt(4, 4, 1, 94);
+  Csr a = Csr::from_coo(g.matrix);
+  BlockDist rows(a.rows(), 2);
+  runtime::Machine machine(2);
+  EXPECT_THROW(machine.run([&](runtime::Process& p) {
+                 DistSpmv dist =
+                     build_dist_spmv(p, a, rows, Variant::kBernoulli);
+                 Vector xl(static_cast<std::size_t>(dist.local_rows()), 1.0);
+                 Vector scratch(static_cast<std::size_t>(dist.sched.full_size()));
+                 dist_spmv_transpose(p, dist, xl, scratch, 1);
+               }),
+               Error);
+}
+
+}  // namespace
+}  // namespace bernoulli::spmd
