@@ -9,15 +9,26 @@
 //   Bernoulli         compiler output from the fully data-parallel spec —
 //                     paper: ~10% slower than Bernoulli-Mixed (redundant
 //                     global-to-local indirection on every x access)
+//
+// `--report=json` switches to the observability report: an
+// estimate-vs-measured communication table per variant (exchange cost
+// predicted from the CommSchedule alone vs. runtime::CommStats), plus the
+// full counter registry and a reconciliation block proving the
+// phase-split comm.* counters sum to the CommStats totals.
+#include <cstring>
 #include <iostream>
 
 #include "common.hpp"
+#include "support/counters.hpp"
+#include "support/json_writer.hpp"
 #include "support/text_table.hpp"
 
-int main() {
-  using namespace bernoulli;
-  using spmd::Variant;
+namespace {
 
+using namespace bernoulli;
+using spmd::Variant;
+
+int run_table() {
   std::cout << "=== Table 2: numerical computation times, 10 CG iterations ==="
             << "\n(virtual seconds on the simulated machine; diff columns"
             << "\n relative to the hand-written BlockSolve baseline)\n\n";
@@ -56,4 +67,94 @@ int main() {
                "(extra indirection); times roughly flat in P\n(weak "
                "scaling).\n";
   return 0;
+}
+
+int run_report() {
+  support::counters_reset();
+  const int iterations = 10;
+
+  support::JsonWriter w(2);
+  w.begin_object();
+  w.key("schema").value("bernoulli.bench.table2.report.v1");
+  w.key("iterations").value(iterations);
+  w.key("cases").begin_array();
+
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
+  for (int P : {2, 4, 8}) {
+    bench::Problem prob = bench::build_problem(P);
+    for (Variant v :
+         {Variant::kBlockSolve, Variant::kBernoulliMixed, Variant::kBernoulli}) {
+      auto t = bench::measure_variant_calibrated(prob, P, v, iterations);
+      commstats_messages += t.total_messages;
+      commstats_bytes += t.total_bytes;
+      w.begin_object();
+      w.key("P").value(P);
+      w.key("variant").value(spmd::variant_name(v));
+      w.key("inspector_s").value(t.inspector_s);
+      w.key("executor_s").value(t.executor_s);
+      w.key("inspector_bytes").value(t.inspector_bytes);
+      w.key("exchange").begin_object();
+      w.key("count").value(t.exchanges);
+      w.key("predicted_messages").value(t.predicted_exchange_messages);
+      w.key("predicted_bytes").value(t.predicted_exchange_bytes);
+      w.key("measured_messages_total").value(t.executor_messages);
+      w.key("measured_bytes_total").value(t.executor_bytes);
+      // The executor run exchanges ghosts (iterations + 1) times and sends
+      // nothing else point-to-point, so predicted * count must equal the
+      // measured totals exactly.
+      w.key("match").value(t.predicted_exchange_messages * t.exchanges ==
+                               t.executor_messages &&
+                           t.predicted_exchange_bytes * t.exchanges ==
+                               t.executor_bytes);
+      w.end_object();
+      w.end_object();
+      std::cerr << "  [P=" << P << " " << spmd::variant_name(v) << " done]\n";
+    }
+  }
+  w.end_array();
+
+  // Reconciliation: the phase-split counters booked by the simulated
+  // machine must sum to the CommStats totals gathered from rank reports.
+  auto snap = support::counters_snapshot();
+  long long counter_messages = 0;
+  long long counter_bytes = 0;
+  for (const auto& [name, value] : snap.counts) {
+    if (name.starts_with("comm.") && name.ends_with(".messages"))
+      counter_messages += value;
+    if (name.starts_with("comm.") && name.ends_with(".bytes"))
+      counter_bytes += value;
+  }
+  w.key("reconcile").begin_object();
+  w.key("commstats_messages").value(commstats_messages);
+  w.key("counter_messages").value(counter_messages);
+  w.key("commstats_bytes").value(commstats_bytes);
+  w.key("counter_bytes").value(counter_bytes);
+  const bool ok = commstats_messages == counter_messages &&
+                  commstats_bytes == counter_bytes;
+  w.key("match").value(ok);
+  w.end_object();
+
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : snap.counts) w.key(name).value(value);
+  w.end_object();
+  w.key("vtime_seconds").begin_object();
+  for (const auto& [name, value] : snap.seconds) w.key(name).value(value);
+  w.end_object();
+  w.end_object();
+
+  std::cout << w.str() << "\n";
+  if (!ok) {
+    std::cerr << "RECONCILIATION FAILED: counter totals != CommStats totals\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--report=json") == 0) return run_report();
+  return run_table();
 }

@@ -67,6 +67,24 @@ struct VariantTiming {
   double per_iteration_s = 0.0;
   double inspector_ratio = 0.0;   // inspector / one executor iteration
   long long inspector_bytes = 0;  // total modeled bytes the inspector moved
+
+  // Communication accounting for estimate-vs-measured reports (filled by
+  // measure_variant_calibrated).
+  //
+  // Predicted: what ONE ghost exchange should cost, derived from the
+  // CommSchedules alone (sum over ranks: one message per peer with a
+  // non-empty send list, sizeof(value_t) bytes per requested value).
+  long long predicted_exchange_messages = 0;
+  long long predicted_exchange_bytes = 0;
+  int exchanges = 0;  // exchanges in the timed executor run (iters + 1)
+
+  // Measured: runtime::CommStats totals summed over ranks — the timed
+  // executor run alone, and every machine run the measurement performed
+  // (for reconciling against the comm.* counter registry).
+  long long executor_messages = 0;
+  long long executor_bytes = 0;
+  long long total_messages = 0;
+  long long total_bytes = 0;
 };
 
 /// Runs the inspector once and `iterations` CG steps for one variant,
@@ -163,11 +181,13 @@ inline VariantTiming measure_variant_calibrated(const Problem& prob,
   std::vector<spmd::DistSpmv> dists(static_cast<std::size_t>(nprocs));
   double inspector_best = 1e30;
   long long inspector_bytes = 0;
+  long long all_messages = 0;
+  long long all_bytes = 0;
   for (int rep = 0; rep < 3; ++rep) {
     runtime::Machine machine(nprocs);
     std::vector<double> insp(static_cast<std::size_t>(nprocs), 0.0);
     std::vector<long long> ibytes(static_cast<std::size_t>(nprocs), 0);
-    machine.run([&](runtime::Process& p) {
+    auto reports = machine.run([&](runtime::Process& p) {
       p.barrier();
       spmd::DistSpmv d = spmd::build_dist_spmv(p, a, prob.rows, variant);
       insp[static_cast<std::size_t>(p.rank())] = d.inspector_vtime;
@@ -180,6 +200,8 @@ inline VariantTiming measure_variant_calibrated(const Problem& prob,
     for (int r = 0; r < nprocs; ++r) {
       isum += insp[static_cast<std::size_t>(r)];
       btot += ibytes[static_cast<std::size_t>(r)];
+      all_messages += reports[static_cast<std::size_t>(r)].stats.messages;
+      all_bytes += reports[static_cast<std::size_t>(r)].stats.bytes;
     }
     inspector_best = std::min(inspector_best, isum / nprocs);
     inspector_bytes = btot;
@@ -232,10 +254,25 @@ inline VariantTiming measure_variant_calibrated(const Problem& prob,
   VariantTiming out;
   out.inspector_s = inspector_best;
   out.inspector_bytes = inspector_bytes;
+
+  // Predicted cost of one ghost exchange, from the schedules alone.
+  for (int r = 0; r < nprocs; ++r) {
+    const auto& s = dists[static_cast<std::size_t>(r)].sched;
+    for (const auto& list : s.send_local) {
+      if (list.empty()) continue;
+      ++out.predicted_exchange_messages;
+      out.predicted_exchange_bytes +=
+          static_cast<long long>(list.size() * sizeof(value_t));
+    }
+  }
+  // dist_cg applies the operator once to form r = b - Ax, then once per
+  // iteration.
+  out.exchanges = iterations + 1;
+
   {
     runtime::Machine machine(nprocs);
     std::vector<double> exec(static_cast<std::size_t>(nprocs), 0.0);
-    machine.run([&](runtime::Process& p) {
+    auto reports = machine.run([&](runtime::Process& p) {
       const auto& d = dists[static_cast<std::size_t>(p.rank())];
       auto mine = prob.rows.owned_indices(p.rank());
       Vector bl(mine.size()), dl(mine.size()), xl(mine.size(), 0.0);
@@ -256,10 +293,18 @@ inline VariantTiming measure_variant_calibrated(const Problem& prob,
       p.set_manual_compute(false);
     });
     double emax = 0;
-    for (int r = 0; r < nprocs; ++r)
+    for (int r = 0; r < nprocs; ++r) {
       emax = std::max(emax, exec[static_cast<std::size_t>(r)]);
+      out.executor_messages +=
+          reports[static_cast<std::size_t>(r)].stats.messages;
+      out.executor_bytes += reports[static_cast<std::size_t>(r)].stats.bytes;
+    }
     out.executor_s = emax;
+    all_messages += out.executor_messages;
+    all_bytes += out.executor_bytes;
   }
+  out.total_messages = all_messages;
+  out.total_bytes = all_bytes;
   out.per_iteration_s = out.executor_s / iterations;
   out.inspector_ratio =
       out.per_iteration_s > 0 ? out.inspector_s / out.per_iteration_s : 0;

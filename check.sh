@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Tier-1 verification (ROADMAP.md) in a clean build directory, with the
+# warning set promoted to errors so new code keeps the tree warning-free.
+#
+#   ./check.sh            configure + build + ctest
+#   BUILD_DIR=foo ./check.sh   use a different build directory
+set -eu
+
+BUILD_DIR="${BUILD_DIR:-check-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror"
+cmake --build "$BUILD_DIR" -j
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc 2>/dev/null || echo 4)"
+echo "check.sh: all green"

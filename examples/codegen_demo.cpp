@@ -2,15 +2,38 @@
 // formats produces different plans and different generated C — the
 // extensibility story of the paper (§2.1): the compiler only sees access
 // methods, so adding a format never changes the compilation algorithm.
+//
+// Modes:
+//   (default)        plan summary + generated C per binding
+//   --explain        full EXPLAIN tree per binding (access-method
+//                    properties and cost estimates the planner consumed)
+//   --report=json    one JSON document: every plan's EXPLAIN in machine
+//                    form plus the runtime counter registry after running
+//                    each kernel (estimate vs. measured join work)
+#include <cstring>
 #include <iostream>
 
 #include "compiler/loopnest.hpp"
 #include "formats/formats.hpp"
 #include "formats/sparse_vector.hpp"
+#include "support/counters.hpp"
+#include "support/json_writer.hpp"
 #include "support/rng.hpp"
 
-int main() {
+namespace {
+
+enum class Mode { kDefault, kExplain, kJson };
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace bernoulli;
+
+  Mode mode = Mode::kDefault;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--explain") == 0) mode = Mode::kExplain;
+    if (std::strcmp(argv[i], "--report=json") == 0) mode = Mode::kJson;
+  }
 
   SplitMix64 rng(11);
   formats::TripletBuilder b(6, 6);
@@ -28,44 +51,80 @@ int main() {
       {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0},
   };
 
-  {
-    std::cout << "=== A in CRS, X dense ===\n";
+  struct Case {
+    const char* title;
+    const char* name;
     compiler::Bindings bind;
-    bind.bind_csr("A", csr);
-    bind.bind_dense_vector("X", ConstVectorView(x));
-    bind.bind_dense_vector("Y", VectorView(y));
-    auto k = compiler::compile(matvec, bind);
-    std::cout << k.describe_plan() << '\n' << k.emit("spmv_crs") << '\n';
+  };
+  std::vector<Case> cases;
+  {
+    Case c{"=== A in CRS, X dense ===", "spmv_crs", {}};
+    c.bind.bind_csr("A", csr);
+    c.bind.bind_dense_vector("X", ConstVectorView(x));
+    c.bind.bind_dense_vector("Y", VectorView(y));
+    cases.push_back(std::move(c));
   }
   {
-    std::cout << "=== A in CCS, X dense (note the j-outer order: CCS can\n"
-                 "    only reach rows through a column) ===\n";
-    compiler::Bindings bind;
-    bind.bind_ccs("A", ccs);
-    bind.bind_dense_vector("X", ConstVectorView(x));
-    bind.bind_dense_vector("Y", VectorView(y));
-    auto k = compiler::compile(matvec, bind);
-    std::cout << k.describe_plan() << '\n' << k.emit("spmv_ccs") << '\n';
+    Case c{"=== A in CCS, X dense (note the j-outer order: CCS can\n"
+           "    only reach rows through a column) ===",
+           "spmv_ccs",
+           {}};
+    c.bind.bind_ccs("A", ccs);
+    c.bind.bind_dense_vector("X", ConstVectorView(x));
+    c.bind.bind_dense_vector("Y", VectorView(y));
+    cases.push_back(std::move(c));
   }
   {
-    std::cout << "=== A in CRS, X sparse (sparsity predicate NZ(A) AND\n"
-                 "    NZ(X); the planner merge-joins the sorted sets) ===\n";
-    compiler::Bindings bind;
-    bind.bind_csr("A", csr);
-    bind.bind_sparse_vector("X", sx);
-    bind.bind_dense_vector("Y", VectorView(y));
-    auto k = compiler::compile(matvec, bind);
-    std::cout << k.describe_plan() << '\n' << k.emit("spmv_sparse_x") << '\n';
+    Case c{"=== A in CRS, X sparse (sparsity predicate NZ(A) AND\n"
+           "    NZ(X); the planner merge-joins the sorted sets) ===",
+           "spmv_sparse_x",
+           {}};
+    c.bind.bind_csr("A", csr);
+    c.bind.bind_sparse_vector("X", sx);
+    c.bind.bind_dense_vector("Y", VectorView(y));
+    cases.push_back(std::move(c));
   }
   {
-    std::cout << "=== A in COO (row level is sorted but NOT dense: empty\n"
-                 "    rows are skipped by enumeration) ===\n";
-    compiler::Bindings bind;
-    bind.bind_coo("A", coo);
-    bind.bind_dense_vector("X", ConstVectorView(x));
-    bind.bind_dense_vector("Y", VectorView(y));
-    auto k = compiler::compile(matvec, bind);
-    std::cout << k.describe_plan() << '\n' << k.emit("spmv_coo") << '\n';
+    Case c{"=== A in COO (row level is sorted but NOT dense: empty\n"
+           "    rows are skipped by enumeration) ===",
+           "spmv_coo",
+           {}};
+    c.bind.bind_coo("A", coo);
+    c.bind.bind_dense_vector("X", ConstVectorView(x));
+    c.bind.bind_dense_vector("Y", VectorView(y));
+    cases.push_back(std::move(c));
+  }
+
+  if (mode == Mode::kJson) {
+    support::counters_reset();
+    support::JsonWriter w(2);
+    w.begin_object();
+    w.key("schema").value("bernoulli.codegen_demo.report.v1");
+    w.key("kernels").begin_array();
+    for (auto& c : cases) {
+      auto k = compiler::compile(matvec, c.bind);
+      std::fill(y.begin(), y.end(), 0.0);
+      k.run();
+      w.begin_object();
+      w.key("name").value(c.name);
+      w.key("plan_text").value(k.explain());
+      w.key("plan").raw(k.explain_json());
+      w.end_object();
+    }
+    w.end_array();
+    w.key("counters").raw(support::counters_json());
+    w.end_object();
+    std::cout << w.str() << "\n";
+    return 0;
+  }
+
+  for (auto& c : cases) {
+    std::cout << c.title << "\n";
+    auto k = compiler::compile(matvec, c.bind);
+    if (mode == Mode::kExplain)
+      std::cout << k.explain() << '\n';
+    else
+      std::cout << k.describe_plan() << '\n' << k.emit(c.name) << '\n';
   }
   return 0;
 }

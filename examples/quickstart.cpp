@@ -7,8 +7,8 @@
 //       Y(i) = Y(i) + A(i,j) * X(j)
 //
 // declare A sparse (CRS here), and let the compiler extract the relational
-// query, compute the sparsity predicate, pick a join plan, run it, and
-// print the C code it would emit.
+// query, compute the sparsity predicate, pick a join plan, EXPLAIN it, run
+// it, and print the C code it would emit.
 #include <iostream>
 
 #include "compiler/loopnest.hpp"
@@ -40,6 +40,8 @@ int main() {
   compiler::CompiledKernel kernel = compiler::compile(matvec, bindings);
 
   std::cout << "=== chosen plan ===\n" << kernel.describe_plan() << '\n';
+  std::cout << "=== EXPLAIN (why the planner chose it) ===\n"
+            << kernel.explain() << '\n';
   std::cout << "=== generated C ===\n" << kernel.emit("spmv_csr") << '\n';
 
   kernel.run();  // y += A x through the plan interpreter

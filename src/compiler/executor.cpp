@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::compiler {
@@ -9,6 +10,23 @@ namespace bernoulli::compiler {
 using relation::Query;
 
 namespace {
+
+// Interpreter event counters (support/counters.hpp). Registered once;
+// per-event cost is a relaxed atomic add.
+struct ExecCounters {
+  support::Counter& runs = support::counter("executor.runs");
+  support::Counter& tuples = support::counter("executor.tuples");
+  support::Counter& enumerated = support::counter("executor.enumerated");
+  support::Counter& merge_steps = support::counter("executor.merge_steps");
+  support::Counter& probe_hits = support::counter("executor.probe_hits");
+  support::Counter& probe_misses = support::counter("executor.probe_misses");
+  support::Counter& fill_ins = support::counter("executor.fill_ins");
+};
+
+ExecCounters& exec_counters() {
+  static ExecCounters c;
+  return c;
+}
 
 class Interpreter {
  public:
@@ -50,6 +68,7 @@ class Interpreter {
   // probe of a WRITTEN relation with an insertable level creates the entry
   // instead — sparse-output fill-in.
   bool resolve_probes(const PlanLevel& lv) {
+    ExecCounters& ctr = exec_counters();
     for (const Access& a : lv.probes) {
       const auto& rel = q_.relations[static_cast<std::size_t>(a.rel)];
       index_t idx =
@@ -57,8 +76,10 @@ class Interpreter {
       const relation::IndexLevel& lvl = level_of(a);
       index_t p = lvl.search(parent_pos(a), idx);
       if (p < 0) {
+        ctr.probe_misses.add();
         if (rel.filters) return false;
         if (rel.writes && lvl.insertable()) {
+          ctr.fill_ins.add();
           // const_cast is confined to here: insertion is the one mutating
           // access-method operation, and only output relations reach it.
           p = const_cast<relation::IndexLevel&>(lvl).insert(parent_pos(a),
@@ -70,6 +91,8 @@ class Interpreter {
                                   << rel.vars[static_cast<std::size_t>(a.depth)]
                                   << " = " << idx);
         }
+      } else {
+        ctr.probe_hits.add();
       }
       set_pos(a, p);
     }
@@ -77,7 +100,9 @@ class Interpreter {
   }
 
   void level(std::size_t d) {
+    ExecCounters& ctr = exec_counters();
     if (d == plan_.levels.size()) {
+      ctr.tuples.add();
       Env env{var_value_, leaf_positions()};
       action_(env);
       return;
@@ -88,6 +113,7 @@ class Interpreter {
     if (lv.method == JoinMethod::kEnumerate) {
       const Access& drv = lv.drivers[0];
       level_of(drv).enumerate(parent_pos(drv), [&](index_t idx, index_t p) {
+        ctr.enumerated.add();
         var_value_[slot] = idx;
         set_pos(drv, p);
         if (resolve_probes(lv)) level(d + 1);
@@ -103,12 +129,14 @@ class Interpreter {
         level_of(lv.drivers[s])
             .enumerate(parent_pos(lv.drivers[s]),
                        [&](index_t idx, index_t p) {
+                         ctr.enumerated.add();
                          segments_[s].emplace_back(idx, p);
                          return true;
                        });
       }
       std::vector<std::size_t> finger(k, 0);
       while (true) {
+        ctr.merge_steps.add();
         bool done = false;
         index_t target = -1;
         for (std::size_t s = 0; s < k; ++s) {
@@ -162,6 +190,7 @@ class Interpreter {
 
 void execute(const Plan& plan, const Query& q, const Action& action) {
   q.validate();
+  exec_counters().runs.add();
   Interpreter(plan, q, action).run();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "compiler/explain.hpp"
 #include "relation/array_views.hpp"
 #include "relation/ell_view.hpp"
 #include "relation/sparse_vector_view.hpp"
@@ -143,6 +144,14 @@ std::string CompiledKernel::emit(const std::string& function_name) const {
 
 std::string CompiledKernel::describe_plan() const {
   return plan_.describe(query_);
+}
+
+std::string CompiledKernel::explain() const {
+  return compiler::explain(plan_, query_);
+}
+
+std::string CompiledKernel::explain_json(int indent) const {
+  return compiler::explain_json(plan_, query_, indent);
 }
 
 }  // namespace bernoulli::compiler

@@ -106,6 +106,12 @@ class CompiledKernel {
   /// Join-order / join-method summary.
   std::string describe_plan() const;
 
+  /// Full EXPLAIN of the chosen plan: join order, join algorithm per
+  /// level, access-method properties and cost estimates (see
+  /// compiler/explain.hpp). Text tree and JSON forms.
+  std::string explain() const;
+  std::string explain_json(int indent = 0) const;
+
   const Plan& plan() const { return plan_; }
   const relation::Query& query() const { return query_; }
 

@@ -9,6 +9,26 @@
 // Probes of *filtering* relations reject iterations on miss — this is how
 // the sparsity predicate sigma_P executes. Probes of non-filtering
 // relations (dense reads, outputs) always hit and merely resolve positions.
+//
+// Cost model conventions (what the planner optimizes and what EXPLAIN
+// prints — see compiler/explain.hpp):
+//   - est_iterations: expected number of successful bindings of the
+//     level's variable PER ITERATION of the enclosing level. For an
+//     enumerate level it is the driver's expected_size() discounted by
+//     filtering probes' hit probability; for a merge level it is the
+//     expected intersection size of the drivers.
+//   - est_cost: expected work at this level per enclosing iteration —
+//     enumeration/merge steps plus one search per probe, each weighted by
+//     the access method's SearchCost (O(1)/O(log n)/O(n)).
+//   - total_cost: est_cost folded through the nest outermost-in,
+//     total = sum_k ( est_cost_k * prod_{j<k} est_iterations_j ), i.e. an
+//     absolute estimate for the whole kernel, comparable across plans.
+// The planner enumerates legal variable orders (respecting order-bound
+// storage hierarchies) and keeps the plan with the smallest total_cost.
+//
+// A Plan is purely structural: it holds relation INDICES into the Query
+// it was planned from, never views or data pointers, so it can outlive
+// rebinding and be rendered (describe/explain) without touching storage.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include "distrib/chaos.hpp"
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::distrib {
@@ -28,6 +29,9 @@ ChaosTranslationTable::ChaosTranslationTable(runtime::Process& p,
                                              index_t global_size,
                                              std::span<const index_t> my_rows)
     : n_(global_size) {
+  support::counter("distrib.chaos.builds").add();
+  support::counter("distrib.chaos.registered")
+      .add(static_cast<long long>(my_rows.size()));
   const int P = p.nprocs();
   block_ = (n_ + P - 1) / P;
   if (block_ == 0) block_ = 1;
@@ -62,6 +66,9 @@ ChaosTranslationTable::ChaosTranslationTable(runtime::Process& p,
 
 std::vector<OwnerLocal> ChaosTranslationTable::query(
     runtime::Process& p, std::span<const index_t> globals) const {
+  support::counter("distrib.chaos.queries").add();
+  support::counter("distrib.chaos.translated")
+      .add(static_cast<long long>(globals.size()));
   const int P = p.nprocs();
 
   // Round 1: scatter the queries to the table slices.

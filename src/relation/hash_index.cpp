@@ -1,5 +1,6 @@
 #include "relation/hash_index.hpp"
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::relation {
@@ -19,6 +20,9 @@ class HashIndexedView::HashedLevel final : public IndexLevel {
   }
 
   index_t search(index_t parent, index_t index) const override {
+    static support::Counter& probes =
+        support::counter("relation.hash_index.probes");
+    probes.add();
     const auto& table = table_for(parent);
     auto it = table.find(index);
     return it == table.end() ? -1 : it->second;
@@ -43,6 +47,9 @@ class HashIndexedView::HashedLevel final : public IndexLevel {
   const std::unordered_map<index_t, index_t>& table_for(index_t parent) const {
     auto it = tables_.find(parent);
     if (it == tables_.end()) {
+      static support::Counter& built =
+          support::counter("relation.hash_index.tables_built");
+      built.add();
       std::unordered_map<index_t, index_t> table;
       base_.enumerate(parent, [&](index_t idx, index_t pos) {
         table.emplace(idx, pos);

@@ -6,6 +6,16 @@
 // records which relations *filter* (appear in the sparsity predicate P) and
 // which are written. The planner (src/compiler) turns a Query into an
 // executable Plan.
+//
+// The Query is the compiler's entire knowledge of the data: each relation
+// is an opaque RelationView reached only through the access-method
+// protocol (enumerate/search per hierarchy level, plus the properties
+// sorted/dense/search_cost/expected_size). That is the paper's
+// extensibility contract — a new storage format is a new view, never a
+// new case in the planner. The flags below (filters/writes/order_free)
+// are the only per-relation semantics the planner sees; EXPLAIN
+// (compiler/explain.hpp) prints exactly this information per access so a
+// plan can be audited against what the planner was told.
 #pragma once
 
 #include <string>

@@ -1,5 +1,6 @@
 #include "relation/spa_view.hpp"
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::relation {
@@ -52,6 +53,9 @@ class SpaColLevel final : public IndexLevel {
   bool insertable() const override { return true; }
 
   index_t insert(index_t parent, index_t index) override {
+    static support::Counter& inserts =
+        support::counter("relation.spa.inserts");
+    inserts.add();
     BERNOULLI_CHECK(index >= 0 && index < owner_.cols_);
     auto slot = static_cast<index_t>(owner_.vals_.size());
     owner_.vals_.push_back(0.0);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <thread>
 
+#include "support/counters.hpp"
 #include "support/timer.hpp"
 
 namespace bernoulli::runtime {
@@ -60,7 +61,11 @@ std::vector<Machine::RankReport> Machine::run(
 
 void Process::advance_clock() {
   double now = ThreadCpuTimer::now();
-  if (!manual_compute_) vclock_ += now - cpu_mark_;
+  if (!manual_compute_) {
+    vclock_ += now - cpu_mark_;
+    if (now > cpu_mark_)
+      support::phase_time_counter("vtime", "compute").add(now - cpu_mark_);
+  }
   cpu_mark_ = now;
 }
 
@@ -83,6 +88,7 @@ void Process::solo(const std::function<void()>& fn) {
 void Process::charge_seconds(double s) {
   BERNOULLI_CHECK(s >= 0.0);
   vclock_ += s;
+  support::phase_time_counter("vtime", "compute").add(s);
 }
 
 double Process::virtual_time() {
@@ -99,6 +105,12 @@ void Process::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   if (dst != rank_) {
     ++stats_.messages;
     stats_.bytes += static_cast<long long>(data.size());
+    // Phase-split mirror of CommStats: comm.<phase>.messages/bytes sum to
+    // the CommStats totals across ranks (reconciled by bench reports).
+    support::phase_counter("comm", "messages").add();
+    support::phase_counter("comm", "bytes")
+        .add(static_cast<long long>(data.size()));
+    support::phase_time_counter("vtime", "comm").add(machine_.cost_.latency_s);
   }
   auto& mb = *machine_.mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -133,6 +145,8 @@ std::vector<std::byte> Process::recv_bytes(int src, int tag) {
   // simulated arrival. The CPU burned inside the wait loop itself
   // (condition-variable wakeup churn) is simulation infrastructure and is
   // discarded; see send_bytes.
+  if (msg.arrival > vclock_)
+    support::phase_time_counter("vtime", "comm").add(msg.arrival - vclock_);
   vclock_ = std::max(vclock_, msg.arrival);
   cpu_mark_ = ThreadCpuTimer::now();
   return std::move(msg.data);
@@ -177,6 +191,8 @@ double Process::allreduce_max(double x) {
 Process::Reduced Process::reduce_rendezvous(double x) {
   advance_clock();
   ++stats_.collectives;
+  support::phase_counter("comm", "collectives").add();
+  const double entered = vclock_;
   auto& r = machine_.rendezvous_;
   Reduced out{};
   {
@@ -206,6 +222,8 @@ Process::Reduced Process::reduce_rendezvous(double x) {
   }
   vclock_ =
       out.clock + collective_charge(machine_.cost_, nprocs_, sizeof(double));
+  if (vclock_ > entered)
+    support::phase_time_counter("vtime", "comm").add(vclock_ - entered);
   cpu_mark_ = ThreadCpuTimer::now();
   return out;
 }

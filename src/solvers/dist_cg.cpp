@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::solvers {
@@ -18,6 +19,11 @@ DistCgResult dist_cg_preconditioned(runtime::Process& p,
                                     const CgOptions& opts) {
   const auto n = static_cast<std::size_t>(a.local_rows());
   BERNOULLI_CHECK(b_local.size() == n && x_local.size() == n);
+
+  // The whole solve is executor-phase work (the inspector ran inside
+  // build_dist_spmv): its allreduces and exchanges are attributed to
+  // comm.executor.* / vtime.executor.*.
+  support::ScopedCounterPhase counter_phase("executor");
 
   Vector r(n), z(n), pv(n), q(n);
   Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);

@@ -1,8 +1,15 @@
 #include "spmd/comm.hpp"
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::spmd {
+
+// Schedule-level counters, split by the caller's counter phase
+// (inspector/executor/main). Message and byte counts are booked once, in
+// runtime::Process::send_bytes, so they reconcile exactly with
+// runtime::CommStats; here we count the schedule OPERATIONS and the
+// values they move.
 
 void CommSchedule::post(runtime::Process& p, ConstVectorView x_full,
                         int tag) const {
@@ -35,12 +42,16 @@ void CommSchedule::complete(runtime::Process& p, VectorView x_full,
 
 void CommSchedule::exchange(runtime::Process& p, VectorView x_full,
                             int tag) const {
+  support::phase_counter("comm", "exchanges").add();
+  support::phase_counter("comm", "ghost_values").add(ghosts);
   post(p, x_full, tag);
   complete(p, x_full, tag);
 }
 
 void CommSchedule::exchange_block(runtime::Process& p, VectorView x_block,
                                   index_t width, int tag) const {
+  support::phase_counter("comm", "exchanges").add();
+  support::phase_counter("comm", "ghost_values").add(ghosts * width);
   BERNOULLI_CHECK(width >= 1);
   BERNOULLI_CHECK(static_cast<index_t>(x_block.size()) ==
                   full_size() * width);
@@ -71,6 +82,8 @@ void CommSchedule::exchange_block(runtime::Process& p, VectorView x_block,
 
 void CommSchedule::reverse_exchange_add(runtime::Process& p,
                                         VectorView x_full, int tag) const {
+  support::phase_counter("comm", "reverse_exchanges").add();
+  support::phase_counter("comm", "ghost_values").add(ghosts);
   BERNOULLI_CHECK(static_cast<index_t>(x_full.size()) == full_size());
   // Ghost slots -> their owners.
   for (int q = 0; q < nprocs; ++q) {

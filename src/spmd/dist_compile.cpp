@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::spmd {
@@ -16,6 +17,7 @@ VectorView DistKernel::x_owned() {
 ConstVectorView DistKernel::y_local() const { return *y_; }
 
 void DistKernel::run(runtime::Process& p, int tag) const {
+  support::ScopedCounterPhase phase("executor");
   std::fill(y_->begin(), y_->end(), 0.0);
   sched_.exchange(p, *x_full_, tag);
   kernel_->run();
@@ -27,6 +29,12 @@ std::string DistKernel::emit(const std::string& function_name) const {
 
 std::string DistKernel::describe_plan() const {
   return kernel_->describe_plan();
+}
+
+std::string DistKernel::explain() const { return kernel_->explain(); }
+
+std::string DistKernel::explain_json(int indent) const {
+  return kernel_->explain_json(indent);
 }
 
 DistKernel compile_dist_matvec(runtime::Process& p, const Csr& a,

@@ -47,6 +47,10 @@ class DistKernel {
   std::string emit(const std::string& function_name = "local_kernel") const;
   std::string describe_plan() const;
 
+  /// EXPLAIN of the compiled LOCAL plan (see compiler/explain.hpp).
+  std::string explain() const;
+  std::string explain_json(int indent = 0) const;
+
  private:
   friend DistKernel compile_dist_matvec(runtime::Process&,
                                         const formats::Csr&,

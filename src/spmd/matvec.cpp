@@ -7,6 +7,7 @@
 #include "compiler/planner.hpp"
 #include "distrib/chaos.hpp"
 #include "relation/array_views.hpp"
+#include "support/counters.hpp"
 #include "support/error.hpp"
 
 namespace bernoulli::spmd {
@@ -136,6 +137,7 @@ void DistSpmv::compute_nonlocal(ConstVectorView x_full, VectorView y) const {
 
 void DistSpmv::apply(runtime::Process& p, VectorView x_full, VectorView y,
                      int tag) const {
+  support::ScopedCounterPhase phase("executor");
   BERNOULLI_CHECK(static_cast<index_t>(x_full.size()) == sched.full_size());
   BERNOULLI_CHECK(static_cast<index_t>(y.size()) == sched.owned);
 
@@ -217,6 +219,7 @@ DistSpmv build_dist_spmv(runtime::Process& p, const Csr& a,
   }
 
   p.barrier();  // exclude prep skew from the timed window
+  support::ScopedCounterPhase phase("inspector");
   const double inspector_t0 = p.virtual_time();
 
   // ---- Inspector proper -------------------------------------------------

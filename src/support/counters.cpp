@@ -1,0 +1,138 @@
+#include "support/counters.hpp"
+
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+#include "support/json_writer.hpp"
+
+namespace bernoulli::support {
+
+namespace {
+
+// Leaked on purpose: counters are incremented from rank threads that may
+// outlive static-destruction order in exotic shutdown paths; a leaked
+// registry makes every Counter& valid for the whole process lifetime.
+template <typename T>
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, T*> by_name;
+  std::deque<T> storage;
+
+  T& get(const std::string& name) {
+    std::lock_guard<std::mutex> lk(mu);
+    auto it = by_name.find(name);
+    if (it != by_name.end()) return *it->second;
+    storage.emplace_back();
+    by_name.emplace(name, &storage.back());
+    return storage.back();
+  }
+};
+
+Registry<Counter>& count_registry() {
+  static Registry<Counter>* r = new Registry<Counter>();
+  return *r;
+}
+
+Registry<TimeCounter>& time_registry() {
+  static Registry<TimeCounter>* r = new Registry<TimeCounter>();
+  return *r;
+}
+
+thread_local std::string t_phase = "main";
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  return count_registry().get(name);
+}
+
+TimeCounter& time_counter(const std::string& name) {
+  return time_registry().get(name);
+}
+
+CountersSnapshot counters_snapshot() {
+  CountersSnapshot snap;
+  {
+    auto& r = count_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& [name, c] : r.by_name) snap.counts[name] = c->value();
+  }
+  {
+    auto& r = time_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (const auto& [name, c] : r.by_name) snap.seconds[name] = c->seconds();
+  }
+  return snap;
+}
+
+void counters_reset() {
+  {
+    auto& r = count_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (auto& [name, c] : r.by_name) c->reset();
+  }
+  {
+    auto& r = time_registry();
+    std::lock_guard<std::mutex> lk(r.mu);
+    for (auto& [name, c] : r.by_name) c->reset();
+  }
+}
+
+std::string counters_text() {
+  CountersSnapshot snap = counters_snapshot();
+  std::size_t width = 0;
+  for (const auto& [name, v] : snap.counts) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.seconds)
+    width = std::max(width, name.size());
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counts)
+    os << name << std::string(width - name.size() + 2, ' ') << v << "\n";
+  os.setf(std::ios::scientific);
+  os.precision(3);
+  for (const auto& [name, v] : snap.seconds)
+    os << name << std::string(width - name.size() + 2, ' ') << v << " s\n";
+  return os.str();
+}
+
+std::string counters_json(int indent) {
+  CountersSnapshot snap = counters_snapshot();
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("counts").begin_object();
+  for (const auto& [name, v] : snap.counts) w.key(name).value(v);
+  w.end_object();
+  w.key("seconds").begin_object();
+  for (const auto& [name, v] : snap.seconds) w.key(name).value(v);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+const std::string& counter_phase() { return t_phase; }
+
+void set_counter_phase(std::string phase) { t_phase = std::move(phase); }
+
+ScopedCounterPhase::ScopedCounterPhase(std::string phase)
+    : saved_(t_phase) {
+  t_phase = std::move(phase);
+}
+
+ScopedCounterPhase::~ScopedCounterPhase() { t_phase = std::move(saved_); }
+
+Counter& phase_counter(std::string_view family, std::string_view suffix) {
+  std::string name;
+  name.reserve(family.size() + t_phase.size() + suffix.size() + 2);
+  name.append(family).append(".").append(t_phase).append(".").append(suffix);
+  return counter(name);
+}
+
+TimeCounter& phase_time_counter(std::string_view family,
+                                std::string_view suffix) {
+  std::string name;
+  name.reserve(family.size() + t_phase.size() + suffix.size() + 2);
+  name.append(family).append(".").append(t_phase).append(".").append(suffix);
+  return time_counter(name);
+}
+
+}  // namespace bernoulli::support

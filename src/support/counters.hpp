@@ -1,0 +1,94 @@
+// Pipeline-wide runtime counters (the observability layer).
+//
+// A process-global registry of named monotonic counters, threaded through
+// the join executor (probes, merge steps, tuples), the relation views
+// (hash probes, accumulator fill-ins), the communication schedules and the
+// simulated machine (per-phase messages/bytes/virtual time). Counter
+// lookups are mutex-protected, but the returned Counter& is stable for the
+// life of the process, so hot paths pay one lookup (function-local static)
+// and then a relaxed atomic add per event.
+//
+// Phases: instrumented communication and virtual-time counters are split
+// by a per-thread PHASE TAG ("main" by default; the inspector/executor
+// paths scope it to "inspector"/"executor"), which is what lets a bench
+// attribute traffic to the inspector vs. the executor and reconcile the
+// split against runtime::CommStats totals.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace bernoulli::support {
+
+/// Monotonic event counter. Relaxed atomics: totals are exact, ordering
+/// between counters is not promised.
+class Counter {
+ public:
+  void add(long long delta = 1) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  long long value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> v_{0};
+};
+
+/// Accumulated seconds (virtual or wall); same contract as Counter.
+class TimeCounter {
+ public:
+  void add(double seconds) { v_.fetch_add(seconds, std::memory_order_relaxed); }
+  double seconds() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Registry lookup; registers the counter on first use. The reference
+/// stays valid for the life of the process.
+Counter& counter(const std::string& name);
+TimeCounter& time_counter(const std::string& name);
+
+struct CountersSnapshot {
+  std::map<std::string, long long> counts;
+  std::map<std::string, double> seconds;
+};
+
+/// Snapshot of every registered counter (zero-valued ones included).
+CountersSnapshot counters_snapshot();
+
+/// Zeroes every registered counter. Registered names (and addresses)
+/// survive the reset — tests use reset + run + snapshot.
+void counters_reset();
+
+/// Renders a snapshot as an aligned text block / a JSON object
+/// {"counts": {...}, "seconds": {...}}.
+std::string counters_text();
+std::string counters_json(int indent = 0);
+
+/// Per-thread phase tag, prepended as "comm.<phase>." / "vtime.<phase>."
+/// by the instrumented communication layer. Defaults to "main".
+const std::string& counter_phase();
+void set_counter_phase(std::string phase);
+
+/// RAII phase scope: restores the previous phase on destruction.
+class ScopedCounterPhase {
+ public:
+  explicit ScopedCounterPhase(std::string phase);
+  ~ScopedCounterPhase();
+  ScopedCounterPhase(const ScopedCounterPhase&) = delete;
+  ScopedCounterPhase& operator=(const ScopedCounterPhase&) = delete;
+
+ private:
+  std::string saved_;
+};
+
+/// Phase-qualified lookups: counter("comm." + phase() + "." + suffix).
+Counter& phase_counter(std::string_view family, std::string_view suffix);
+TimeCounter& phase_time_counter(std::string_view family,
+                                std::string_view suffix);
+
+}  // namespace bernoulli::support

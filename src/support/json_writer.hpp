@@ -1,0 +1,184 @@
+// Minimal dependency-free JSON writer for observability output (EXPLAIN
+// plans, counter snapshots, bench reports).
+//
+// The writer is a streaming builder: begin_object()/begin_array() open a
+// container, key() names the next member, value() emits a scalar, and
+// end_object()/end_array() close. Commas and quoting are handled
+// automatically; strings are escaped per RFC 8259. Numbers are rendered
+// with enough precision to round-trip a double; non-finite values become
+// null (JSON has no representation for them).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace bernoulli::support {
+
+class JsonWriter {
+ public:
+  /// `indent` > 0 pretty-prints with that many spaces per nesting level;
+  /// 0 emits compact single-line JSON.
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& begin_object() {
+    open_value();
+    out_ += '{';
+    stack_.push_back({/*array=*/false, /*empty=*/true});
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    BERNOULLI_CHECK(!stack_.empty() && !stack_.back().array);
+    close_container('}');
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    open_value();
+    out_ += '[';
+    stack_.push_back({/*array=*/true, /*empty=*/true});
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    BERNOULLI_CHECK(!stack_.empty() && stack_.back().array);
+    close_container(']');
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    BERNOULLI_CHECK(!stack_.empty() && !stack_.back().array && !have_key_);
+    separate();
+    quote(k);
+    out_ += indent_ > 0 ? ": " : ":";
+    have_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view s) {
+    open_value();
+    quote(s);
+    return *this;
+  }
+  JsonWriter& value(const char* s) { return value(std::string_view(s)); }
+  JsonWriter& value(bool b) {
+    open_value();
+    out_ += b ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    open_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(double v) {
+    open_value();
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    // Shortest representation that round-trips; integers print bare.
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    double parsed = 0.0;
+    std::sscanf(buf, "%lf", &parsed);
+    for (int prec = 1; prec < 17; ++prec) {
+      char tight[32];
+      std::snprintf(tight, sizeof(tight), "%.*g", prec, v);
+      std::sscanf(tight, "%lf", &parsed);
+      if (parsed == v) {
+        std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+        break;
+      }
+    }
+    out_ += buf;
+    return *this;
+  }
+
+  /// Splices a pre-rendered JSON document in value position (e.g. the
+  /// output of another JsonWriter). The caller vouches for its validity;
+  /// compact splices stay compact inside a pretty-printed parent.
+  JsonWriter& raw(std::string_view json) {
+    open_value();
+    out_ += json;
+    return *this;
+  }
+
+  /// The completed document. All containers must be closed.
+  std::string str() const {
+    BERNOULLI_CHECK_MSG(stack_.empty(), "unclosed JSON container");
+    return out_;
+  }
+
+ private:
+  struct Frame {
+    bool array;
+    bool empty;
+  };
+
+  void separate() {
+    if (!stack_.back().empty) out_ += ',';
+    stack_.back().empty = false;
+    newline();
+  }
+
+  // Positions the cursor for a value: after a key inside an object, or as
+  // the next element of an array / the document root.
+  void open_value() {
+    if (!stack_.empty() && !stack_.back().array) {
+      BERNOULLI_CHECK_MSG(have_key_, "object member needs key() first");
+      have_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) separate();
+  }
+
+  void close_container(char c) {
+    bool was_empty = stack_.back().empty;
+    stack_.pop_back();
+    if (!was_empty) newline();
+    out_ += c;
+  }
+
+  void newline() {
+    if (indent_ <= 0) return;
+    out_ += '\n';
+    out_.append(static_cast<std::size_t>(indent_) * stack_.size(), ' ');
+  }
+
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  int indent_;
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool have_key_ = false;
+};
+
+}  // namespace bernoulli::support
