@@ -15,6 +15,12 @@
 // predicted from the CommSchedule alone vs. runtime::CommStats), plus the
 // full counter registry and a reconciliation block proving the
 // phase-split comm.* counters sum to the CommStats totals.
+//
+// `--trace=<file>` / `--comm-matrix` run a reduced traced measurement
+// (P=4, all three variants): the trace gets one track per rank on virtual
+// time with send->recv flow arrows, and support::obs_end asserts that the
+// send-span byte args in the exported JSON, the comm matrix, and the
+// comm.<phase>.* counters all equal the CommStats totals exactly.
 #include <cstring>
 #include <iostream>
 
@@ -22,6 +28,7 @@
 #include "support/counters.hpp"
 #include "support/json_writer.hpp"
 #include "support/text_table.hpp"
+#include "support/trace_cli.hpp"
 
 namespace {
 
@@ -151,10 +158,39 @@ int run_report() {
   return 0;
 }
 
+int run_traced(const support::ObsOptions& obs) {
+  const int P = 4;
+  const int iterations = 10;
+  std::cout << "=== Table 2 traced run: P=" << P << ", " << iterations
+            << " CG iterations, all variants ===\n";
+  support::obs_begin(obs);
+  bench::Problem prob = bench::build_problem(P);
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
+  for (Variant v :
+       {Variant::kBlockSolve, Variant::kBernoulliMixed, Variant::kBernoulli}) {
+    auto t = bench::measure_variant_calibrated(prob, P, v, iterations);
+    commstats_messages += t.total_messages;
+    commstats_bytes += t.total_bytes;
+    std::cout << "  " << spmd::variant_name(v) << ": inspector "
+              << t.inspector_s << " s, executor " << t.executor_s
+              << " s (virtual)\n";
+  }
+  // Aborts nonzero if the trace/matrix/counters disagree with CommStats.
+  support::obs_end(obs, commstats_messages, commstats_bytes);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--report=json") == 0) return run_report();
+  support::ObsOptions obs;
+  bool report = false;
+  for (int i = 1; i < argc; ++i) {
+    if (support::obs_parse_flag(argv[i], obs)) continue;
+    if (std::strcmp(argv[i], "--report=json") == 0) report = true;
+  }
+  if (report) return run_report();
+  if (obs.active()) return run_traced(obs);
   return run_table();
 }

@@ -10,22 +10,37 @@
 //                    and querying the Chaos distributed translation table
 //                    is all-to-all with volume ~ problem size)
 //   Indirect         worst of both
+//
+// `--trace=<file>` / `--comm-matrix` record the run (reduced to P=4 so the
+// trace stays readable) and assert the comm reconciliation invariant; the
+// traced inspectors show the Chaos build/query all-to-all phases per rank.
 #include <iostream>
+#include <vector>
 
 #include "common.hpp"
 #include "support/text_table.hpp"
+#include "support/trace_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bernoulli;
   using spmd::Variant;
+
+  support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
 
   std::cout << "=== Table 3: inspector overhead "
             << "(inspector time / one executor iteration) ===\n\n";
 
+  const std::vector<int> procs =
+      obs.active() ? std::vector<int>{4} : std::vector<int>{2, 4, 8, 16, 32, 64};
+  support::obs_begin(obs);
+
   TextTable table({"P", "BlockSolve", "Bern-Mixed", "Bernoulli",
                    "Indir-Mixed", "Indirect"});
   const int iterations = 10;
-  for (int P : {2, 4, 8, 16, 32, 64}) {
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
+  for (int P : procs) {
     bench::Problem prob = bench::build_problem(P);
     table.new_row();
     table.add(P);
@@ -33,6 +48,8 @@ int main() {
          {Variant::kBlockSolve, Variant::kBernoulliMixed, Variant::kBernoulli,
           Variant::kIndirectMixed, Variant::kIndirect}) {
       auto t = bench::measure_variant_calibrated(prob, P, v, iterations);
+      commstats_messages += t.total_messages;
+      commstats_bytes += t.total_bytes;
       table.add(t.inspector_ratio, 1);
     }
     std::cerr << "  [P=" << P << " done]\n";
@@ -41,5 +58,7 @@ int main() {
             << "\nExpected shape (paper): BlockSolve < Bernoulli-Mixed "
                "(small constants);\nBernoulli and Indirect-Mixed an order "
                "of magnitude above Bernoulli-Mixed;\nIndirect worst.\n";
+  // Aborts nonzero if the trace/matrix/counters disagree with CommStats.
+  support::obs_end(obs, commstats_messages, commstats_bytes);
   return 0;
 }

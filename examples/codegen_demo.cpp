@@ -10,6 +10,9 @@
 //   --report=json    one JSON document: every plan's EXPLAIN in machine
 //                    form plus the runtime counter registry after running
 //                    each kernel (estimate vs. measured join work)
+//   --trace=<file>   record a Chrome trace of the compile+run work (plan /
+//                    cost / execute / join spans on the host track) and
+//                    write it to <file>; combines with any mode above
 #include <cstring>
 #include <iostream>
 
@@ -19,6 +22,7 @@
 #include "support/counters.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
+#include "support/trace_cli.hpp"
 
 namespace {
 
@@ -30,7 +34,9 @@ int main(int argc, char** argv) {
   using namespace bernoulli;
 
   Mode mode = Mode::kDefault;
+  support::ObsOptions obs;
   for (int i = 1; i < argc; ++i) {
+    if (support::obs_parse_flag(argv[i], obs)) continue;
     if (std::strcmp(argv[i], "--explain") == 0) mode = Mode::kExplain;
     if (std::strcmp(argv[i], "--report=json") == 0) mode = Mode::kJson;
   }
@@ -95,6 +101,8 @@ int main(int argc, char** argv) {
     cases.push_back(std::move(c));
   }
 
+  support::obs_begin(obs);
+
   if (mode == Mode::kJson) {
     support::counters_reset();
     support::JsonWriter w(2);
@@ -115,16 +123,21 @@ int main(int argc, char** argv) {
     w.key("counters").raw(support::counters_json());
     w.end_object();
     std::cout << w.str() << "\n";
-    return 0;
+  } else {
+    for (auto& c : cases) {
+      std::cout << c.title << "\n";
+      auto k = compiler::compile(matvec, c.bind);
+      std::fill(y.begin(), y.end(), 0.0);
+      if (!obs.trace_path.empty()) k.run();  // put execute spans on the track
+      if (mode == Mode::kExplain)
+        std::cout << k.explain() << '\n';
+      else
+        std::cout << k.describe_plan() << '\n' << k.emit(c.name) << '\n';
+    }
   }
 
-  for (auto& c : cases) {
-    std::cout << c.title << "\n";
-    auto k = compiler::compile(matvec, c.bind);
-    if (mode == Mode::kExplain)
-      std::cout << k.explain() << '\n';
-    else
-      std::cout << k.describe_plan() << '\n' << k.emit(c.name) << '\n';
-  }
+  // The demo is sequential — everything lands on the host track, and there
+  // is zero communication to reconcile.
+  support::obs_end(obs, /*commstats_messages=*/0, /*commstats_bytes=*/0);
   return 0;
 }

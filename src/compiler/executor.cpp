@@ -4,6 +4,9 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/histogram.hpp"
+#include "support/json_writer.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::compiler {
 
@@ -36,9 +39,25 @@ class Interpreter {
     pos_.resize(q.relations.size());
     for (std::size_t r = 0; r < q.relations.size(); ++r)
       pos_[r].assign(q.relations[r].vars.size(), -1);
+    // Per-level fan-out histograms (bindings produced per invocation of a
+    // join level) — one registry lookup per run, one atomic add per level
+    // invocation in the hot loop.
+    fanout_.reserve(plan.levels.size());
+    for (std::size_t d = 0; d < plan.levels.size(); ++d)
+      fanout_.push_back(&support::histogram("executor.fanout.level" +
+                                            std::to_string(d)));
+    produced_.assign(plan.levels.size(), 0);
+    enumerated_.assign(plan.levels.size(), 0);
   }
 
   void run() { level(0); }
+
+  long long produced(std::size_t d) const {
+    return produced_[d];
+  }
+  long long enumerated(std::size_t d) const {
+    return enumerated_[d];
+  }
 
  private:
   index_t parent_pos(const Access& a) const {
@@ -109,14 +128,22 @@ class Interpreter {
     }
     const PlanLevel& lv = plan_.levels[d];
     const std::size_t slot = var_slot(lv.var);
+    // Bindings this invocation enumerated / passed on — one fan-out
+    // histogram sample per invocation, per-level totals for the trace.
+    long long inv_enumerated = 0;
+    long long inv_produced = 0;
 
     if (lv.method == JoinMethod::kEnumerate) {
       const Access& drv = lv.drivers[0];
       level_of(drv).enumerate(parent_pos(drv), [&](index_t idx, index_t p) {
         ctr.enumerated.add();
+        ++inv_enumerated;
         var_value_[slot] = idx;
         set_pos(drv, p);
-        if (resolve_probes(lv)) level(d + 1);
+        if (resolve_probes(lv)) {
+          ++inv_produced;
+          level(d + 1);
+        }
         return true;
       });
     } else {
@@ -130,6 +157,7 @@ class Interpreter {
             .enumerate(parent_pos(lv.drivers[s]),
                        [&](index_t idx, index_t p) {
                          ctr.enumerated.add();
+                         ++inv_enumerated;
                          segments_[s].emplace_back(idx, p);
                          return true;
                        });
@@ -164,11 +192,17 @@ class Interpreter {
           var_value_[slot] = target;
           for (std::size_t s = 0; s < k; ++s)
             set_pos(lv.drivers[s], segments_[s][finger[s]].second);
-          if (resolve_probes(lv)) level(d + 1);
+          if (resolve_probes(lv)) {
+            ++inv_produced;
+            level(d + 1);
+          }
           for (std::size_t s = 0; s < k; ++s) ++finger[s];
         }
       }
     }
+    fanout_[d]->add(inv_produced);
+    produced_[d] += inv_produced;
+    enumerated_[d] += inv_enumerated;
   }
 
   std::vector<index_t> leaf_buffer_;
@@ -184,6 +218,9 @@ class Interpreter {
   const Action& action_;
   std::vector<index_t> var_value_;
   std::vector<std::vector<index_t>> pos_;
+  std::vector<support::Log2Histogram*> fanout_;  // one per plan level
+  std::vector<long long> produced_;
+  std::vector<long long> enumerated_;
 };
 
 }  // namespace
@@ -191,7 +228,38 @@ class Interpreter {
 void execute(const Plan& plan, const Query& q, const Action& action) {
   q.validate();
   exec_counters().runs.add();
-  Interpreter(plan, q, action).run();
+  Interpreter interp(plan, q, action);
+  if (!support::trace_enabled()) {
+    interp.run();
+    return;
+  }
+  support::TraceSpan span("execute", "compiler");
+  const double t0 = support::trace_now_us();
+  interp.run();
+  const double t1 = support::trace_now_us();
+  // One nested span per join level, carrying the tuple counts the run
+  // actually saw. The interpreter interleaves levels recursively, so a
+  // level has no contiguous real interval; each span is drawn over the
+  // whole execute window, shrunk by depth so the viewer nests them.
+  const support::TraceTrack track = support::trace_track();
+  const double width = t1 - t0;
+  const double step = width / (2.0 * static_cast<double>(plan.levels.size()) +
+                               2.0);
+  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+    const PlanLevel& lv = plan.levels[d];
+    support::JsonWriter args;
+    args.begin_object();
+    args.key("var").value(lv.var);
+    args.key("method").value(lv.method == JoinMethod::kMerge ? "merge"
+                                                             : "enumerate");
+    args.key("enumerated").value(interp.enumerated(d));
+    args.key("produced").value(interp.produced(d));
+    args.end_object();
+    const double inset = step * static_cast<double>(d + 1);
+    support::trace_emit_complete("join " + lv.var, "compiler", t0 + inset,
+                                 std::max(width - 2.0 * inset, 0.0),
+                                 track.pid, track.tid, args.str());
+  }
 }
 
 Action multiply_accumulate(const Query& q, index_t target_rel,

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::compiler {
 
@@ -92,6 +93,11 @@ std::optional<Plan> plan_order(const Query& q,
 
   for (std::size_t vi = 0; vi < order.size(); ++vi) {
     const std::string& var = order[vi];
+    // One "cost" span per join level costed, nested under the "plan" span:
+    // the trace shows exactly which (order, level) combinations the
+    // planner priced and what each estimate came out to.
+    support::TraceSpan cost_span("cost", "planner");
+    cost_span.arg("var", var);
     PlanLevel level;
     level.var = var;
 
@@ -213,6 +219,10 @@ std::optional<Plan> plan_order(const Query& q,
     level.est_cost = enum_cost + probe_invocations * probes_cost;
     plan.total_cost += card_in * level.est_cost;
     card_in *= std::max(level.est_iterations, 1e-9);
+    cost_span.arg("method",
+                  level.method == JoinMethod::kMerge ? "merge" : "enumerate")
+        .arg("est_cost", level.est_cost)
+        .arg("est_iterations", level.est_iterations);
     plan.levels.push_back(std::move(level));
   }
 
@@ -231,6 +241,7 @@ std::optional<Plan> plan_order(const Query& q,
 
 Plan plan_query(const Query& q, const PlannerOptions& opts) {
   q.validate();
+  support::TraceSpan span("plan", "planner");
 
   std::vector<std::vector<std::string>> orders;
   if (opts.force_order) {
@@ -252,6 +263,9 @@ Plan plan_query(const Query& q, const PlannerOptions& opts) {
     }
   }
   BERNOULLI_CHECK_MSG(best.has_value(), "no feasible join order for query");
+  span.arg("orders_tried", static_cast<long long>(orders.size()))
+      .arg("levels", static_cast<long long>(best->levels.size()))
+      .arg("chosen_cost", best->total_cost);
   return *best;
 }
 

@@ -2,6 +2,7 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::distrib {
 
@@ -29,6 +30,8 @@ ChaosTranslationTable::ChaosTranslationTable(runtime::Process& p,
                                              index_t global_size,
                                              std::span<const index_t> my_rows)
     : n_(global_size) {
+  support::TraceSpan span("chaos.build", "distrib");
+  span.arg("registered", static_cast<long long>(my_rows.size()));
   support::counter("distrib.chaos.builds").add();
   support::counter("distrib.chaos.registered")
       .add(static_cast<long long>(my_rows.size()));
@@ -66,6 +69,8 @@ ChaosTranslationTable::ChaosTranslationTable(runtime::Process& p,
 
 std::vector<OwnerLocal> ChaosTranslationTable::query(
     runtime::Process& p, std::span<const index_t> globals) const {
+  support::TraceSpan span("chaos.query", "distrib");
+  span.arg("translated", static_cast<long long>(globals.size()));
   support::counter("distrib.chaos.queries").add();
   support::counter("distrib.chaos.translated")
       .add(static_cast<long long>(globals.size()));

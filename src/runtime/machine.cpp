@@ -1,9 +1,11 @@
 #include "runtime/machine.hpp"
 
 #include <cmath>
+#include <optional>
 #include <thread>
 
 #include "support/counters.hpp"
+#include "support/histogram.hpp"
 #include "support/timer.hpp"
 
 namespace bernoulli::runtime {
@@ -22,14 +24,33 @@ std::vector<Machine::RankReport> Machine::run(
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(nprocs_));
 
+  // One trace process group per machine run; each rank is a track whose
+  // clock is the rank's VIRTUAL time, so the exported timeline shows what
+  // a dedicated-node MPI profiler would (not host-thread interleaving).
+  const int trace_pid =
+      support::trace_enabled()
+          ? support::trace_register_process("machine P=" +
+                                            std::to_string(nprocs_))
+          : -1;
+
   for (int p = 0; p < nprocs_; ++p) {
     threads.emplace_back([&, p] {
       Process proc(*this, p, nprocs_);
+      proc.trace_pid_ = trace_pid;
       proc.cpu_mark_ = ThreadCpuTimer::now();
-      try {
-        fn(proc);
-      } catch (...) {
-        errors[static_cast<std::size_t>(p)] = std::current_exception();
+      {
+        std::optional<support::TraceTrackScope> track;
+        if (trace_pid >= 0) {
+          track.emplace(trace_pid, p,
+                        [&proc] { return proc.virtual_time() * 1e6; });
+          support::trace_name_thread(trace_pid, p,
+                                     "rank " + std::to_string(p));
+        }
+        try {
+          fn(proc);
+        } catch (...) {
+          errors[static_cast<std::size_t>(p)] = std::current_exception();
+        }
       }
       proc.advance_clock();
       reports[static_cast<std::size_t>(p)] = {proc.vclock_, proc.stats_};
@@ -99,9 +120,10 @@ double Process::virtual_time() {
 void Process::send_bytes(int dst, int tag, std::span<const std::byte> data) {
   BERNOULLI_CHECK(dst >= 0 && dst < nprocs_);
   advance_clock();
+  const double t_begin = vclock_;
   double transfer = dst == rank_ ? 0.0 : machine_.cost_.charge(data.size());
   vclock_ += dst == rank_ ? 0.0 : machine_.cost_.latency_s;  // send overhead
-  Machine::Message msg{{data.begin(), data.end()}, vclock_ + transfer};
+  Machine::Message msg{{data.begin(), data.end()}, vclock_ + transfer, -1};
   if (dst != rank_) {
     ++stats_.messages;
     stats_.bytes += static_cast<long long>(data.size());
@@ -111,6 +133,34 @@ void Process::send_bytes(int dst, int tag, std::span<const std::byte> data) {
     support::phase_counter("comm", "bytes")
         .add(static_cast<long long>(data.size()));
     support::phase_time_counter("vtime", "comm").add(machine_.cost_.latency_s);
+    {
+      static support::Log2Histogram& sizes =
+          support::histogram("comm.message_bytes");
+      sizes.add(static_cast<long long>(data.size()));
+    }
+    // Single-booking invariant: the comm matrix and the send span are fed
+    // from this one site, under the same dst != rank_ condition as
+    // CommStats and the comm.* counters, so all four reconcile exactly.
+    if (support::comm_record_enabled())
+      support::comm_matrix_record(rank_, dst,
+                                  static_cast<long long>(data.size()));
+    if (trace_pid_ >= 0 && support::trace_enabled()) {
+      msg.flow = support::trace_new_flow_id();
+      support::JsonWriter args;
+      args.begin_object();
+      args.key("dst").value(dst);
+      args.key("tag").value(tag);
+      args.key("bytes").value(static_cast<long long>(data.size()));
+      args.end_object();
+      support::trace_emit_complete("send", "comm", t_begin * 1e6,
+                                   (vclock_ - t_begin) * 1e6, trace_pid_,
+                                   rank_, args.str());
+      support::trace_emit_flow(/*start=*/true, msg.flow, vclock_ * 1e6,
+                               trace_pid_, rank_);
+      support::trace_emit_counter("tx bytes",
+                                  static_cast<double>(stats_.bytes),
+                                  vclock_ * 1e6, trace_pid_, rank_);
+    }
   }
   auto& mb = *machine_.mailboxes_[static_cast<std::size_t>(dst)];
   {
@@ -127,6 +177,7 @@ void Process::send_bytes(int dst, int tag, std::span<const std::byte> data) {
 std::vector<std::byte> Process::recv_bytes(int src, int tag) {
   BERNOULLI_CHECK(src >= 0 && src < nprocs_);
   advance_clock();  // book the compute that preceded the receive
+  const double t_begin = vclock_;
   auto& mb = *machine_.mailboxes_[static_cast<std::size_t>(rank_)];
   Machine::Message msg;
   {
@@ -149,6 +200,22 @@ std::vector<std::byte> Process::recv_bytes(int src, int tag) {
     support::phase_time_counter("vtime", "comm").add(msg.arrival - vclock_);
   vclock_ = std::max(vclock_, msg.arrival);
   cpu_mark_ = ThreadCpuTimer::now();
+  if (trace_pid_ >= 0 && support::trace_enabled()) {
+    // The recv span covers entry -> message arrival: its width is the
+    // virtual time this rank spent waiting on the sender.
+    support::JsonWriter args;
+    args.begin_object();
+    args.key("src").value(src);
+    args.key("tag").value(tag);
+    args.key("bytes").value(static_cast<long long>(msg.data.size()));
+    args.end_object();
+    support::trace_emit_complete("recv", "comm", t_begin * 1e6,
+                                 (vclock_ - t_begin) * 1e6, trace_pid_,
+                                 rank_, args.str());
+    if (msg.flow >= 0)
+      support::trace_emit_flow(/*start=*/false, msg.flow, vclock_ * 1e6,
+                               trace_pid_, rank_);
+  }
   return std::move(msg.data);
 }
 
@@ -165,7 +232,7 @@ double collective_charge(const CostModel& cost, int nprocs,
 }  // namespace
 
 void Process::barrier() {
-  allreduce_sum(0.0);
+  reduce_rendezvous(0.0, "barrier");
 }
 
 namespace {
@@ -181,14 +248,14 @@ struct ReduceResult {
 // Shared rendezvous: accumulates (sum, max, clock) across all ranks and
 // publishes the completed round's results before waking waiters.
 double Process::allreduce_sum(double x) {
-  return reduce_rendezvous(x).sum;
+  return reduce_rendezvous(x, "allreduce_sum").sum;
 }
 
 double Process::allreduce_max(double x) {
-  return reduce_rendezvous(x).max;
+  return reduce_rendezvous(x, "allreduce_max").max;
 }
 
-Process::Reduced Process::reduce_rendezvous(double x) {
+Process::Reduced Process::reduce_rendezvous(double x, const char* span_name) {
   advance_clock();
   ++stats_.collectives;
   support::phase_counter("comm", "collectives").add();
@@ -225,6 +292,11 @@ Process::Reduced Process::reduce_rendezvous(double x) {
   if (vclock_ > entered)
     support::phase_time_counter("vtime", "comm").add(vclock_ - entered);
   cpu_mark_ = ThreadCpuTimer::now();
+  if (trace_pid_ >= 0 && support::trace_enabled())
+    // Span width = wait for the slowest rank + the modeled tree rounds.
+    support::trace_emit_complete(span_name, "comm", entered * 1e6,
+                                 (vclock_ - entered) * 1e6, trace_pid_,
+                                 rank_);
   return out;
 }
 

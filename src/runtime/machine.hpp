@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 #include "support/types.hpp"
 
 namespace bernoulli::runtime {
@@ -114,6 +115,7 @@ class Process {
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& out,
                                         int tag) {
     BERNOULLI_CHECK(static_cast<int>(out.size()) == nprocs_);
+    support::TraceSpan span("alltoallv", "comm");
     for (int p = 0; p < nprocs_; ++p)
       send<T>(p, tag, std::span<const T>(out[static_cast<std::size_t>(p)]));
     std::vector<std::vector<T>> in(static_cast<std::size_t>(nprocs_));
@@ -168,7 +170,7 @@ class Process {
     double max = 0.0;
     double clock = 0.0;
   };
-  Reduced reduce_rendezvous(double x);
+  Reduced reduce_rendezvous(double x, const char* span_name);
 
   Machine& machine_;
   int rank_;
@@ -176,6 +178,11 @@ class Process {
   double vclock_ = 0.0;
   double cpu_mark_ = 0.0;  // thread CPU time at last advance
   bool manual_compute_ = false;
+  // Trace process group for this machine run (-1 = tracing off). Rank
+  // timelines are laid out on VIRTUAL time: every send/recv/collective
+  // span is emitted with explicit virtual-clock timestamps, and matching
+  // send->recv pairs share a flow id so the viewer draws message arrows.
+  int trace_pid_ = -1;
   CommStats stats_;
 };
 
@@ -202,6 +209,7 @@ class Machine {
   struct Message {
     std::vector<std::byte> data;
     double arrival = 0.0;  // sender virtual time + transfer charge
+    long long flow = -1;   // trace flow id linking send span -> recv span
   };
   struct Mailbox {
     std::mutex mu;

@@ -4,6 +4,7 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::solvers {
 
@@ -23,7 +24,8 @@ DistCgResult dist_cg_preconditioned(runtime::Process& p,
   // The whole solve is executor-phase work (the inspector ran inside
   // build_dist_spmv): its allreduces and exchanges are attributed to
   // comm.executor.* / vtime.executor.*.
-  support::ScopedCounterPhase counter_phase("executor");
+  support::PhaseScope counter_phase("executor");
+  support::TraceSpan solve_span("cg.solve", "solvers");
 
   Vector r(n), z(n), pv(n), q(n);
   Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);
@@ -48,7 +50,10 @@ DistCgResult dist_cg_preconditioned(runtime::Process& p,
 
   DistCgResult result;
   for (int it = 0; it < opts.max_iterations; ++it) {
+    support::TraceSpan iter_span("cg.iteration", "solvers");
+    iter_span.arg("it", static_cast<long long>(it));
     result.residual_norm = std::sqrt(gdot(r, r));
+    iter_span.arg("residual", result.residual_norm);
     if (threshold >= 0 && result.residual_norm <= threshold) {
       result.converged = true;
       return result;

@@ -2,6 +2,7 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::spmd {
 
@@ -42,6 +43,8 @@ void CommSchedule::complete(runtime::Process& p, VectorView x_full,
 
 void CommSchedule::exchange(runtime::Process& p, VectorView x_full,
                             int tag) const {
+  support::TraceSpan span("exchange", "comm");
+  span.arg("ghosts", static_cast<long long>(ghosts));
   support::phase_counter("comm", "exchanges").add();
   support::phase_counter("comm", "ghost_values").add(ghosts);
   post(p, x_full, tag);
@@ -50,6 +53,9 @@ void CommSchedule::exchange(runtime::Process& p, VectorView x_full,
 
 void CommSchedule::exchange_block(runtime::Process& p, VectorView x_block,
                                   index_t width, int tag) const {
+  support::TraceSpan span("exchange_block", "comm");
+  span.arg("ghosts", static_cast<long long>(ghosts))
+      .arg("width", static_cast<long long>(width));
   support::phase_counter("comm", "exchanges").add();
   support::phase_counter("comm", "ghost_values").add(ghosts * width);
   BERNOULLI_CHECK(width >= 1);
@@ -82,6 +88,8 @@ void CommSchedule::exchange_block(runtime::Process& p, VectorView x_block,
 
 void CommSchedule::reverse_exchange_add(runtime::Process& p,
                                         VectorView x_full, int tag) const {
+  support::TraceSpan span("reverse_exchange_add", "comm");
+  span.arg("ghosts", static_cast<long long>(ghosts));
   support::phase_counter("comm", "reverse_exchanges").add();
   support::phase_counter("comm", "ghost_values").add(ghosts);
   BERNOULLI_CHECK(static_cast<index_t>(x_full.size()) == full_size());

@@ -4,6 +4,7 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::spmd {
 
@@ -17,7 +18,8 @@ VectorView DistKernel::x_owned() {
 ConstVectorView DistKernel::y_local() const { return *y_; }
 
 void DistKernel::run(runtime::Process& p, int tag) const {
-  support::ScopedCounterPhase phase("executor");
+  support::PhaseScope phase("executor");
+  support::TraceSpan span("dist_kernel.run", "spmd");
   std::fill(y_->begin(), y_->end(), 0.0);
   sched_.exchange(p, *x_full_, tag);
   kernel_->run();
@@ -39,6 +41,7 @@ std::string DistKernel::explain_json(int indent) const {
 
 DistKernel compile_dist_matvec(runtime::Process& p, const Csr& a,
                                const Distribution& rows, int build_tag) {
+  support::TraceSpan span("compile_dist_matvec", "spmd");
   BERNOULLI_CHECK(a.rows() == a.cols());
   // Reuse the inspector machinery to obtain the localized fragment and
   // the communication schedule (collocation of A and Y on the row

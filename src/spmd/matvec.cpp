@@ -9,6 +9,7 @@
 #include "relation/array_views.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::spmd {
 
@@ -137,7 +138,9 @@ void DistSpmv::compute_nonlocal(ConstVectorView x_full, VectorView y) const {
 
 void DistSpmv::apply(runtime::Process& p, VectorView x_full, VectorView y,
                      int tag) const {
-  support::ScopedCounterPhase phase("executor");
+  support::PhaseScope phase("executor");
+  support::TraceSpan span("spmv.apply", "spmd");
+  span.arg("variant", variant_name(variant));
   BERNOULLI_CHECK(static_cast<index_t>(x_full.size()) == sched.full_size());
   BERNOULLI_CHECK(static_cast<index_t>(y.size()) == sched.owned);
 
@@ -219,7 +222,9 @@ DistSpmv build_dist_spmv(runtime::Process& p, const Csr& a,
   }
 
   p.barrier();  // exclude prep skew from the timed window
-  support::ScopedCounterPhase phase("inspector");
+  support::PhaseScope phase("inspector");
+  support::TraceSpan insp_span("inspector", "spmd");
+  insp_span.arg("variant", variant_name(variant));
   const double inspector_t0 = p.virtual_time();
 
   // ---- Inspector proper -------------------------------------------------
@@ -230,31 +235,39 @@ DistSpmv build_dist_spmv(runtime::Process& p, const Csr& a,
   //      only (work ~ boundary);
   //    - BlockSolve: direct pass over A_SNL.
   std::vector<index_t> used;
-  p.solo([&] {
-    if (variant == Variant::kBlockSolve) {
-      used = used_columns_direct(frag_snl);
-    } else if (naive) {
-      // The generated fully-data-parallel inspector is also compiled code
-      // (kernel-library transcription of the emitted query); what makes it
-      // an order of magnitude more expensive than the mixed inspector is
-      // its reference VOLUME — it enumerates every reference in the
-      // fragment (plus the O(N) translation below), not just A_SNL's.
-      used = used_columns_direct(frag);
-    } else {
-      used = used_columns_relational(frag_snl);
-    }
-  });
+  {
+    support::TraceSpan step("inspector.used", "spmd");
+    p.solo([&] {
+      if (variant == Variant::kBlockSolve) {
+        used = used_columns_direct(frag_snl);
+      } else if (naive) {
+        // The generated fully-data-parallel inspector is also compiled code
+        // (kernel-library transcription of the emitted query); what makes
+        // it an order of magnitude more expensive than the mixed inspector
+        // is its reference VOLUME — it enumerates every reference in the
+        // fragment (plus the O(N) translation below), not just A_SNL's.
+        used = used_columns_direct(frag);
+      } else {
+        used = used_columns_relational(frag_snl);
+      }
+    });
+    step.arg("used", static_cast<long long>(used.size()));
+  }
 
   // 2. Ownership of the used indices: local lookups against the
   //    replicated distribution relation, or collective queries against the
   //    Chaos distributed translation table (build + query all-to-alls).
   std::vector<OwnerLocal> owners(used.size());
-  if (variant_uses_chaos(variant)) {
-    distrib::ChaosTranslationTable table(p, N, my_rows);
-    owners = table.query(p, used);
-  } else {
-    for (std::size_t k = 0; k < used.size(); ++k)
-      owners[k] = rows.owner_local(used[k]);
+  {
+    support::TraceSpan step("inspector.ownership", "spmd");
+    step.arg("chaos", variant_uses_chaos(variant));
+    if (variant_uses_chaos(variant)) {
+      distrib::ChaosTranslationTable table(p, N, my_rows);
+      owners = table.query(p, used);
+    } else {
+      for (std::size_t k = 0; k < used.size(); ++k)
+        owners[k] = rows.owner_local(used[k]);
+    }
   }
 
   // 3. Ghost layout: non-local used indices grouped by owner (ascending
@@ -267,40 +280,49 @@ DistSpmv build_dist_spmv(runtime::Process& p, const Csr& a,
 
   std::vector<std::vector<index_t>> need(static_cast<std::size_t>(P));
   std::unordered_map<index_t, index_t> slot_of;  // global j -> x_full slot
-  p.solo([&] {
-    for (std::size_t k = 0; k < used.size(); ++k) {
-      if (owners[k].owner == me) continue;  // naive variants see local j here
-      need[static_cast<std::size_t>(owners[k].owner)].push_back(used[k]);
-    }
-    index_t next_slot = m;
-    for (int q = 0; q < P; ++q) {
-      out.sched.ghost_base[static_cast<std::size_t>(q)] = next_slot;
-      out.sched.recv_count[static_cast<std::size_t>(q)] =
-          static_cast<index_t>(need[static_cast<std::size_t>(q)].size());
-      for (index_t j : need[static_cast<std::size_t>(q)])
-        slot_of.emplace(j, next_slot++);
-    }
-    out.sched.ghosts = next_slot - m;
-  });
+  {
+    support::TraceSpan step("inspector.ghost_layout", "spmd");
+    p.solo([&] {
+      for (std::size_t k = 0; k < used.size(); ++k) {
+        if (owners[k].owner == me) continue;  // naive variants: local j here
+        need[static_cast<std::size_t>(owners[k].owner)].push_back(used[k]);
+      }
+      index_t next_slot = m;
+      for (int q = 0; q < P; ++q) {
+        out.sched.ghost_base[static_cast<std::size_t>(q)] = next_slot;
+        out.sched.recv_count[static_cast<std::size_t>(q)] =
+            static_cast<index_t>(need[static_cast<std::size_t>(q)].size());
+        for (index_t j : need[static_cast<std::size_t>(q)])
+          slot_of.emplace(j, next_slot++);
+      }
+      out.sched.ghosts = next_slot - m;
+    });
+    step.arg("ghosts", static_cast<long long>(out.sched.ghosts));
+  }
 
   // 4. Tell each owner what we need (RecvInd -> their send lists).
-  auto requests = p.alltoallv(need, kRequestTag);
-  p.solo([&] {
-  for (int q = 0; q < P; ++q) {
-    auto& list = out.sched.send_local[static_cast<std::size_t>(q)];
-    list.reserve(requests[static_cast<std::size_t>(q)].size());
-    for (index_t j : requests[static_cast<std::size_t>(q)]) {
-      auto it = my_local.find(j);
-      BERNOULLI_CHECK_MSG(it != my_local.end(),
-                          "rank " << q << " requested " << j
-                                  << " which rank " << me << " does not own");
-      list.push_back(it->second);
-    }
+  {
+    support::TraceSpan step("inspector.requests", "spmd");
+    auto requests = p.alltoallv(need, kRequestTag);
+    p.solo([&] {
+      for (int q = 0; q < P; ++q) {
+        auto& list = out.sched.send_local[static_cast<std::size_t>(q)];
+        list.reserve(requests[static_cast<std::size_t>(q)].size());
+        for (index_t j : requests[static_cast<std::size_t>(q)]) {
+          auto it = my_local.find(j);
+          BERNOULLI_CHECK_MSG(it != my_local.end(),
+                              "rank " << q << " requested " << j
+                                      << " which rank " << me
+                                      << " does not own");
+          list.push_back(it->second);
+        }
+      }
+      out.sched.validate();
+    });
   }
-  out.sched.validate();
-  });
 
   // 5. Index-translation application.
+  support::TraceSpan translate_step("inspector.translate", "spmd");
   p.solo([&] {
   if (naive) {
     // The fully data-parallel code discovers locality per reference: build

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/trace.hpp"
 
 namespace bernoulli::spmd {
 
@@ -41,6 +42,7 @@ void block_pass(const Csr& a, std::span<const index_t> xtrans,
 void dist_spmv_transpose(runtime::Process& p, const DistSpmv& a,
                          ConstVectorView x_local, VectorView y_scratch,
                          int tag) {
+  support::TraceSpan span("dist_spmv_transpose", "spmd");
   BERNOULLI_CHECK_MSG(!variant_is_naive(a.variant),
                       "transpose executor is generated for the mixed "
                       "(localized-column) storage only");
@@ -70,6 +72,7 @@ void dist_spmv_transpose(runtime::Process& p, const DistSpmv& a,
 
 void dist_spmm(runtime::Process& p, const DistSpmv& a, Dense& x_full,
                Dense& y, int tag) {
+  support::TraceSpan span("dist_spmm", "spmd");
   const index_t width = x_full.cols();
   BERNOULLI_CHECK(x_full.rows() == a.sched.full_size());
   BERNOULLI_CHECK(y.rows() == a.local_rows() && y.cols() == width);

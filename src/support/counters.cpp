@@ -79,19 +79,26 @@ void counters_reset() {
   }
 }
 
-std::string counters_text() {
+std::string counters_text(bool skip_zero) {
   CountersSnapshot snap = counters_snapshot();
+  // Width over the counters that will actually print, so filtering zeros
+  // cannot change the alignment of what remains.
   std::size_t width = 0;
-  for (const auto& [name, v] : snap.counts) width = std::max(width, name.size());
-  for (const auto& [name, v] : snap.seconds)
-    width = std::max(width, name.size());
-  std::ostringstream os;
   for (const auto& [name, v] : snap.counts)
+    if (!skip_zero || v != 0) width = std::max(width, name.size());
+  for (const auto& [name, v] : snap.seconds)
+    if (!skip_zero || v != 0.0) width = std::max(width, name.size());
+  std::ostringstream os;
+  for (const auto& [name, v] : snap.counts) {
+    if (skip_zero && v == 0) continue;
     os << name << std::string(width - name.size() + 2, ' ') << v << "\n";
+  }
   os.setf(std::ios::scientific);
   os.precision(3);
-  for (const auto& [name, v] : snap.seconds)
+  for (const auto& [name, v] : snap.seconds) {
+    if (skip_zero && v == 0.0) continue;
     os << name << std::string(width - name.size() + 2, ' ') << v << " s\n";
+  }
   return os.str();
 }
 
@@ -111,14 +118,11 @@ std::string counters_json(int indent) {
 
 const std::string& counter_phase() { return t_phase; }
 
-void set_counter_phase(std::string phase) { t_phase = std::move(phase); }
-
-ScopedCounterPhase::ScopedCounterPhase(std::string phase)
-    : saved_(t_phase) {
+PhaseScope::PhaseScope(std::string phase) : saved_(t_phase) {
   t_phase = std::move(phase);
 }
 
-ScopedCounterPhase::~ScopedCounterPhase() { t_phase = std::move(saved_); }
+PhaseScope::~PhaseScope() { t_phase = std::move(saved_); }
 
 Counter& phase_counter(std::string_view family, std::string_view suffix) {
   std::string name;

@@ -64,23 +64,32 @@ CountersSnapshot counters_snapshot();
 /// survive the reset — tests use reset + run + snapshot.
 void counters_reset();
 
-/// Renders a snapshot as an aligned text block / a JSON object
-/// {"counts": {...}, "seconds": {...}}.
-std::string counters_text();
+/// Renders a snapshot as an aligned text block. Deterministic: one line
+/// per counter, sorted by name (count counters first, then time counters),
+/// two spaces of padding to the widest included name. `skip_zero` filters
+/// zero-valued counters — with a long-lived registry most names are noise
+/// for any single run, so reports pass true.
+std::string counters_text(bool skip_zero = false);
+
+/// JSON object {"counts": {...}, "seconds": {...}}, sorted by name.
 std::string counters_json(int indent = 0);
 
 /// Per-thread phase tag, prepended as "comm.<phase>." / "vtime.<phase>."
-/// by the instrumented communication layer. Defaults to "main".
+/// by the instrumented communication layer. Defaults to "main". The tag
+/// can ONLY be changed through PhaseScope: an exception-safe RAII scope is
+/// the one shape that cannot leak a phase past its region (a manual
+/// set/restore pair would stick on an early return or a throw, silently
+/// mis-attributing every later counter).
 const std::string& counter_phase();
-void set_counter_phase(std::string phase);
 
-/// RAII phase scope: restores the previous phase on destruction.
-class ScopedCounterPhase {
+/// RAII phase scope: installs `phase` for this thread, restores the
+/// previous phase on destruction (including unwinding).
+class PhaseScope {
  public:
-  explicit ScopedCounterPhase(std::string phase);
-  ~ScopedCounterPhase();
-  ScopedCounterPhase(const ScopedCounterPhase&) = delete;
-  ScopedCounterPhase& operator=(const ScopedCounterPhase&) = delete;
+  explicit PhaseScope(std::string phase);
+  ~PhaseScope();
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
 
  private:
   std::string saved_;

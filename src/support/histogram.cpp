@@ -1,0 +1,112 @@
+#include "support/histogram.hpp"
+
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+#include "support/json_writer.hpp"
+
+namespace bernoulli::support {
+
+namespace {
+
+// Leaked on purpose, same policy as the counter registry.
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Log2Histogram*> by_name;
+  std::deque<Log2Histogram> storage;
+};
+
+Registry& reg() {
+  static Registry* r = new Registry();
+  return *r;
+}
+
+}  // namespace
+
+std::string Log2Histogram::bucket_label(int i) {
+  if (i == 0) return "0";
+  if (i == 1) return "1";
+  long long lo = 1LL << (i - 1);
+  if (i == kBuckets - 1) return std::to_string(lo) + "+";
+  long long hi = (1LL << i) - 1;
+  return std::to_string(lo) + "-" + std::to_string(hi);
+}
+
+Log2Histogram& histogram(const std::string& name) {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  auto it = r.by_name.find(name);
+  if (it != r.by_name.end()) return *it->second;
+  r.storage.emplace_back();
+  r.by_name.emplace(name, &r.storage.back());
+  return r.storage.back();
+}
+
+std::map<std::string, std::vector<long long>> histograms_snapshot() {
+  std::map<std::string, std::vector<long long>> snap;
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (const auto& [name, h] : r.by_name) {
+    std::vector<long long> buckets(Log2Histogram::kBuckets);
+    for (int i = 0; i < Log2Histogram::kBuckets; ++i)
+      buckets[static_cast<std::size_t>(i)] = h->bucket(i);
+    snap.emplace(name, std::move(buckets));
+  }
+  return snap;
+}
+
+void histograms_reset() {
+  auto& r = reg();
+  std::lock_guard<std::mutex> lk(r.mu);
+  for (auto& [name, h] : r.by_name) h->reset();
+}
+
+std::string histograms_text(bool include_empty) {
+  auto snap = histograms_snapshot();
+  std::ostringstream os;
+  for (const auto& [name, buckets] : snap) {
+    long long total = 0;
+    for (long long c : buckets) total += c;
+    if (total == 0 && !include_empty) continue;
+    os << name << "  (" << total << " samples)\n";
+    for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+      long long c = buckets[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      std::string label = Log2Histogram::bucket_label(i);
+      os << "  " << label << std::string(16 - std::min<std::size_t>(
+                                             16, label.size()), ' ')
+         << c << "\n";
+    }
+  }
+  if (os.str().empty()) os << "(no histogram samples)\n";
+  return os.str();
+}
+
+std::string histograms_json(int indent) {
+  auto snap = histograms_snapshot();
+  JsonWriter w(indent);
+  w.begin_object();
+  for (const auto& [name, buckets] : snap) {
+    long long total = 0;
+    for (long long c : buckets) total += c;
+    if (total == 0) continue;
+    w.key(name).begin_object();
+    w.key("buckets").begin_array();
+    for (int i = 0; i < Log2Histogram::kBuckets; ++i) {
+      long long c = buckets[static_cast<std::size_t>(i)];
+      if (c == 0) continue;
+      w.begin_object();
+      w.key("range").value(Log2Histogram::bucket_label(i));
+      w.key("count").value(c);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("total").value(total);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bernoulli::support

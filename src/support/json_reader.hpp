@@ -1,0 +1,304 @@
+// Minimal dependency-free JSON parser — the validating counterpart of
+// json_writer.hpp. Used by tests and tools to round-trip the documents the
+// observability layer emits (EXPLAIN JSON, counter snapshots, Chrome
+// trace files) and assert their structure.
+//
+// Strictness: RFC 8259 grammar (no comments, no trailing commas, no bare
+// NaN/Infinity), \uXXXX escapes decoded to UTF-8 including surrogate
+// pairs, one value per document with only whitespace after it. Errors
+// throw support::Error with a byte offset. Not built for speed — the
+// writer is the hot path; this is the checker.
+#pragma once
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace bernoulli::support {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> items;                            // arrays
+  std::vector<std::pair<std::string, JsonValue>> members;  // objects
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(std::string_view key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : members)
+      if (k == key) return &v;
+    return nullptr;
+  }
+
+  /// Convenience accessors that assert the type.
+  const std::string& as_string() const {
+    BERNOULLI_CHECK_MSG(type == Type::kString, "JSON value is not a string");
+    return str;
+  }
+  double as_number() const {
+    BERNOULLI_CHECK_MSG(type == Type::kNumber, "JSON value is not a number");
+    return number;
+  }
+};
+
+namespace json_detail {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value(0);
+    skip_ws();
+    check(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 256;
+
+  void check(bool ok, const char* what) const {
+    BERNOULLI_CHECK_MSG(ok, "JSON parse error at byte " << pos_ << ": "
+                                                        << what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c, const char* what) {
+    check(pos_ < text_.size() && text_[pos_] == c, what);
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value(int depth) {
+    check(depth < kMaxDepth, "nesting too deep");
+    skip_ws();
+    char c = peek();
+    JsonValue v;
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"':
+        v.type = JsonValue::Type::kString;
+        v.str = parse_string();
+        return v;
+      case 't':
+        check(consume_literal("true"), "bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = true;
+        return v;
+      case 'f':
+        check(consume_literal("false"), "bad literal");
+        v.type = JsonValue::Type::kBool;
+        v.boolean = false;
+        return v;
+      case 'n':
+        check(consume_literal("null"), "bad literal");
+        v.type = JsonValue::Type::kNull;
+        return v;
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{', "expected '{'");
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      skip_ws();
+      check(peek() == '"', "expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      expect(':', "expected ':' after key");
+      v.members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "expected ',' or '}'");
+      return v;
+    }
+  }
+
+  JsonValue parse_array(int depth) {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[', "expected '['");
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "expected ',' or ']'");
+      return v;
+    }
+  }
+
+  unsigned parse_hex4() {
+    check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+    unsigned value = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        check(false, "bad hex digit in \\u escape");
+    }
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "expected '\"'");
+    std::string out;
+    while (true) {
+      check(pos_ < text_.size(), "unterminated string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      check(static_cast<unsigned char>(c) >= 0x20,
+            "raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      check(pos_ < text_.size(), "truncated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+            check(pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                      text_[pos_ + 1] == 'u',
+                  "unpaired high surrogate");
+            pos_ += 2;
+            unsigned lo = parse_hex4();
+            check(lo >= 0xDC00 && lo <= 0xDFFF, "bad low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else {
+            check(!(cp >= 0xDC00 && cp <= 0xDFFF),
+                  "unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: check(false, "bad escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+          "expected a digit");
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "expected a digit after '.'");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+        ++pos_;
+      check(pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9',
+            "expected a digit in exponent");
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+    }
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    std::string digits(text_.substr(start, pos_ - start));
+    v.number = std::strtod(digits.c_str(), nullptr);
+    check(std::isfinite(v.number), "number out of double range");
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace json_detail
+
+/// Parses one JSON document; throws support::Error on any violation.
+inline JsonValue json_parse(std::string_view text) {
+  return json_detail::Parser(text).parse_document();
+}
+
+}  // namespace bernoulli::support

@@ -158,6 +158,8 @@ class JsonWriter {
       switch (c) {
         case '"': out_ += "\\\""; break;
         case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
         case '\n': out_ += "\\n"; break;
         case '\r': out_ += "\\r"; break;
         case '\t': out_ += "\\t"; break;

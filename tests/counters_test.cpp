@@ -3,6 +3,7 @@
 // phase tagging, thread-local phase isolation).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 
 #include "support/counters.hpp"
@@ -38,6 +39,42 @@ TEST(JsonWriter, EscapesStrings) {
   JsonWriter w;
   w.value(std::string_view("a\"b\\c\nd\te\x01"));
   EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+TEST(JsonWriter, EscapesEveryControlCharacter) {
+  // Lock the full U+0000..U+001F range: short forms where RFC 8259 names
+  // one, \u00XX otherwise — so Perfetto (a strict parser) accepts traces
+  // whose span names carry arbitrary bytes.
+  for (int c = 0; c < 0x20; ++c) {
+    std::string s(1, static_cast<char>(c));
+    JsonWriter w;
+    w.value(std::string_view(s));
+    std::string expect;
+    switch (c) {
+      case '\b': expect = "\"\\b\""; break;
+      case '\f': expect = "\"\\f\""; break;
+      case '\n': expect = "\"\\n\""; break;
+      case '\r': expect = "\"\\r\""; break;
+      case '\t': expect = "\"\\t\""; break;
+      default: {
+        char buf[16];
+        std::snprintf(buf, sizeof(buf), "\"\\u%04x\"", c);
+        expect = buf;
+      }
+    }
+    EXPECT_EQ(w.str(), expect) << "control char " << c;
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  const double cases[] = {std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+  for (double v : cases) {
+    JsonWriter w;
+    w.value(v);
+    EXPECT_EQ(w.str(), "null");
+  }
 }
 
 TEST(JsonWriter, DoublesRoundTripShortest) {
@@ -110,10 +147,10 @@ TEST(Counters, SnapshotAndReset) {
 TEST(Counters, PhaseScopingRestores) {
   EXPECT_EQ(counter_phase(), "main");
   {
-    ScopedCounterPhase inspector("inspector");
+    PhaseScope inspector("inspector");
     EXPECT_EQ(counter_phase(), "inspector");
     {
-      ScopedCounterPhase executor("executor");
+      PhaseScope executor("executor");
       EXPECT_EQ(counter_phase(), "executor");
       phase_counter("test.fam", "hits").add(1);
     }
@@ -126,7 +163,7 @@ TEST(Counters, PhaseScopingRestores) {
 }
 
 TEST(Counters, PhaseIsThreadLocal) {
-  ScopedCounterPhase scoped("executor");
+  PhaseScope scoped("executor");
   std::string other_thread_phase;
   std::thread t([&] { other_thread_phase = counter_phase(); });
   t.join();
@@ -134,6 +171,33 @@ TEST(Counters, PhaseIsThreadLocal) {
   // this is what lets each simulated rank carry its own phase tag.
   EXPECT_EQ(other_thread_phase, "main");
   EXPECT_EQ(counter_phase(), "executor");
+}
+
+TEST(Counters, PhaseScopeRestoresOnException) {
+  EXPECT_EQ(counter_phase(), "main");
+  try {
+    PhaseScope inspector("inspector");
+    throw std::runtime_error("inspector blew up");
+  } catch (const std::runtime_error&) {
+  }
+  // The whole point of RAII phase scoping: an exception mid-phase must
+  // not leave later counters mis-tagged.
+  EXPECT_EQ(counter_phase(), "main");
+}
+
+TEST(Counters, TextRenderingIsDeterministicGolden) {
+  counters_reset();
+  counter("test.golden.b").add(2);
+  counter("test.golden.a").add(11);
+  time_counter("test.golden.t").add(0.5);
+  // skip_zero drops every other (reset) counter in the process-wide
+  // registry, leaving exactly the three set above — sorted by name,
+  // counts before seconds, two spaces of padding to the widest included
+  // name, times in scientific notation with an " s" suffix.
+  EXPECT_EQ(counters_text(/*skip_zero=*/true),
+            "test.golden.a  11\n"
+            "test.golden.b  2\n"
+            "test.golden.t  5.000e-01 s\n");
 }
 
 TEST(Counters, TextAndJsonRenderings) {
