@@ -21,12 +21,31 @@
 // time with send->recv flow arrows, and support::obs_end asserts that the
 // send-span byte args in the exported JSON, the comm matrix, and the
 // comm.<phase>.* counters all equal the CommStats totals exactly.
+//
+// `--engine=interpreted|linked|kernel|all` switches to the sequential
+// EXECUTION-ENGINE comparison: the same compiled SpMV plan on the Table-2
+// matrices (CRS and CCS), run through the tree-walking interpreter
+// (execute_interpreted), the linked cursor engine (compiler/link.hpp) and
+// the hand-tuned format kernel (formats::spmv_add), reported as wall-clock
+// ns per stored entry. Extra flags on this axis:
+//   --small               one-processor problem only (CI smoke)
+//   --check               exit 1 unless linked beats interpreted per case
+//   --exec-json=FILE      write a bernoulli.bench.exec.v1 report to FILE
+//   --validate-exec-json=FILE   parse FILE with support/json_reader.hpp
+//                               and check the v1 schema (no measuring)
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "common.hpp"
+#include "compiler/link.hpp"
+#include "compiler/loopnest.hpp"
+#include "formats/ccs.hpp"
 #include "support/counters.hpp"
+#include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
+#include "support/rng.hpp"
 #include "support/text_table.hpp"
 #include "support/trace_cli.hpp"
 
@@ -181,15 +200,272 @@ int run_traced(const support::ObsOptions& obs) {
   return 0;
 }
 
+// ---- Execution-engine axis ------------------------------------------
+
+struct EngineCase {
+  std::string matrix;
+  std::string format;  // "csr" | "ccs"
+  index_t rows = 0;
+  index_t nnz = 0;
+  // Best-of-k wall seconds for one full SpMV, per engine (negative when
+  // the engine was not measured).
+  double interpreted_s = -1.0;
+  double linked_s = -1.0;
+  double kernel_s = -1.0;
+};
+
+double ns_per_nnz(double seconds, index_t nnz) {
+  return seconds * 1e9 / static_cast<double>(nnz);
+}
+
+// Measures one (matrix, format) case. Engines run the same accumulation
+// y += A x on the same buffers; only the execution mechanism differs.
+EngineCase measure_engines(const std::string& label,
+                           const formats::Csr* csr, const formats::Ccs* ccs,
+                           bool want_interpreted, bool want_linked,
+                           bool want_kernel) {
+  using namespace bernoulli::compiler;
+  const index_t rows = csr ? csr->rows() : ccs->rows();
+  const index_t cols = csr ? csr->cols() : ccs->cols();
+
+  EngineCase out;
+  out.matrix = label;
+  out.format = csr ? "csr" : "ccs";
+  out.rows = rows;
+  out.nnz = csr ? csr->nnz() : ccs->nnz();
+
+  SplitMix64 rng(42);
+  Vector x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1.0, 1.0);
+  Vector y(static_cast<std::size_t>(rows), 0.0);
+
+  Bindings b;
+  if (csr)
+    b.bind_csr("A", *csr);
+  else
+    b.bind_ccs("A", *ccs);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", rows}, {"j", cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  // compile() lays relations out as I=0, target=1, factors in order.
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  const double budget = 0.05;
+  if (want_interpreted) {
+    Action act = multiply_accumulate(k.query(), target, factors);
+    out.interpreted_s = bench::best_seconds(
+        [&] { execute_interpreted(k.plan(), k.query(), act); }, budget);
+  }
+  if (want_linked) {
+    LinkedRunner runner(link_plan(k.plan(), k.query()));
+    LinkedMac mac = link_mac(k.query(), target, factors);
+    runner.run(mac);  // warm the cursor scratch
+    out.linked_s = bench::best_seconds([&] { runner.run(mac); }, budget);
+  }
+  if (want_kernel) {
+    if (csr)
+      out.kernel_s = bench::best_seconds(
+          [&] { formats::spmv_add(*csr, x, y); }, budget);
+    else
+      out.kernel_s = bench::best_seconds(
+          [&] { formats::spmv_add(*ccs, x, y); }, budget);
+  }
+  return out;
+}
+
+void write_exec_json(const std::vector<EngineCase>& cases,
+                     const std::string& path) {
+  support::JsonWriter w(2);
+  w.begin_object();
+  w.key("schema").value("bernoulli.bench.exec.v1");
+  w.key("kernel_desc").value("y += A x, sequential, best-of-k wall time");
+  w.key("cases").begin_array();
+  for (const EngineCase& c : cases) {
+    w.begin_object();
+    w.key("matrix").value(c.matrix);
+    w.key("format").value(c.format);
+    w.key("rows").value(static_cast<long long>(c.rows));
+    w.key("nnz").value(static_cast<long long>(c.nnz));
+    w.key("engines").begin_object();
+    auto engine = [&](const char* name, double s) {
+      if (s < 0) return;
+      w.key(name).begin_object();
+      w.key("seconds").value(s);
+      w.key("ns_per_nnz").value(ns_per_nnz(s, c.nnz));
+      w.end_object();
+    };
+    engine("interpreted", c.interpreted_s);
+    engine("linked", c.linked_s);
+    engine("kernel", c.kernel_s);
+    w.end_object();
+    if (c.interpreted_s > 0 && c.linked_s > 0)
+      w.key("speedup_linked_over_interpreted")
+          .value(c.interpreted_s / c.linked_s);
+    if (c.kernel_s > 0 && c.linked_s > 0)
+      w.key("slowdown_linked_vs_kernel").value(c.linked_s / c.kernel_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::ofstream f(path);
+  f << w.str() << "\n";
+  BERNOULLI_CHECK_MSG(f.good(), "failed writing " << path);
+  std::cerr << "wrote " << path << "\n";
+}
+
+int run_engines(const std::string& which, bool small, bool check,
+                const std::string& json_path) {
+  const bool all = which == "all";
+  const bool want_interpreted = all || which == "interpreted" || check;
+  const bool want_linked = all || which == "linked" || check;
+  const bool want_kernel = all || which == "kernel";
+  if (!(want_interpreted || want_linked || want_kernel)) {
+    std::cerr << "unknown --engine value: " << which
+              << " (expected interpreted|linked|kernel|all)\n";
+    return 2;
+  }
+
+  std::cout << "=== Execution engines: y += A x on the Table-2 matrix "
+            << "(sequential, ns per stored entry) ===\n\n";
+  std::vector<EngineCase> cases;
+  for (int P : (small ? std::vector<int>{1} : std::vector<int>{2, 4})) {
+    bench::Problem prob = bench::build_problem(P);
+    const formats::Csr& csr = prob.matrix;
+    formats::Ccs ccs = formats::Ccs::from_coo(csr.to_coo());
+    std::string label = "grid3d_bs_P" + std::to_string(P);
+    cases.push_back(measure_engines(label, &csr, nullptr, want_interpreted,
+                                    want_linked, want_kernel));
+    cases.push_back(measure_engines(label, nullptr, &ccs, want_interpreted,
+                                    want_linked, want_kernel));
+    std::cerr << "  [" << label << " done]\n";
+  }
+
+  TextTable table({"matrix", "format", "rows", "nnz", "interp (ns/nnz)",
+                   "linked (ns/nnz)", "kernel (ns/nnz)", "linked speedup",
+                   "vs kernel"});
+  bool check_ok = true;
+  for (const EngineCase& c : cases) {
+    table.new_row();
+    table.add(c.matrix);
+    table.add(c.format);
+    table.add(static_cast<long long>(c.rows));
+    table.add(static_cast<long long>(c.nnz));
+    auto cell = [&](double s) {
+      if (s < 0)
+        table.add("-");
+      else
+        table.add(ns_per_nnz(s, c.nnz), 2);
+    };
+    cell(c.interpreted_s);
+    cell(c.linked_s);
+    cell(c.kernel_s);
+    if (c.interpreted_s > 0 && c.linked_s > 0) {
+      std::ostringstream os;
+      os.setf(std::ios::fixed);
+      os.precision(1);
+      os << c.interpreted_s / c.linked_s << "x";
+      table.add(os.str());
+      if (c.linked_s >= c.interpreted_s) check_ok = false;
+    } else {
+      table.add("-");
+    }
+    if (c.kernel_s > 0 && c.linked_s > 0) {
+      std::ostringstream os;
+      os.setf(std::ios::fixed);
+      os.precision(1);
+      os << c.linked_s / c.kernel_s << "x";
+      table.add(os.str());
+    } else {
+      table.add("-");
+    }
+  }
+  std::cout << table.str()
+            << "\nlinked = plan linked once into a cursor program "
+               "(compiler/link.hpp), then re-run;\nkernel = hand-written "
+               "format spmv_add; interp = tree-walking reference "
+               "interpreter.\n";
+
+  if (!json_path.empty()) write_exec_json(cases, json_path);
+  if (check) {
+    if (!check_ok) {
+      std::cerr << "CHECK FAILED: linked engine slower than the "
+                   "interpreter on at least one case\n";
+      return 1;
+    }
+    std::cerr << "check ok: linked faster than interpreted on every case\n";
+  }
+  return 0;
+}
+
+int run_validate_exec_json(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "cannot open " << path << "\n";
+    return 1;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  try {
+    support::JsonValue doc = support::json_parse(ss.str());
+    BERNOULLI_CHECK_MSG(doc.is_object(), "document is not an object");
+    const auto* schema = doc.find("schema");
+    BERNOULLI_CHECK_MSG(
+        schema && schema->as_string() == "bernoulli.bench.exec.v1",
+        "schema is not bernoulli.bench.exec.v1");
+    const auto* cases = doc.find("cases");
+    BERNOULLI_CHECK_MSG(cases && cases->is_array() && !cases->items.empty(),
+                        "cases missing or empty");
+    for (const auto& c : cases->items) {
+      BERNOULLI_CHECK_MSG(c.find("matrix") && c.find("format") &&
+                              c.find("nnz"),
+                          "case missing matrix/format/nnz");
+      const auto* engines = c.find("engines");
+      BERNOULLI_CHECK_MSG(engines && engines->is_object() &&
+                              !engines->members.empty(),
+                          "case has no engines");
+      for (const auto& [name, e] : engines->members) {
+        const auto* ns = e.find("ns_per_nnz");
+        BERNOULLI_CHECK_MSG(ns && ns->as_number() > 0,
+                            "engine " << name << " has no ns_per_nnz");
+      }
+    }
+    std::cout << "ok: " << path << " is a valid bernoulli.bench.exec.v1 "
+              << "report with " << cases->items.size() << " cases\n";
+  } catch (const std::exception& e) {
+    std::cerr << "INVALID " << path << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   support::ObsOptions obs;
   bool report = false;
+  bool small = false;
+  bool check = false;
+  std::string engine;
+  std::string exec_json;
+  std::string validate_json;
   for (int i = 1; i < argc; ++i) {
     if (support::obs_parse_flag(argv[i], obs)) continue;
     if (std::strcmp(argv[i], "--report=json") == 0) report = true;
+    if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strncmp(argv[i], "--exec-json=", 12) == 0)
+      exec_json = argv[i] + 12;
+    if (std::strncmp(argv[i], "--validate-exec-json=", 21) == 0)
+      validate_json = argv[i] + 21;
   }
+  if (!validate_json.empty()) return run_validate_exec_json(validate_json);
+  if (!engine.empty() || !exec_json.empty())
+    return run_engines(engine.empty() ? "all" : engine, small, check,
+                       exec_json);
   if (report) return run_report();
   if (obs.active()) return run_traced(obs);
   return run_table();

@@ -1,0 +1,439 @@
+// The linked cursor executor: runs a LinkedPlan with an explicit level
+// stack, pull-style cursors and batched observability.
+//
+// Engine contract (enforced by tests/exec_linked_test.cpp): for any
+// (Plan, Query) the interpreter accepts, this engine produces bitwise-
+// identical results, identical executor.* counter deltas and identical
+// per-level enumerated/produced totals. The differences are purely
+// mechanical:
+//   - iteration pulls through flat Cursors (one virtual begin_cursor per
+//     level invocation) instead of pushing through EnumFn std::functions
+//     (one virtual dispatch + one std::function call per element);
+//   - probes run lowered SearchSpecs (inline bounds checks / binary
+//     searches over raw arrays) instead of virtual search calls;
+//   - the merge join streams its drivers with a k-finger sweep over live
+//     cursors instead of materializing every segment first — same step
+//     count, same enumerated totals (unconsumed elements are accounted at
+//     frame close; every cursor knows its extent), no allocation;
+//   - counters and fan-out histograms accumulate in plain locals and
+//     flush once per run instead of one relaxed-atomic add per event.
+#include <algorithm>
+
+#include "compiler/link.hpp"
+#include "support/counters.hpp"
+#include "support/error.hpp"
+#include "support/histogram.hpp"
+#include "support/json_writer.hpp"
+#include "support/trace.hpp"
+
+namespace bernoulli::compiler {
+
+namespace {
+
+// Same registry names as the interpreter (executor.cpp) — by-name lookup
+// yields the same Counter objects, so the two engines feed one ledger.
+struct LinkedCounters {
+  support::Counter& runs = support::counter("executor.runs");
+  support::Counter& tuples = support::counter("executor.tuples");
+  support::Counter& enumerated = support::counter("executor.enumerated");
+  support::Counter& merge_steps = support::counter("executor.merge_steps");
+  support::Counter& probe_hits = support::counter("executor.probe_hits");
+  support::Counter& probe_misses = support::counter("executor.probe_misses");
+  support::Counter& fill_ins = support::counter("executor.fill_ins");
+  support::Counter& merge_segment_bytes =
+      support::counter("executor.merge_segment_bytes");
+};
+
+LinkedCounters& linked_counters() {
+  static LinkedCounters c;
+  return c;
+}
+
+index_t bin_search(const index_t* ind, index_t lo, index_t hi, index_t idx) {
+  const index_t* first = ind + lo;
+  const index_t* last = ind + hi;
+  const index_t* it = std::lower_bound(first, last, idx);
+  if (it != last && *it == idx) return static_cast<index_t>(it - ind);
+  return -1;
+}
+
+}  // namespace
+
+bool LinkedRunner::resolve_probes(const LinkedLevel& lv, LocalCounters& c) {
+  for (const LinkedProbe& pr : lv.probes) {
+    const index_t idx = vars_[static_cast<std::size_t>(pr.var_slot)];
+    const index_t parent =
+        pr.access.parent_slot < 0
+            ? 0
+            : pos_[static_cast<std::size_t>(pr.access.parent_slot)];
+    index_t p = -1;
+    const relation::SearchSpec& s = pr.search;
+    switch (s.kind) {
+      case relation::SearchSpec::Kind::kIdentity:
+        p = (idx >= 0 && idx < s.extent) ? idx : -1;
+        break;
+      case relation::SearchSpec::Kind::kAffine:
+        p = (idx >= 0 && idx < s.extent) ? parent * s.stride + idx : -1;
+        break;
+      case relation::SearchSpec::Kind::kSegmentBinary:
+        p = bin_search(s.ind, s.ptr[parent], s.ptr[parent + 1], idx);
+        break;
+      case relation::SearchSpec::Kind::kListBinary:
+        p = bin_search(s.ind, 0, s.extent, idx);
+        break;
+      case relation::SearchSpec::Kind::kFunction:
+        p = s.map[parent] == idx ? parent : -1;
+        break;
+      case relation::SearchSpec::Kind::kVirtual:
+        p = pr.access.level->search(parent, idx);
+        break;
+    }
+    if (p < 0) {
+      ++c.probe_misses;
+      if (pr.filters) return false;
+      if (pr.insert_on_miss) {
+        ++c.fill_ins;
+        // Same confinement as the interpreter: insertion is the one
+        // mutating access-method operation, reached only by outputs.
+        p = const_cast<relation::IndexLevel&>(*pr.access.level)
+                .insert(parent, idx);
+      } else {
+        const auto& rel =
+            lp_.query->relations[static_cast<std::size_t>(pr.access.rel)];
+        BERNOULLI_CHECK_MSG(
+            false, rel.view->name()
+                       << " missed a non-filtering probe at "
+                       << rel.vars[static_cast<std::size_t>(pr.access.depth)]
+                       << " = " << idx);
+      }
+    } else {
+      ++c.probe_hits;
+    }
+    pos_[static_cast<std::size_t>(pr.access.pos_slot)] = p;
+  }
+  return true;
+}
+
+void LinkedRunner::open_frame(std::size_t d) {
+  Frame& f = frames_[d];
+  const LinkedLevel& lv = lp_.levels[d];
+  f.inv_enumerated = 0;
+  f.inv_produced = 0;
+  f.advance_pending = false;
+  f.seg_bytes = 0;
+  for (std::size_t s = 0; s < lv.drivers.size(); ++s) {
+    const LinkedAccess& a = lv.drivers[s];
+    const index_t parent =
+        a.parent_slot < 0 ? 0 : pos_[static_cast<std::size_t>(a.parent_slot)];
+    a.level->begin_cursor(parent, f.cursors[s], f.bufs[s]);
+  }
+  if (lv.method == JoinMethod::kMerge) {
+    // What the interpreter would materialize for this invocation (and what
+    // the kBuffered fallbacks may actually have materialized into bufs).
+    for (const relation::Cursor& cur : f.cursors)
+      f.seg_bytes += static_cast<long long>(cur.remaining()) *
+                     static_cast<long long>(sizeof(relation::IndexPos));
+  }
+}
+
+bool LinkedRunner::next_binding(std::size_t d, LocalCounters& c) {
+  Frame& f = frames_[d];
+  const LinkedLevel& lv = lp_.levels[d];
+
+  if (lv.method == JoinMethod::kEnumerate) {
+    relation::Cursor& cur = f.cursors[0];
+    const std::size_t pos_slot =
+        static_cast<std::size_t>(lv.drivers[0].pos_slot);
+    const std::size_t var_slot = static_cast<std::size_t>(lv.var_slot);
+    while (cur.valid()) {
+      ++f.inv_enumerated;
+      vars_[var_slot] = cur.index();
+      pos_[pos_slot] = cur.pos();
+      cur.advance();
+      if (resolve_probes(lv, c)) {
+        ++f.inv_produced;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Multi-way merge join, streamed: the interpreter's k-finger sweep with
+  // cursors as the fingers. advance_pending replays its advance-all-
+  // fingers-after-a-match step when the caller pulls the next binding.
+  const std::size_t k = lv.drivers.size();
+  if (f.advance_pending) {
+    f.advance_pending = false;
+    for (std::size_t s = 0; s < k; ++s) {
+      f.cursors[s].advance();
+      ++f.inv_enumerated;
+    }
+  }
+  while (true) {
+    ++c.merge_steps;
+    bool done = false;
+    index_t target = -1;
+    for (std::size_t s = 0; s < k; ++s) {
+      if (!f.cursors[s].valid()) {
+        done = true;
+        break;
+      }
+      target = std::max(target, f.cursors[s].index());
+    }
+    if (done) return false;
+    bool all_match = true;
+    for (std::size_t s = 0; s < k; ++s) {
+      relation::Cursor& cur = f.cursors[s];
+      while (cur.valid() && cur.index() < target) {
+        cur.advance();
+        ++f.inv_enumerated;
+      }
+      if (!cur.valid()) {
+        all_match = false;
+        done = true;
+        break;
+      }
+      if (cur.index() != target) all_match = false;
+    }
+    if (done) return false;
+    if (all_match) {
+      vars_[static_cast<std::size_t>(lv.var_slot)] = target;
+      for (std::size_t s = 0; s < k; ++s)
+        pos_[static_cast<std::size_t>(lv.drivers[s].pos_slot)] =
+            f.cursors[s].pos();
+      if (resolve_probes(lv, c)) {
+        ++f.inv_produced;
+        f.advance_pending = true;
+        return true;
+      }
+      for (std::size_t s = 0; s < k; ++s) {
+        f.cursors[s].advance();
+        ++f.inv_enumerated;
+      }
+    }
+  }
+}
+
+void LinkedRunner::close_frame(std::size_t d, LocalCounters& c,
+                               RunStats* stats) {
+  Frame& f = frames_[d];
+  const LinkedLevel& lv = lp_.levels[d];
+  if (lv.method == JoinMethod::kMerge) {
+    // Streaming stops at the first exhausted driver; the interpreter's
+    // materialization counted every segment element. Cursors know their
+    // extent, so the unconsumed tails reconcile the totals exactly.
+    for (const relation::Cursor& cur : f.cursors)
+      f.inv_enumerated += cur.remaining();
+    c.merge_segment_bytes += f.seg_bytes;
+  }
+  c.enumerated += f.inv_enumerated;
+  ++fanout_local_[d][static_cast<std::size_t>(
+      support::Log2Histogram::bucket_of(f.inv_produced))];
+  if (stats) {
+    stats->levels[d].enumerated += f.inv_enumerated;
+    stats->levels[d].produced += f.inv_produced;
+  }
+}
+
+void LinkedRunner::flush(const LocalCounters& c, RunStats* stats) {
+  LinkedCounters& ctr = linked_counters();
+  ctr.runs.add(1);
+  ctr.tuples.add(c.tuples);
+  ctr.enumerated.add(c.enumerated);
+  ctr.merge_steps.add(c.merge_steps);
+  ctr.probe_hits.add(c.probe_hits);
+  ctr.probe_misses.add(c.probe_misses);
+  ctr.fill_ins.add(c.fill_ins);
+  ctr.merge_segment_bytes.add(c.merge_segment_bytes);
+  for (std::size_t d = 0; d < fanout_local_.size(); ++d) {
+    for (int b = 0; b < support::Log2Histogram::kBuckets; ++b) {
+      long long& n = fanout_local_[d][static_cast<std::size_t>(b)];
+      if (n == 0) continue;
+      // Bucket b's representative value: bucket_of(rep) == b.
+      lp_.levels[d].fanout->add(b == 0 ? 0 : (1LL << (b - 1)), n);
+      n = 0;
+    }
+  }
+  if (stats) stats->tuples = c.tuples;
+}
+
+template <class Sink>
+void LinkedRunner::drain_enumerate_leaf(std::size_t d, LocalCounters& c,
+                                        Sink&& sink) {
+  Frame& f = frames_[d];
+  const LinkedLevel& lv = lp_.levels[d];
+  relation::Cursor& cur = f.cursors[0];
+  const std::size_t pos_slot =
+      static_cast<std::size_t>(lv.drivers[0].pos_slot);
+  const std::size_t var_slot = static_cast<std::size_t>(lv.var_slot);
+  long long produced = 0;
+
+  // One cursor-kind dispatch for the whole invocation; the loop bodies are
+  // the Cursor accessors inlined, with the hot fields held in locals.
+  auto drain = [&](auto index_of, auto pos_of) {
+    const index_t end = cur.end;
+    f.inv_enumerated += cur.remaining();
+    for (index_t k = cur.cur; k < end; ++k) {
+      vars_[var_slot] = index_of(k);
+      pos_[pos_slot] = pos_of(k);
+      if (resolve_probes(lv, c)) {
+        ++produced;
+        ++c.tuples;
+        sink();
+      }
+    }
+    cur.cur = end;
+  };
+  switch (cur.kind) {
+    case relation::Cursor::Kind::kDenseRange: {
+      const index_t base = cur.base;
+      drain([](index_t k) { return k; },
+            [base](index_t k) { return base + k; });
+      break;
+    }
+    case relation::Cursor::Kind::kIndArray: {
+      const index_t* ind = cur.ind;
+      drain([ind](index_t k) { return ind[k]; },
+            [](index_t k) { return k; });
+      break;
+    }
+    case relation::Cursor::Kind::kBuffered: {
+      const relation::IndexPos* buf = cur.buf;
+      drain([buf](index_t k) { return buf[k].idx; },
+            [buf](index_t k) { return buf[k].pos; });
+      break;
+    }
+    default:
+      while (cur.valid()) {
+        ++f.inv_enumerated;
+        vars_[var_slot] = cur.index();
+        pos_[pos_slot] = cur.pos();
+        cur.advance();
+        if (resolve_probes(lv, c)) {
+          ++produced;
+          ++c.tuples;
+          sink();
+        }
+      }
+      break;
+  }
+  f.inv_produced += produced;
+}
+
+template <class Sink>
+void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
+  LocalCounters c;
+  const std::size_t L = lp_.levels.size();
+  if (stats) {
+    stats->tuples = 0;
+    stats->levels.assign(L, LevelRunStats{});
+  }
+  std::fill(vars_.begin(), vars_.end(), static_cast<index_t>(-1));
+  std::fill(pos_.begin(), pos_.end(), static_cast<index_t>(-1));
+
+  if (L == 0) {
+    ++c.tuples;
+    sink();
+    flush(c, stats);
+    return;
+  }
+
+  const std::size_t leaf = L - 1;
+  std::size_t d = 0;
+  open_frame(0);
+  while (true) {
+    if (d == leaf && lp_.levels[d].method == JoinMethod::kEnumerate) {
+      drain_enumerate_leaf(d, c, sink);
+      close_frame(d, c, stats);
+      if (d == 0) break;
+      --d;
+    } else if (next_binding(d, c)) {
+      if (d == leaf) {
+        ++c.tuples;
+        sink();
+      } else {
+        ++d;
+        open_frame(d);
+      }
+    } else {
+      close_frame(d, c, stats);
+      if (d == 0) break;
+      --d;
+    }
+  }
+  flush(c, stats);
+}
+
+namespace {
+
+// Trace emission identical to the interpreter path — same span names, same
+// per-level args — so the trace-reconciliation checks hold on either
+// engine. The spans are synthetic intervals nested by depth (levels
+// interleave; no level has a contiguous real interval).
+template <class Body>
+void traced(const LinkedPlan& lp, RunStats* stats, const Body& body) {
+  if (!support::trace_enabled()) {
+    body(stats);
+    return;
+  }
+  RunStats local;
+  RunStats* st = stats ? stats : &local;
+  support::TraceSpan span("execute", "compiler");
+  const double t0 = support::trace_now_us();
+  body(st);
+  const double t1 = support::trace_now_us();
+  detail::emit_join_spans(*lp.plan, *st, t0, t1);
+}
+
+}  // namespace
+
+void LinkedRunner::run(const Action& action, RunStats* stats) {
+  traced(lp_, stats, [&](RunStats* st) {
+    run_impl(
+        [&] {
+          // Actions see the per-relation leaf positions through Env; the
+          // gather lives here so the mac fast path below can skip it.
+          for (std::size_t r = 0; r < leaf_.size(); ++r)
+            leaf_[r] = pos_[static_cast<std::size_t>(lp_.leaf_slot[r])];
+          Env env{vars_, leaf_};
+          action(env);
+        },
+        st);
+  });
+}
+
+void LinkedRunner::run(const LinkedMac& mac, RunStats* stats) {
+  // Resolve each operand's leaf position slot once per run: the sink reads
+  // pos_ directly and skips the per-tuple leaf_ gather entirely.
+  mac_pslots_.clear();
+  for (const LinkedMac::Factor& f : mac.factors)
+    mac_pslots_.push_back(static_cast<std::size_t>(lp_.leaf_slot[f.slot]));
+  const std::size_t tslot =
+      static_cast<std::size_t>(lp_.leaf_slot[mac.target_slot]);
+  traced(lp_, stats, [&](RunStats* st) {
+    run_impl(
+        [&] {
+          value_t prod = mac.scale;
+          for (std::size_t i = 0; i < mac.factors.size(); ++i) {
+            const LinkedMac::Factor& f = mac.factors[i];
+            const index_t p = pos_[mac_pslots_[i]];
+            prod *= f.data.empty() ? f.view->value_at(p)
+                                   : f.data[static_cast<std::size_t>(p)];
+          }
+          const index_t tp = pos_[tslot];
+          if (mac.target_data.empty())
+            mac.target->value_add(tp, prod);
+          else
+            mac.target_data[static_cast<std::size_t>(tp)] += prod;
+        },
+        st);
+  });
+}
+
+void execute(const Plan& plan, const relation::Query& q,
+             const Action& action) {
+  LinkedRunner runner(link_plan(plan, q));
+  runner.run(action);
+}
+
+}  // namespace bernoulli::compiler

@@ -1,6 +1,7 @@
 #include "compiler/executor.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
@@ -15,7 +16,8 @@ using relation::Query;
 namespace {
 
 // Interpreter event counters (support/counters.hpp). Registered once;
-// per-event cost is a relaxed atomic add.
+// per-event cost is a relaxed atomic add. The linked engine
+// (exec_linked.cpp) resolves the same names, so both feed one ledger.
 struct ExecCounters {
   support::Counter& runs = support::counter("executor.runs");
   support::Counter& tuples = support::counter("executor.tuples");
@@ -24,6 +26,8 @@ struct ExecCounters {
   support::Counter& probe_hits = support::counter("executor.probe_hits");
   support::Counter& probe_misses = support::counter("executor.probe_misses");
   support::Counter& fill_ins = support::counter("executor.fill_ins");
+  support::Counter& merge_segment_bytes =
+      support::counter("executor.merge_segment_bytes");
 };
 
 ExecCounters& exec_counters() {
@@ -48,10 +52,30 @@ class Interpreter {
                                             std::to_string(d)));
     produced_.assign(plan.levels.size(), 0);
     enumerated_.assign(plan.levels.size(), 0);
+    // Name resolution happens here, once per run — not in the data loop.
+    // (var_slot used to run a linear string scan per probe per tuple.)
+    level_slot_.reserve(plan.levels.size());
+    probe_slots_.resize(plan.levels.size());
+    for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+      const PlanLevel& lv = plan.levels[d];
+      level_slot_.push_back(var_slot(lv.var));
+      probe_slots_[d].reserve(lv.probes.size());
+      for (const Access& a : lv.probes) {
+        const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+        probe_slots_[d].push_back(
+            var_slot(rel.vars[static_cast<std::size_t>(a.depth)]));
+      }
+    }
+    // Merge scratch is per plan depth (merge levels can nest, so one shared
+    // buffer would be clobbered by recursion) and owned by the interpreter:
+    // segments keep their capacity across invocations instead of
+    // reallocating per call.
+    merge_scratch_.resize(plan.levels.size());
   }
 
   void run() { level(0); }
 
+  long long tuples() const { return tuples_; }
   long long produced(std::size_t d) const {
     return produced_[d];
   }
@@ -86,12 +110,12 @@ class Interpreter {
   // false when a filtering probe misses (iteration rejected). A missed
   // probe of a WRITTEN relation with an insertable level creates the entry
   // instead — sparse-output fill-in.
-  bool resolve_probes(const PlanLevel& lv) {
+  bool resolve_probes(std::size_t d, const PlanLevel& lv) {
     ExecCounters& ctr = exec_counters();
-    for (const Access& a : lv.probes) {
+    for (std::size_t i = 0; i < lv.probes.size(); ++i) {
+      const Access& a = lv.probes[i];
       const auto& rel = q_.relations[static_cast<std::size_t>(a.rel)];
-      index_t idx =
-          var_value_[var_slot(rel.vars[static_cast<std::size_t>(a.depth)])];
+      index_t idx = var_value_[probe_slots_[d][i]];
       const relation::IndexLevel& lvl = level_of(a);
       index_t p = lvl.search(parent_pos(a), idx);
       if (p < 0) {
@@ -122,12 +146,13 @@ class Interpreter {
     ExecCounters& ctr = exec_counters();
     if (d == plan_.levels.size()) {
       ctr.tuples.add();
+      ++tuples_;
       Env env{var_value_, leaf_positions()};
       action_(env);
       return;
     }
     const PlanLevel& lv = plan_.levels[d];
-    const std::size_t slot = var_slot(lv.var);
+    const std::size_t slot = level_slot_[d];
     // Bindings this invocation enumerated / passed on — one fan-out
     // histogram sample per invocation, per-level totals for the trace.
     long long inv_enumerated = 0;
@@ -140,7 +165,7 @@ class Interpreter {
         ++inv_enumerated;
         var_value_[slot] = idx;
         set_pos(drv, p);
-        if (resolve_probes(lv)) {
+        if (resolve_probes(d, lv)) {
           ++inv_produced;
           level(d + 1);
         }
@@ -148,11 +173,14 @@ class Interpreter {
       });
     } else {
       // Multi-way merge join: materialize each driver's sorted segment and
-      // intersect with a k-finger sweep. Storage is per-call — merge levels
-      // can nest, so a shared buffer would be clobbered by recursion.
+      // intersect with a k-finger sweep. Segment buffers live in the
+      // per-depth scratch, cleared (capacity kept) per invocation.
       const std::size_t k = lv.drivers.size();
-      std::vector<std::vector<std::pair<index_t, index_t>>> segments_(k);
+      auto& segments_ = merge_scratch_[d];
+      segments_.resize(k);
+      long long seg_bytes = 0;
       for (std::size_t s = 0; s < k; ++s) {
+        segments_[s].clear();
         level_of(lv.drivers[s])
             .enumerate(parent_pos(lv.drivers[s]),
                        [&](index_t idx, index_t p) {
@@ -161,7 +189,10 @@ class Interpreter {
                          segments_[s].emplace_back(idx, p);
                          return true;
                        });
+        seg_bytes += static_cast<long long>(segments_[s].size()) *
+                     static_cast<long long>(sizeof(segments_[s][0]));
       }
+      ctr.merge_segment_bytes.add(seg_bytes);
       std::vector<std::size_t> finger(k, 0);
       while (true) {
         ctr.merge_steps.add();
@@ -192,7 +223,7 @@ class Interpreter {
           var_value_[slot] = target;
           for (std::size_t s = 0; s < k; ++s)
             set_pos(lv.drivers[s], segments_[s][finger[s]].second);
-          if (resolve_probes(lv)) {
+          if (resolve_probes(d, lv)) {
             ++inv_produced;
             level(d + 1);
           }
@@ -221,26 +252,24 @@ class Interpreter {
   std::vector<support::Log2Histogram*> fanout_;  // one per plan level
   std::vector<long long> produced_;
   std::vector<long long> enumerated_;
+  std::vector<std::size_t> level_slot_;              // var slot per level
+  std::vector<std::vector<std::size_t>> probe_slots_;  // per level, per probe
+  std::vector<std::vector<std::vector<std::pair<index_t, index_t>>>>
+      merge_scratch_;  // per depth, per driver
+  long long tuples_ = 0;
 };
 
 }  // namespace
 
-void execute(const Plan& plan, const Query& q, const Action& action) {
-  q.validate();
-  exec_counters().runs.add();
-  Interpreter interp(plan, q, action);
-  if (!support::trace_enabled()) {
-    interp.run();
-    return;
-  }
-  support::TraceSpan span("execute", "compiler");
-  const double t0 = support::trace_now_us();
-  interp.run();
-  const double t1 = support::trace_now_us();
+namespace detail {
+
+void emit_join_spans(const Plan& plan, const RunStats& stats, double t0,
+                     double t1) {
   // One nested span per join level, carrying the tuple counts the run
-  // actually saw. The interpreter interleaves levels recursively, so a
-  // level has no contiguous real interval; each span is drawn over the
-  // whole execute window, shrunk by depth so the viewer nests them.
+  // actually saw. Both engines interleave levels (recursion / explicit
+  // stack), so a level has no contiguous real interval; each span is drawn
+  // over the whole execute window, shrunk by depth so the viewer nests
+  // them.
   const support::TraceTrack track = support::trace_track();
   const double width = t1 - t0;
   const double step = width / (2.0 * static_cast<double>(plan.levels.size()) +
@@ -252,13 +281,44 @@ void execute(const Plan& plan, const Query& q, const Action& action) {
     args.key("var").value(lv.var);
     args.key("method").value(lv.method == JoinMethod::kMerge ? "merge"
                                                              : "enumerate");
-    args.key("enumerated").value(interp.enumerated(d));
-    args.key("produced").value(interp.produced(d));
+    args.key("enumerated").value(stats.levels[d].enumerated);
+    args.key("produced").value(stats.levels[d].produced);
     args.end_object();
     const double inset = step * static_cast<double>(d + 1);
     support::trace_emit_complete("join " + lv.var, "compiler", t0 + inset,
                                  std::max(width - 2.0 * inset, 0.0),
                                  track.pid, track.tid, args.str());
+  }
+}
+
+}  // namespace detail
+
+void execute_interpreted(const Plan& plan, const Query& q,
+                         const Action& action, RunStats* stats) {
+  q.validate();
+  exec_counters().runs.add();
+  Interpreter interp(plan, q, action);
+  const bool tracing = support::trace_enabled();
+  double t0 = 0.0;
+  std::optional<support::TraceSpan> span;
+  if (tracing) {
+    span.emplace("execute", "compiler");
+    t0 = support::trace_now_us();
+  }
+  interp.run();
+  RunStats local;
+  RunStats* st = (stats || tracing) ? (stats ? stats : &local) : nullptr;
+  if (st) {
+    st->tuples = interp.tuples();
+    st->levels.assign(plan.levels.size(), LevelRunStats{});
+    for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+      st->levels[d].enumerated = interp.enumerated(d);
+      st->levels[d].produced = interp.produced(d);
+    }
+  }
+  if (tracing) {
+    const double t1 = support::trace_now_us();
+    detail::emit_join_spans(plan, *st, t0, t1);
   }
 }
 

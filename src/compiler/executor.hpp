@@ -1,9 +1,14 @@
-// Plan interpreter: evaluates a Plan against live relation views.
+// Plan execution: the reference interpreter and the linked cursor engine.
 //
 // The interpreter is the compiler's reference semantics — every
 // specialized kernel and every emitted program must compute exactly what
-// the interpreter computes. Benchmarks use the kernel library; tests
-// cross-check the two.
+// the interpreter computes. Since the linking stage (compiler/link.hpp)
+// landed, `execute()` routes through link+run: the plan is lowered once
+// into a LinkedPlan (names -> slots, accesses -> flat cursor/search
+// records) and run by the cursor executor in exec_linked.cpp. The
+// tree-walking interpreter stays available as `execute_interpreted` for
+// differential testing; both engines produce bitwise-identical results
+// and identical executor.* counters.
 #pragma once
 
 #include <functional>
@@ -24,15 +29,42 @@ struct Env {
 
 using Action = std::function<void(const Env&)>;
 
+/// Per-plan-level work totals of one run (what the trace spans and the
+/// differential tests consume).
+struct LevelRunStats {
+  long long enumerated = 0;  // candidate bindings the level's drivers saw
+  long long produced = 0;    // bindings that survived the probes
+};
+
+struct RunStats {
+  long long tuples = 0;  // action invocations
+  std::vector<LevelRunStats> levels;
+};
+
 /// Runs the plan, invoking `action` once per surviving iteration (i.e. per
 /// tuple of Q_sparse). Positions for every relation are fully resolved when
-/// the action fires.
+/// the action fires. Links the plan and runs the cursor executor; use
+/// LinkedRunner (compiler/link.hpp) directly to amortize the linking over
+/// repeated runs.
 void execute(const Plan& plan, const relation::Query& q, const Action& action);
+
+/// The original tree-walking interpreter (push callbacks, recursion).
+/// Kept as the differential-testing reference for the linked engine.
+void execute_interpreted(const Plan& plan, const relation::Query& q,
+                         const Action& action, RunStats* stats = nullptr);
 
 /// Convenience action: target.value += scale * PRODUCT(factor values) — the
 /// sum-of-products statement form that covers the paper's DOANY kernels.
 Action multiply_accumulate(const relation::Query& q, index_t target_rel,
                            std::vector<index_t> factor_rels,
                            value_t scale = 1.0);
+
+namespace detail {
+/// Shared trace helper: emits the per-level "join <var>" spans (synthetic
+/// nested intervals over [t0_us, t1_us]) from one run's stats. Both
+/// engines call this so traces are engine-independent.
+void emit_join_spans(const Plan& plan, const RunStats& stats, double t0_us,
+                     double t1_us);
+}  // namespace detail
 
 }  // namespace bernoulli::compiler

@@ -1,0 +1,126 @@
+#include "compiler/link.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/error.hpp"
+#include "support/histogram.hpp"
+
+namespace bernoulli::compiler {
+
+using relation::Query;
+
+namespace {
+
+int find_var_slot(const Query& q, const std::string& v) {
+  auto it = std::find(q.vars.begin(), q.vars.end(), v);
+  BERNOULLI_CHECK_MSG(it != q.vars.end(), "unbound variable " << v);
+  return static_cast<int>(it - q.vars.begin());
+}
+
+}  // namespace
+
+LinkedPlan link_plan(const Plan& plan, const Query& q) {
+  q.validate();
+
+  LinkedPlan lp;
+  lp.plan = &plan;
+  lp.query = &q;
+
+  // Flat position-slot layout: one slot per (relation, depth), relations
+  // laid out consecutively. Replaces the interpreter's vector-of-vectors.
+  std::vector<int> pos_ofs(q.relations.size(), 0);
+  int slots = 0;
+  for (std::size_t r = 0; r < q.relations.size(); ++r) {
+    pos_ofs[r] = slots;
+    slots += static_cast<int>(q.relations[r].vars.size());
+  }
+  lp.pos_slots = slots;
+  lp.leaf_slot.resize(q.relations.size());
+  for (std::size_t r = 0; r < q.relations.size(); ++r)
+    lp.leaf_slot[r] =
+        pos_ofs[r] + static_cast<int>(q.relations[r].vars.size()) - 1;
+
+  auto lower_access = [&](const Access& a) {
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    BERNOULLI_CHECK(a.depth >= 0 &&
+                    a.depth < static_cast<index_t>(rel.vars.size()));
+    LinkedAccess la;
+    la.level = &rel.view->level(a.depth);
+    la.rel = a.rel;
+    la.depth = a.depth;
+    la.pos_slot =
+        pos_ofs[static_cast<std::size_t>(a.rel)] + static_cast<int>(a.depth);
+    la.parent_slot = a.depth == 0 ? -1 : la.pos_slot - 1;
+    return la;
+  };
+
+  lp.levels.reserve(plan.levels.size());
+  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+    const PlanLevel& pl = plan.levels[d];
+    LinkedLevel ll;
+    ll.method = pl.method;
+    ll.var_slot = find_var_slot(q, pl.var);
+    BERNOULLI_CHECK_MSG(!pl.drivers.empty(),
+                        "plan level " << pl.var << " has no drivers");
+    if (pl.method == JoinMethod::kEnumerate)
+      BERNOULLI_CHECK(pl.drivers.size() == 1);
+    for (const Access& a : pl.drivers) ll.drivers.push_back(lower_access(a));
+    for (const Access& a : pl.probes) {
+      const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+      LinkedProbe pr;
+      pr.access = lower_access(a);
+      pr.search = pr.access.level->search_spec();
+      pr.var_slot =
+          find_var_slot(q, rel.vars[static_cast<std::size_t>(a.depth)]);
+      pr.filters = rel.filters;
+      pr.insert_on_miss = rel.writes && pr.access.level->insertable();
+      // Insertable levels grow their arrays mid-run, so a flat spec
+      // captured now could dangle after the first fill-in. Probe those
+      // through the virtual method, which always sees current storage.
+      if (pr.insert_on_miss) pr.search = relation::SearchSpec{};
+      ll.probes.push_back(pr);
+    }
+    ll.fanout =
+        &support::histogram("executor.fanout.level" + std::to_string(d));
+    lp.levels.push_back(std::move(ll));
+  }
+  return lp;
+}
+
+LinkedMac link_mac(const Query& q, index_t target_rel,
+                   const std::vector<index_t>& factor_rels, value_t scale) {
+  BERNOULLI_CHECK(target_rel >= 0 &&
+                  target_rel < static_cast<index_t>(q.relations.size()));
+  LinkedMac mac;
+  mac.target = q.relations[static_cast<std::size_t>(target_rel)].view;
+  BERNOULLI_CHECK(mac.target->writable());
+  mac.target_slot = static_cast<std::size_t>(target_rel);
+  mac.target_data = mac.target->value_array_mut();
+  mac.scale = scale;
+  for (index_t f : factor_rels) {
+    BERNOULLI_CHECK(f >= 0 && f < static_cast<index_t>(q.relations.size()));
+    LinkedMac::Factor fac;
+    fac.view = q.relations[static_cast<std::size_t>(f)].view;
+    fac.slot = static_cast<std::size_t>(f);
+    fac.data = fac.view->value_array();
+    mac.factors.push_back(fac);
+  }
+  return mac;
+}
+
+LinkedRunner::LinkedRunner(LinkedPlan lp) : lp_(std::move(lp)) {
+  const Query& q = *lp_.query;
+  vars_.assign(q.vars.size(), -1);
+  pos_.assign(static_cast<std::size_t>(lp_.pos_slots), -1);
+  leaf_.assign(q.relations.size(), -1);
+  frames_.resize(lp_.levels.size());
+  fanout_local_.resize(lp_.levels.size());
+  for (std::size_t d = 0; d < lp_.levels.size(); ++d) {
+    frames_[d].cursors.resize(lp_.levels[d].drivers.size());
+    frames_[d].bufs.resize(lp_.levels[d].drivers.size());
+    fanout_local_[d].assign(support::Log2Histogram::kBuckets, 0);
+  }
+}
+
+}  // namespace bernoulli::compiler

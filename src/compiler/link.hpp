@@ -1,0 +1,162 @@
+// Plan linking: lower a validated (Plan, Query) pair ONCE into a flat,
+// slot-addressed program the cursor executor (exec_linked.cpp) can run
+// with no name lookups, no per-element virtual dispatch and no allocation
+// inside the data loop.
+//
+// The interpreter in executor.cpp re-resolves everything per run and per
+// tuple: variable names to slots, accesses to IndexLevel objects, probes
+// through virtual search, enumeration through std::function callbacks.
+// Linking is the inspector/executor split applied to our own executor —
+// the same specialize-then-run move TACO-style format abstraction makes
+// ahead of the data loop: resolve the access-method hierarchy into flat
+// op records first, then run a tight loop over raw arrays.
+//
+// A LinkedPlan BORROWS the Plan, the Query and the views behind it; all
+// must stay alive and unmoved while the linked plan runs. Call sites that
+// execute the same plan repeatedly (CompiledKernel::run, the distributed
+// kernels that re-run one local plan per solver iteration) hold a
+// LinkedRunner so linking and scratch allocation happen once, not per
+// iteration.
+#pragma once
+
+#include <vector>
+
+#include "compiler/executor.hpp"
+#include "relation/cursor.hpp"
+
+namespace bernoulli::support {
+class Log2Histogram;
+}
+
+namespace bernoulli::compiler {
+
+/// A driver access, fully resolved: the concrete level plus flat slot
+/// indices for its own and its parent's positions.
+struct LinkedAccess {
+  const relation::IndexLevel* level = nullptr;
+  index_t rel = 0;    // index into Query::relations (diagnostics)
+  index_t depth = 0;  // hierarchy depth (diagnostics)
+  int pos_slot = 0;   // flat position-array slot this access writes
+  int parent_slot = -1;  // slot holding the parent position; -1 = root (0)
+};
+
+/// A probe access: the driver fields plus the lowered search method and
+/// the slot of the (already bound) variable that feeds the search.
+struct LinkedProbe {
+  LinkedAccess access;
+  relation::SearchSpec search;
+  int var_slot = 0;
+  bool filters = false;         // miss rejects the iteration
+  bool insert_on_miss = false;  // written + insertable: sparse fill-in
+};
+
+struct LinkedLevel {
+  JoinMethod method = JoinMethod::kEnumerate;
+  int var_slot = 0;
+  std::vector<LinkedAccess> drivers;  // 1 for enumerate, 2+ for merge
+  std::vector<LinkedProbe> probes;
+  support::Log2Histogram* fanout = nullptr;  // executor.fanout.level<d>
+};
+
+struct LinkedPlan {
+  std::vector<LinkedLevel> levels;
+  std::vector<int> leaf_slot;  // per relation: slot of its deepest position
+  int pos_slots = 0;           // flat position array size
+  const Plan* plan = nullptr;            // borrowed (trace labels)
+  const relation::Query* query = nullptr;  // borrowed (diagnostics, arity)
+};
+
+/// Validates `q` and lowers the pair. The result borrows both arguments.
+LinkedPlan link_plan(const Plan& plan, const relation::Query& q);
+
+/// The multiply-accumulate statement, lowered: relation slots resolved and
+/// raw value arrays captured where the views expose them (empty spans fall
+/// back to the virtual value accessors — e.g. sparse accumulators, whose
+/// storage grows mid-run).
+struct LinkedMac {
+  relation::RelationView* target = nullptr;
+  std::size_t target_slot = 0;
+  std::span<value_t> target_data;  // empty: use target->value_add
+  value_t scale = 1.0;
+  struct Factor {
+    const relation::RelationView* view = nullptr;
+    std::size_t slot = 0;
+    std::span<const value_t> data;  // empty: use view->value_at
+  };
+  std::vector<Factor> factors;
+};
+
+LinkedMac link_mac(const relation::Query& q, index_t target_rel,
+                   const std::vector<index_t>& factor_rels,
+                   value_t scale = 1.0);
+
+/// Runs a LinkedPlan. Owns all executor scratch (frames, cursor buffers,
+/// merge state, local counter blocks), reused across runs — after the
+/// first run of a given plan, steady state performs no heap allocation.
+/// Observability is batched: executor.* counters and fan-out histograms
+/// are accumulated in plain locals and flushed once per run, preserving
+/// the exact totals the interpreter books per event.
+class LinkedRunner {
+ public:
+  explicit LinkedRunner(LinkedPlan lp);
+
+  const LinkedPlan& linked() const { return lp_; }
+
+  /// One run, invoking `action` per surviving tuple (interpreter-identical
+  /// results, counters and per-level stats).
+  void run(const Action& action, RunStats* stats = nullptr);
+
+  /// One run of a lowered multiply-accumulate statement — the fast path
+  /// that also skips the per-tuple std::function and virtual value access.
+  void run(const LinkedMac& mac, RunStats* stats = nullptr);
+
+ private:
+  struct Frame {
+    std::vector<relation::Cursor> cursors;     // one per driver
+    std::vector<relation::CursorBuffer> bufs;  // per-driver fallback scratch
+    long long seg_bytes = 0;      // merge: summed segment bytes at open
+    bool advance_pending = false;  // merge: fingers sit on the last match
+    long long inv_enumerated = 0;
+    long long inv_produced = 0;
+  };
+
+  struct LocalCounters {
+    long long tuples = 0;
+    long long enumerated = 0;
+    long long merge_steps = 0;
+    long long probe_hits = 0;
+    long long probe_misses = 0;
+    long long fill_ins = 0;
+    long long merge_segment_bytes = 0;
+  };
+
+  template <class Sink>
+  void run_impl(Sink&& sink, RunStats* stats);
+
+  // Innermost-level fast path: produces every binding of an enumerate leaf
+  // frame in one tight loop (cursor kind dispatched once per invocation,
+  // not per element) and fires the sink inline, instead of re-entering the
+  // level state machine per element.
+  template <class Sink>
+  void drain_enumerate_leaf(std::size_t d, LocalCounters& c, Sink&& sink);
+
+  void open_frame(std::size_t d);
+  void close_frame(std::size_t d, LocalCounters& c, RunStats* stats);
+  bool next_binding(std::size_t d, LocalCounters& c);
+  bool resolve_probes(const LinkedLevel& lv, LocalCounters& c);
+  void flush(const LocalCounters& c, RunStats* stats);
+
+  LinkedPlan lp_;
+  std::vector<index_t> vars_;
+  std::vector<index_t> pos_;
+  std::vector<index_t> leaf_;
+  std::vector<Frame> frames_;
+  // run(LinkedMac) scratch: each operand's resolved leaf position slot.
+  // Member (not a local) so repeated runs reuse the capacity.
+  std::vector<std::size_t> mac_pslots_;
+  // Per-level local fan-out buckets, flushed to the registry histograms
+  // once per run (kBuckets wide, see support/histogram.hpp).
+  std::vector<std::vector<long long>> fanout_local_;
+};
+
+}  // namespace bernoulli::compiler

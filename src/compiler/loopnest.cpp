@@ -133,9 +133,12 @@ CompiledKernel compile(const LoopNest& nest, const Bindings& bindings,
 }
 
 void CompiledKernel::run() const {
-  execute(plan_, query_,
-          multiply_accumulate(query_, stmt_.target_rel, stmt_.factor_rels,
-                              stmt_.scale));
+  if (!linked_) {
+    linked_ = std::make_shared<LinkedProgram>(LinkedProgram{
+        LinkedRunner(link_plan(plan_, query_)),
+        link_mac(query_, stmt_.target_rel, stmt_.factor_rels, stmt_.scale)});
+  }
+  linked_->runner.run(linked_->mac);
 }
 
 std::string CompiledKernel::emit(const std::string& function_name) const {

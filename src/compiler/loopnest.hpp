@@ -16,6 +16,7 @@
 
 #include "compiler/emit.hpp"
 #include "compiler/executor.hpp"
+#include "compiler/link.hpp"
 #include "compiler/planner.hpp"
 #include "formats/ccs.hpp"
 #include "formats/coo.hpp"
@@ -96,8 +97,44 @@ class Bindings {
 /// from.
 class CompiledKernel {
  public:
-  /// Executes the kernel through the plan interpreter (accumulating into
-  /// the bound target storage).
+  CompiledKernel() = default;
+  // The lazily-built linked program borrows this object's plan_/query_, so
+  // copies and moves must not share or carry it — they drop the cache and
+  // re-link on their own first run.
+  CompiledKernel(const CompiledKernel& o)
+      : query_(o.query_), plan_(o.plan_), stmt_(o.stmt_),
+        interval_(o.interval_) {}
+  CompiledKernel(CompiledKernel&& o) noexcept
+      : query_(std::move(o.query_)), plan_(std::move(o.plan_)),
+        stmt_(std::move(o.stmt_)), interval_(std::move(o.interval_)) {
+    o.linked_.reset();
+  }
+  CompiledKernel& operator=(const CompiledKernel& o) {
+    if (this != &o) {
+      query_ = o.query_;
+      plan_ = o.plan_;
+      stmt_ = o.stmt_;
+      interval_ = o.interval_;
+      linked_.reset();
+    }
+    return *this;
+  }
+  CompiledKernel& operator=(CompiledKernel&& o) noexcept {
+    if (this != &o) {
+      query_ = std::move(o.query_);
+      plan_ = std::move(o.plan_);
+      stmt_ = std::move(o.stmt_);
+      interval_ = std::move(o.interval_);
+      linked_.reset();
+      o.linked_.reset();
+    }
+    return *this;
+  }
+
+  /// Executes the kernel through the linked cursor engine. The plan is
+  /// linked on the first run and the linked program (runner scratch, the
+  /// lowered multiply-accumulate) is cached, so solver loops that call
+  /// run() per iteration pay name resolution and allocation once.
   void run() const;
 
   /// The C program the compiler generates for this plan.
@@ -124,6 +161,11 @@ class CompiledKernel {
   // The iteration-space relation is synthesized by compile() and owned by
   // the kernel (other views belong to the Bindings).
   std::shared_ptr<relation::RelationView> interval_;
+  struct LinkedProgram {
+    LinkedRunner runner;
+    LinkedMac mac;
+  };
+  mutable std::shared_ptr<LinkedProgram> linked_;  // built on first run()
 };
 
 /// The compiler pipeline: extract query -> sparsity predicate -> plan.

@@ -1,6 +1,7 @@
 #include "relation/array_views.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/error.hpp"
 
@@ -27,6 +28,19 @@ class DenseIntervalLevel final : public IndexLevel {
   }
 
   double expected_size() const override { return static_cast<double>(extent_); }
+
+  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kDenseRange;
+    c.end = extent_;
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kIdentity;
+    s.extent = extent_;
+    return s;
+  }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
@@ -78,6 +92,22 @@ class CompressedLevel final : public IndexLevel {
 
   double expected_size() const override { return expected_; }
 
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kIndArray;
+    c.ind = ind_.data();
+    c.cur = ptr_[static_cast<std::size_t>(parent)];
+    c.end = ptr_[static_cast<std::size_t>(parent) + 1];
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kSegmentBinary;
+    s.ptr = ptr_.data();
+    s.ind = ind_.data();
+    return s;
+  }
+
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = " + ptr_name_ + "[" + parent + "]; " + pos +
@@ -127,6 +157,21 @@ class SortedListLevel final : public IndexLevel {
     return static_cast<double>(list_.size());
   }
 
+  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kIndArray;
+    c.ind = list_.data();
+    c.end = static_cast<index_t>(list_.size());
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kListBinary;
+    s.ind = list_.data();
+    s.extent = static_cast<index_t>(list_.size());
+    return s;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = 0; " + pos + " < " +
@@ -168,6 +213,21 @@ class FunctionLevel final : public IndexLevel {
 
   double expected_size() const override { return 1.0; }
 
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kSingleton;
+    c.end = 1;
+    c.s_idx = map_[static_cast<std::size_t>(parent)];
+    c.s_pos = parent;
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kFunction;
+    s.map = map_.data();
+    return s;
+  }
+
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "{ const int " + idx + " = " + map_name_ + "[" + parent +
@@ -206,6 +266,21 @@ class DenseMatrixInnerLevel final : public IndexLevel {
   }
 
   double expected_size() const override { return static_cast<double>(cols_); }
+
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kDenseRange;
+    c.base = parent * cols_;
+    c.end = cols_;
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kAffine;
+    s.extent = cols_;
+    s.stride = cols_;
+    return s;
+  }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
@@ -305,6 +380,8 @@ std::string CsrView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
 }
 
+std::span<const value_t> CsrView::value_array() const { return m_.vals(); }
+
 // -------------------------------------------------------------------- CCS
 
 CcsView::CcsView(std::string name, const formats::Ccs& m)
@@ -328,6 +405,8 @@ value_t CcsView::value_at(index_t pos) const {
 std::string CcsView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
 }
+
+std::span<const value_t> CcsView::value_array() const { return m_.vals(); }
 
 // -------------------------------------------------------------------- COO
 
@@ -367,6 +446,8 @@ value_t CooView::value_at(index_t pos) const {
 std::string CooView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
 }
+
+std::span<const value_t> CooView::value_array() const { return m_.vals(); }
 
 // ------------------------------------------------------------ Permutation
 
@@ -418,5 +499,11 @@ void DenseMatrixView::value_set(index_t pos, value_t v) {
 std::string DenseMatrixView::value_expr(const std::string& pos) const {
   return name_ + "[" + pos + "]";
 }
+
+std::span<const value_t> DenseMatrixView::value_array() const {
+  return std::as_const(m_).data();
+}
+
+std::span<value_t> DenseMatrixView::value_array_mut() { return m_.data(); }
 
 }  // namespace bernoulli::relation

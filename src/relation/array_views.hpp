@@ -48,6 +48,8 @@ class DenseVectorView final : public RelationView {
   void value_add(index_t pos, value_t delta) override;
   void value_set(index_t pos, value_t v) override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override { return data_; }
+  std::span<value_t> value_array_mut() override { return mutable_data_; }
 
  private:
   std::string name_;
@@ -68,6 +70,7 @@ class CsrView final : public RelationView {
   bool has_value() const override { return true; }
   value_t value_at(index_t pos) const override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override;
 
  private:
   std::string name_;
@@ -88,6 +91,7 @@ class CcsView final : public RelationView {
   bool has_value() const override { return true; }
   value_t value_at(index_t pos) const override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override;
 
  private:
   std::string name_;
@@ -109,6 +113,7 @@ class CooView final : public RelationView {
   bool has_value() const override { return true; }
   value_t value_at(index_t pos) const override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override;
 
  private:
   std::string name_;
@@ -158,6 +163,8 @@ class DenseMatrixView final : public RelationView {
   void value_add(index_t pos, value_t delta) override;
   void value_set(index_t pos, value_t v) override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override;
+  std::span<value_t> value_array_mut() override;
 
  private:
   std::string name_;

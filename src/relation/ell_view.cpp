@@ -25,6 +25,19 @@ class EllRowLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(rows_); }
 
+  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kDenseRange;
+    c.end = rows_;
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kIdentity;
+    s.extent = rows_;
+    return s;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -72,6 +85,17 @@ class EllColLevel final : public IndexLevel {
     return m_.rows() > 0 ? static_cast<double>(m_.nnz()) / m_.rows() : 0.0;
   }
 
+  // ELL entries of row i live at column-major slots k*rows + i: a strided
+  // cursor over COLIND with base = parent, stride = rows.
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kStrided;
+    c.ind = m_.colind().data();
+    c.base = parent;
+    c.stride = m_.rows();
+    c.end = m_.rownnz()[static_cast<std::size_t>(parent)];
+  }
+
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     const std::string n = std::to_string(m_.rows());
@@ -111,5 +135,7 @@ value_t EllView::value_at(index_t pos) const {
 std::string EllView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
 }
+
+std::span<const value_t> EllView::value_array() const { return m_.vals(); }
 
 }  // namespace bernoulli::relation

@@ -22,6 +22,7 @@ class EllView final : public RelationView {
   bool has_value() const override { return true; }
   value_t value_at(index_t pos) const override;
   std::string value_expr(const std::string& pos) const override;
+  std::span<const value_t> value_array() const override;
 
  private:
   std::string name_;

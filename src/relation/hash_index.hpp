@@ -33,6 +33,9 @@ class HashIndexedView final : public RelationView {
   std::string value_expr(const std::string& pos) const override {
     return base_.value_expr(pos);
   }
+  std::span<const value_t> value_array() const override {
+    return base_.value_array();
+  }
 
   /// Number of per-parent hash tables materialized so far (for tests).
   std::size_t tables_built() const;

@@ -25,6 +25,19 @@ class JdsRowLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(rows_); }
 
+  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kDenseRange;
+    c.end = rows_;
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kIdentity;
+    s.extent = rows_;
+    return s;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -74,6 +87,17 @@ class JdsColLevel final : public IndexLevel {
 
   double expected_size() const override {
     return m_.rows() > 0 ? static_cast<double>(m_.nnz()) / m_.rows() : 0.0;
+  }
+
+  // The k-th entry of permuted row i' sits at jdptr[k] + i': an offset-list
+  // cursor over COLIND with off = jdptr, base = parent.
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kOffsets;
+    c.ind = m_.colind().data();
+    c.off = m_.jdptr().data();
+    c.base = parent;
+    c.end = rowlen_[static_cast<std::size_t>(parent)];
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
@@ -126,6 +150,8 @@ value_t JdsView::value_at(index_t pos) const {
 std::string JdsView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
 }
+
+std::span<const value_t> JdsView::value_array() const { return m_.vals(); }
 
 std::vector<index_t> JdsView::original_to_permuted() const {
   return {m_.iperm().begin(), m_.iperm().end()};

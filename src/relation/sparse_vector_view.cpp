@@ -33,6 +33,21 @@ class SparseVectorLevel final : public IndexLevel {
     return static_cast<double>(ind_.size());
   }
 
+  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
+    c = Cursor{};
+    c.kind = Cursor::Kind::kIndArray;
+    c.ind = ind_.data();
+    c.end = static_cast<index_t>(ind_.size());
+  }
+
+  SearchSpec search_spec() const override {
+    SearchSpec s;
+    s.kind = SearchSpec::Kind::kListBinary;
+    s.ind = ind_.data();
+    s.extent = static_cast<index_t>(ind_.size());
+    return s;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = 0; " + pos + " < " +
@@ -71,6 +86,10 @@ value_t SparseVectorView::value_at(index_t pos) const {
 
 std::string SparseVectorView::value_expr(const std::string& pos) const {
   return name_ + "_VALS[" + pos + "]";
+}
+
+std::span<const value_t> SparseVectorView::value_array() const {
+  return v_.vals();
 }
 
 }  // namespace bernoulli::relation

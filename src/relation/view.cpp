@@ -9,6 +9,20 @@ index_t IndexLevel::insert(index_t, index_t) {
   __builtin_unreachable();
 }
 
+void IndexLevel::begin_cursor(index_t parent, Cursor& c,
+                              CursorBuffer& scratch) const {
+  scratch.clear();
+  enumerate(parent, [&](index_t idx, index_t pos) {
+    scratch.push_back({idx, pos});
+    return true;
+  });
+  c = Cursor{};
+  c.kind = Cursor::Kind::kBuffered;
+  c.buf = scratch.data();
+  c.cur = 0;
+  c.end = static_cast<index_t>(scratch.size());
+}
+
 std::string IndexLevel::emit_enumerate(const std::string& parent,
                                        const std::string& idx,
                                        const std::string& pos) const {

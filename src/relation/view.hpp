@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "relation/cursor.hpp"
 #include "support/types.hpp"
 
 namespace bernoulli::relation {
@@ -60,6 +61,24 @@ class IndexLevel {
 
   /// Estimated number of children of one parent (planner cardinality).
   virtual double expected_size() const = 0;
+
+  // --- Linked-executor hooks (relation/cursor.hpp) -------------------
+  // One virtual call per LEVEL INVOCATION instead of one per element:
+  // begin_cursor fills a flat pull cursor over the children of `parent`,
+  // search_spec describes the search method as a flat record resolved at
+  // link time. The defaults adapt enumerate()/search() — correct for any
+  // format; the bundled hot formats override with native flat shapes.
+
+  /// Fills `c` with a cursor over the children of `parent`. The default
+  /// adapter materializes enumerate() into `scratch` (cleared first) and
+  /// returns a kBuffered cursor over it; `scratch` must outlive the
+  /// cursor's use and is otherwise untouched by native overrides.
+  virtual void begin_cursor(index_t parent, Cursor& c,
+                            CursorBuffer& scratch) const;
+
+  /// Flat search descriptor, valid for every parent. Default: kVirtual
+  /// (probe through IndexLevel::search).
+  virtual SearchSpec search_spec() const { return {}; }
 
   // --- Codegen hooks -------------------------------------------------
   // The compiler's emitter materializes a plan as C-like source; each
@@ -108,6 +127,15 @@ class RelationView {
   /// C expression for the value addressed by position identifier `pos`
   /// (codegen hook; default renders a generic accessor call).
   virtual std::string value_expr(const std::string& pos) const;
+
+  /// Raw value storage addressed by leaf positions, when the format keeps
+  /// values in one flat array whose address is stable across a run (the
+  /// linked executor's fast path — one load instead of a virtual call per
+  /// tuple). Empty span: no stable flat array; use value_at/value_add.
+  /// Views whose storage can grow mid-run (sparse accumulators) must NOT
+  /// expose a raw array.
+  virtual std::span<const value_t> value_array() const { return {}; }
+  virtual std::span<value_t> value_array_mut() { return {}; }
 };
 
 }  // namespace bernoulli::relation

@@ -9,31 +9,28 @@
 namespace bernoulli::solvers {
 
 namespace {
-constexpr int kCgTag = 9301;
-}
 
-DistCgResult dist_cg_preconditioned(runtime::Process& p,
-                                    const spmd::DistSpmv& a,
-                                    const Preconditioner& precond_local,
-                                    ConstVectorView b_local,
-                                    VectorView x_local,
-                                    const CgOptions& opts) {
-  const auto n = static_cast<std::size_t>(a.local_rows());
+constexpr int kCgTag = 9301;
+
+// The PCG recurrence, generic in the distributed matvec (out = A * in over
+// local slices). Both the hand-written DistSpmv path and the compiled
+// DistKernel path run exactly this loop, so they match iterate-for-iterate.
+template <class MatvecFn>
+DistCgResult run_pcg(runtime::Process& p, std::size_t n,
+                     const MatvecFn& matvec,
+                     const Preconditioner& precond_local,
+                     ConstVectorView b_local, VectorView x_local,
+                     const CgOptions& opts) {
   BERNOULLI_CHECK(b_local.size() == n && x_local.size() == n);
 
   // The whole solve is executor-phase work (the inspector ran inside
-  // build_dist_spmv): its allreduces and exchanges are attributed to
-  // comm.executor.* / vtime.executor.*.
+  // build_dist_spmv / compile_dist_matvec): its allreduces and exchanges
+  // are attributed to comm.executor.* / vtime.executor.*.
   support::PhaseScope counter_phase("executor");
   support::TraceSpan solve_span("cg.solve", "solvers");
 
   Vector r(n), z(n), pv(n), q(n);
-  Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);
 
-  auto matvec = [&](ConstVectorView in, VectorView out) {
-    std::copy(in.begin(), in.end(), x_full.begin());
-    a.apply(p, x_full, out, kCgTag);
-  };
   auto gdot = [&](ConstVectorView u, ConstVectorView v) {
     return p.allreduce_sum(dot(u, v));
   };
@@ -77,18 +74,54 @@ DistCgResult dist_cg_preconditioned(runtime::Process& p,
   return result;
 }
 
+Preconditioner diagonal_precond(ConstVectorView diag_local) {
+  for (value_t d : diag_local) BERNOULLI_CHECK(d != 0.0);
+  return [diag_local](ConstVectorView r, VectorView z) {
+    for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] / diag_local[i];
+  };
+}
+
+}  // namespace
+
+DistCgResult dist_cg_preconditioned(runtime::Process& p,
+                                    const spmd::DistSpmv& a,
+                                    const Preconditioner& precond_local,
+                                    ConstVectorView b_local,
+                                    VectorView x_local,
+                                    const CgOptions& opts) {
+  const auto n = static_cast<std::size_t>(a.local_rows());
+  Vector x_full(static_cast<std::size_t>(a.sched.full_size()), 0.0);
+  auto matvec = [&](ConstVectorView in, VectorView out) {
+    std::copy(in.begin(), in.end(), x_full.begin());
+    a.apply(p, x_full, out, kCgTag);
+  };
+  return run_pcg(p, n, matvec, precond_local, b_local, x_local, opts);
+}
+
 DistCgResult dist_cg(runtime::Process& p, const spmd::DistSpmv& a,
                      ConstVectorView diag_local, ConstVectorView b_local,
                      VectorView x_local, const CgOptions& opts) {
   const auto n = static_cast<std::size_t>(a.local_rows());
   BERNOULLI_CHECK(diag_local.size() == n);
-  for (value_t d : diag_local) BERNOULLI_CHECK(d != 0.0);
-  return dist_cg_preconditioned(
-      p, a,
-      [diag_local](ConstVectorView r, VectorView z) {
-        for (std::size_t i = 0; i < z.size(); ++i) z[i] = r[i] / diag_local[i];
-      },
-      b_local, x_local, opts);
+  return dist_cg_preconditioned(p, a, diagonal_precond(diag_local), b_local,
+                                x_local, opts);
+}
+
+DistCgResult dist_cg_compiled(runtime::Process& p, spmd::DistKernel& a,
+                              ConstVectorView diag_local,
+                              ConstVectorView b_local, VectorView x_local,
+                              const CgOptions& opts) {
+  const auto n = static_cast<std::size_t>(a.local_rows());
+  BERNOULLI_CHECK(diag_local.size() == n);
+  auto matvec = [&](ConstVectorView in, VectorView out) {
+    VectorView xo = a.x_owned();
+    std::copy(in.begin(), in.end(), xo.begin());
+    a.run(p, kCgTag);
+    ConstVectorView y = a.y_local();
+    std::copy(y.begin(), y.end(), out.begin());
+  };
+  return run_pcg(p, n, matvec, diagonal_precond(diag_local), b_local, x_local,
+                 opts);
 }
 
 }  // namespace bernoulli::solvers

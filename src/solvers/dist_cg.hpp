@@ -7,6 +7,7 @@
 #pragma once
 
 #include "solvers/cg.hpp"
+#include "spmd/dist_compile.hpp"
 #include "spmd/matvec.hpp"
 
 namespace bernoulli::solvers {
@@ -36,5 +37,15 @@ DistCgResult dist_cg_preconditioned(runtime::Process& p,
                                     ConstVectorView b_local,
                                     VectorView x_local,
                                     const CgOptions& opts = {});
+
+/// The same recurrence with the SpMV of a COMPILED distributed kernel
+/// (spmd::DistKernel): the per-rank local plan is linked once on the first
+/// application and re-run through the cursor engine every iteration —
+/// the repeated-execution case plan linking exists for. Matches dist_cg
+/// iterate-for-iterate on the same operator.
+DistCgResult dist_cg_compiled(runtime::Process& p, spmd::DistKernel& a,
+                              ConstVectorView diag_local,
+                              ConstVectorView b_local, VectorView x_local,
+                              const CgOptions& opts = {});
 
 }  // namespace bernoulli::solvers

@@ -1,0 +1,360 @@
+// Differential test: the linked cursor engine (compiler/link.hpp +
+// exec_linked.cpp) against the reference interpreter
+// (execute_interpreted), across every format and plan shape the compiler
+// sweep covers plus the merge-join, fill-in (sparse output insert),
+// filtering-rejection and permutation paths. The contract is strict:
+// bitwise-identical outputs, identical executor.* counter deltas and
+// identical per-level enumerated/produced totals.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blas/spgemm.hpp"
+#include "compiler/link.hpp"
+#include "compiler/loopnest.hpp"
+#include "formats/formats.hpp"
+#include "relation/array_views.hpp"
+#include "relation/hash_index.hpp"
+#include "relation/jds_view.hpp"
+#include "relation/spa_view.hpp"
+#include "support/counters.hpp"
+#include "support/rng.hpp"
+
+namespace bernoulli::compiler {
+namespace {
+
+using formats::Coo;
+using formats::TripletBuilder;
+using relation::Query;
+
+Coo random_matrix(index_t rows, index_t cols, index_t nnz,
+                  std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  TripletBuilder b(rows, cols);
+  for (index_t k = 0; k < nnz; ++k)
+    b.add(rng.next_index(rows), rng.next_index(cols),
+          rng.next_double(-1.0, 1.0));
+  return std::move(b).build();
+}
+
+// executor.* counter deltas across a run (zero deltas elided, so the
+// comparison is independent of which counters other tests registered).
+std::map<std::string, long long> exec_delta(
+    const support::CountersSnapshot& before,
+    const support::CountersSnapshot& after) {
+  std::map<std::string, long long> d;
+  for (const auto& [name, v] : after.counts) {
+    if (name.rfind("executor.", 0) != 0) continue;
+    long long b = 0;
+    if (auto it = before.counts.find(name); it != before.counts.end())
+      b = it->second;
+    if (v != b) d[name] = v - b;
+  }
+  return d;
+}
+
+struct EngineRun {
+  std::map<std::string, long long> deltas;
+  RunStats stats;
+};
+
+EngineRun run_interpreted(const Plan& plan, const Query& q,
+                          const Action& action) {
+  EngineRun r;
+  auto before = support::counters_snapshot();
+  execute_interpreted(plan, q, action, &r.stats);
+  r.deltas = exec_delta(before, support::counters_snapshot());
+  return r;
+}
+
+EngineRun run_linked(const Plan& plan, const Query& q, const Action& action) {
+  EngineRun r;
+  auto before = support::counters_snapshot();
+  LinkedRunner runner(link_plan(plan, q));
+  runner.run(action, &r.stats);
+  r.deltas = exec_delta(before, support::counters_snapshot());
+  return r;
+}
+
+EngineRun run_linked_mac(const Plan& plan, const Query& q, index_t target,
+                         const std::vector<index_t>& factors,
+                         value_t scale = 1.0) {
+  EngineRun r;
+  auto before = support::counters_snapshot();
+  LinkedRunner runner(link_plan(plan, q));
+  runner.run(link_mac(q, target, factors, scale), &r.stats);
+  r.deltas = exec_delta(before, support::counters_snapshot());
+  return r;
+}
+
+void expect_same_work(const EngineRun& interp, const EngineRun& linked) {
+  EXPECT_EQ(interp.deltas, linked.deltas);
+  EXPECT_EQ(interp.stats.tuples, linked.stats.tuples);
+  ASSERT_EQ(interp.stats.levels.size(), linked.stats.levels.size());
+  for (std::size_t d = 0; d < interp.stats.levels.size(); ++d) {
+    EXPECT_EQ(interp.stats.levels[d].enumerated,
+              linked.stats.levels[d].enumerated)
+        << "level " << d;
+    EXPECT_EQ(interp.stats.levels[d].produced, linked.stats.levels[d].produced)
+        << "level " << d;
+  }
+}
+
+// ---- Format sweep: every storage binding of the sweep test ----------
+
+enum class Storage { kCsr, kCcs, kCoo, kEll, kDenseMatrix, kCsrHashed };
+
+std::string storage_name(Storage s) {
+  switch (s) {
+    case Storage::kCsr: return "csr";
+    case Storage::kCcs: return "ccs";
+    case Storage::kCoo: return "coo";
+    case Storage::kEll: return "ell";
+    case Storage::kDenseMatrix: return "dense";
+    case Storage::kCsrHashed: return "csr_hashed";
+  }
+  return "?";
+}
+
+struct Case {
+  Storage storage;
+  index_t rows;
+  index_t cols;
+  index_t nnz;
+  std::uint64_t seed;
+};
+
+class LinkedSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(LinkedSweep, MatchesInterpreterExactly) {
+  const Case& c = GetParam();
+  SplitMix64 rng(c.seed);
+  Coo coo = random_matrix(c.rows, c.cols, c.nnz, c.seed);
+
+  Vector x(static_cast<std::size_t>(c.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(c.rows), 0.0);
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Ccs ccs = formats::Ccs::from_coo(coo);
+  formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Dense dm = formats::Dense::from_coo(coo);
+  relation::CsrView csr_base("A", csr);
+  relation::HashIndexedView hashed(csr_base, 1);
+
+  Bindings b;
+  switch (c.storage) {
+    case Storage::kCsr: b.bind_csr("A", csr); break;
+    case Storage::kCcs: b.bind_ccs("A", ccs); break;
+    case Storage::kCoo: b.bind_coo("A", coo); break;
+    case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
+    case Storage::kCsrHashed:
+      b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
+      break;
+  }
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+
+  LoopNest nest{{{"i", c.rows}, {"j", c.cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  // compile() lays relations out as I=0, target=1, factors in order.
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  EngineRun ir =
+      run_interpreted(k.plan(), k.query(),
+                      multiply_accumulate(k.query(), target, factors));
+  Vector y_interp = y;
+
+  std::fill(y.begin(), y.end(), 0.0);
+  EngineRun lr = run_linked_mac(k.plan(), k.query(), target, factors);
+  expect_same_work(ir, lr);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], y_interp[i]) << "row " << i;  // bitwise
+
+  // The Action-sink path of the linked engine must agree as well.
+  std::fill(y.begin(), y.end(), 0.0);
+  EngineRun la = run_linked(k.plan(), k.query(),
+                            multiply_accumulate(k.query(), target, factors));
+  expect_same_work(ir, la);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_interp[i]);
+}
+
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  std::uint64_t seed = 900;
+  for (Storage s : {Storage::kCsr, Storage::kCcs, Storage::kCoo,
+                    Storage::kEll, Storage::kDenseMatrix,
+                    Storage::kCsrHashed}) {
+    cases.push_back({s, 1, 1, 1, seed++});
+    cases.push_back({s, 10, 14, 40, seed++});
+    cases.push_back({s, 14, 10, 40, seed++});
+    cases.push_back({s, 32, 32, 64, seed++});   // sparse, empty rows
+    cases.push_back({s, 24, 24, 400, seed++});  // dense-ish, duplicates
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorages, LinkedSweep,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           const Case& c = info.param;
+                           std::ostringstream os;
+                           os << storage_name(c.storage) << "_" << c.rows
+                              << "x" << c.cols << "_nnz" << c.nnz;
+                           return os.str();
+                         });
+
+// ---- Merge join (sparse A |><| sparse X), both planner modes --------
+
+TEST(LinkedExec, MergeJoinAndProbeFallbackMatch) {
+  Coo a = random_matrix(60, 60, 500, 21);
+  formats::Csr csr = formats::Csr::from_coo(a);
+  formats::SparseVector x(
+      60, {{1, 1.0}, {5, -2.0}, {12, 0.25}, {30, 3.0}, {59, -1.0}});
+  Vector y(60, 0.0);
+
+  for (bool allow_merge : {true, false}) {
+    Bindings b;
+    b.bind_csr("A", csr);
+    b.bind_sparse_vector("X", x);
+    b.bind_dense_vector("Y", VectorView(y));
+    LoopNest nest{{{"i", 60}, {"j", 60}},
+                  {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+    PlannerOptions opts;
+    opts.allow_merge = allow_merge;
+    CompiledKernel k = compile(nest, b, opts);
+
+    std::fill(y.begin(), y.end(), 0.0);
+    EngineRun ir = run_interpreted(
+        k.plan(), k.query(), multiply_accumulate(k.query(), 1, {2, 3}));
+    Vector y_interp = y;
+
+    std::fill(y.begin(), y.end(), 0.0);
+    EngineRun lr = run_linked_mac(k.plan(), k.query(), 1, {2, 3});
+    expect_same_work(ir, lr);
+    if (allow_merge) {
+      EXPECT_GT(lr.deltas["executor.merge_steps"], 0);
+      EXPECT_GT(lr.deltas["executor.merge_segment_bytes"], 0);
+    } else {
+      // Index-nested-loop mode: X is probed and rejects most columns.
+      EXPECT_GT(lr.deltas["executor.probe_misses"], 0);
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_interp[i]);
+  }
+}
+
+// ---- Sparse-output fill-in: SpGEMM into a SPA -----------------------
+
+TEST(LinkedExec, SpgemmFillInMatches) {
+  Coo a = random_matrix(14, 18, 60, 22);
+  Coo bm = random_matrix(18, 11, 55, 23);
+  formats::Csr acsr = formats::Csr::from_coo(a);
+  formats::Csr bcsr = formats::Csr::from_coo(bm);
+  relation::CsrView aview("A", acsr);
+  relation::CsrView bview("B", bcsr);
+  relation::IntervalView iview("I", {14, 18, 11});
+
+  auto make_query = [&](relation::SpaView& c) {
+    Query q;
+    q.vars = {"i", "k", "j"};
+    q.relations.push_back({&iview, {"i", "k", "j"}, true, false, true});
+    q.relations.push_back({&aview, {"i", "k"}, true, false, false});
+    q.relations.push_back({&bview, {"k", "j"}, true, false, false});
+    q.relations.push_back({&c, {"i", "j"}, false, true, false});
+    return q;
+  };
+
+  // Fresh SPA per engine so every insert happens in both runs.
+  relation::SpaView c_interp("C", 14, 11);
+  Query q_interp = make_query(c_interp);
+  Plan plan = plan_query(q_interp);
+  EngineRun ir = run_interpreted(plan, q_interp,
+                                 multiply_accumulate(q_interp, 3, {1, 2}));
+
+  relation::SpaView c_linked("C", 14, 11);
+  Query q_linked = make_query(c_linked);
+  EngineRun lr = run_linked_mac(plan, q_linked, 3, {1, 2});
+
+  expect_same_work(ir, lr);
+  EXPECT_GT(lr.deltas["executor.fill_ins"], 0);
+  EXPECT_EQ(c_interp.harvest(), c_linked.harvest());  // structure + values
+  EXPECT_EQ(c_linked.harvest(), blas::spgemm(acsr, bcsr).to_coo());
+}
+
+// ---- Permutation relation (JDS, paper Eq. 6) ------------------------
+
+TEST(LinkedExec, JdsPermutationMatvecMatches) {
+  const index_t n = 20;
+  Coo coo = random_matrix(n, n, 90, 24);
+  formats::Jds jds = formats::Jds::from_coo(coo);
+
+  SplitMix64 rng(25);
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(n), 0.0);
+
+  relation::JdsView aview("Ap", jds);
+  relation::PermutationView pview("P", aview.original_to_permuted());
+  relation::IntervalView iview("I", {n, n});
+  relation::DenseVectorView xview("X", ConstVectorView(x));
+  relation::DenseVectorView yview("Y", VectorView(y));
+
+  Query q;
+  q.vars = {"i", "ip", "j"};
+  q.relations.push_back({&iview, {"i", "j"}, true, false, true});
+  q.relations.push_back({&pview, {"i", "ip"}, true, false, false});
+  q.relations.push_back({&aview, {"ip", "j"}, true, false, false});
+  q.relations.push_back({&xview, {"j"}, false, false, false});
+  q.relations.push_back({&yview, {"i"}, false, true, false});
+  Plan plan = plan_query(q);
+
+  EngineRun ir =
+      run_interpreted(plan, q, multiply_accumulate(q, 4, {2, 3}));
+  Vector y_interp = y;
+
+  std::fill(y.begin(), y.end(), 0.0);
+  EngineRun lr = run_linked_mac(plan, q, 4, {2, 3});
+  expect_same_work(ir, lr);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_interp[i]);
+}
+
+// ---- Runner reuse: repeated runs of one LinkedRunner ----------------
+
+TEST(LinkedExec, RunnerReuseKeepsCountsStable) {
+  Coo a = random_matrix(32, 32, 128, 26);
+  formats::Csr csr = formats::Csr::from_coo(a);
+  Vector x(32, 1.0), y(32, 0.0);
+
+  Bindings b;
+  b.bind_csr("A", csr);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", 32}, {"j", 32}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  LinkedRunner runner(link_plan(k.plan(), k.query()));
+  LinkedMac mac = link_mac(k.query(), 1, {2, 3});
+  EngineRun first;
+  {
+    auto before = support::counters_snapshot();
+    runner.run(mac, &first.stats);
+    first.deltas = exec_delta(before, support::counters_snapshot());
+  }
+  Vector y_first = y;
+  for (int rep = 0; rep < 3; ++rep) {
+    std::fill(y.begin(), y.end(), 0.0);
+    EngineRun again;
+    auto before = support::counters_snapshot();
+    runner.run(mac, &again.stats);
+    again.deltas = exec_delta(before, support::counters_snapshot());
+    expect_same_work(first, again);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_first[i]);
+  }
+}
+
+}  // namespace
+}  // namespace bernoulli::compiler
