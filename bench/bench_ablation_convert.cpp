@@ -4,12 +4,17 @@
 // INTO the format is affordable; this bench reports conversion time from
 // canonical COO and the storage each format occupies, across the Table-1
 // suite — including Diagonal's skyline blow-up on irregular matrices.
+//
+// `--trace=<file>` / `--comm-matrix` / `--report=<file>` are accepted for
+// uniformity with the distributed benches; this driver is sequential, so
+// the epilogue reconciles against zero modeled traffic.
 #include <functional>
 #include <iostream>
 
 #include "formats/formats.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
+#include "support/trace_cli.hpp"
 #include "workloads/suite.hpp"
 
 namespace {
@@ -28,7 +33,12 @@ double once_seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bernoulli::support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i)
+    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  bernoulli::support::obs_begin(obs);
+
   std::cout << "=== Ablation: conversion time (ms) / storage (KiB) from "
                "canonical COO ===\n\n";
 
@@ -56,5 +66,8 @@ int main() {
                "between first and last\nnonzero of every diagonal explode "
                "on irregular sparsity — the flip side of\nits Table-1 wins "
                "on banded problems.\n";
+  // No machine runs here; the epilogue still validates the (empty) trace
+  // and prints/export whatever was requested.
+  bernoulli::support::obs_end(obs, 0, 0);
   return 0;
 }

@@ -5,20 +5,30 @@
 // locally, so inspector communication stays proportional to the BOUNDARY;
 // the Chaos distributed translation table pays all-to-alls with volume
 // proportional to the PROBLEM SIZE (table build) on top.
+//
+// `--trace=<file>` / `--comm-matrix` record the whole sweep and assert
+// the comm reconciliation invariant (support/trace_cli.hpp).
 #include <iostream>
 
 #include "common.hpp"
 #include "support/text_table.hpp"
+#include "support/trace_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bernoulli;
   using spmd::Variant;
+
+  support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
 
   std::cout << "=== Ablation: inspector communication volume vs N ===\n"
             << "(P = 8; modeled bytes moved by the whole inspector phase, "
                "summed over ranks)\n\n";
 
   const int P = 8;
+  support::obs_begin(obs);
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
   TextTable table({"points/proc", "N (rows)", "mixed bytes", "chaos bytes",
                    "chaos/mixed"});
   for (index_t side : {4, 8, 12, 16}) {
@@ -35,6 +45,8 @@ int main() {
         bench::measure_variant(prob, P, Variant::kBernoulliMixed, 2, 1);
     auto chaos =
         bench::measure_variant(prob, P, Variant::kIndirectMixed, 2, 1);
+    commstats_messages += mixed.total_messages + chaos.total_messages;
+    commstats_bytes += mixed.total_bytes + chaos.total_bytes;
 
     table.new_row();
     table.add(static_cast<long long>(side * side * side));
@@ -50,5 +62,6 @@ int main() {
             << "\nMixed inspector bytes grow with the BOUNDARY "
                "(surface); the Chaos table\nadds volume proportional to N "
                "— the structural point of Table 3.\n";
+  support::obs_end(obs, commstats_messages, commstats_bytes);
   return 0;
 }

@@ -7,6 +7,10 @@
 // sparsity levels of x, showing the crossover the cost model navigates:
 // merge wins when both sides are comparably sized, probing wins when one
 // side is tiny.
+//
+// `--trace=<file>` / `--comm-matrix` / `--report=<file>` are accepted for
+// uniformity with the distributed benches; this driver is sequential, so
+// the epilogue reconciles against zero modeled traffic.
 #include <functional>
 #include <iostream>
 
@@ -14,6 +18,7 @@
 #include "formats/formats.hpp"
 #include "formats/sparse_vector.hpp"
 #include "support/rng.hpp"
+#include "support/trace_cli.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
 #include "workloads/grid.hpp"
@@ -38,7 +43,12 @@ double best_seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bernoulli::support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i)
+    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  bernoulli::support::obs_begin(obs);
+
   std::cout << "=== Ablation: merge join vs index-nested-loop probing ===\n"
             << "(y += A x with sparse A (CRS) and sparse x; interpreter\n"
             << " wall time per full query evaluation)\n\n";
@@ -109,5 +119,8 @@ int main() {
             << "\n(The 'merge plan' column is only a real merge when the\n"
                "planner found two sorted filters at the j level — with "
                "sparse x it always\ndoes.)\n";
+  // No machine runs here; the epilogue still validates the (empty) trace
+  // and prints/export whatever was requested.
+  bernoulli::support::obs_end(obs, 0, 0);
   return 0;
 }

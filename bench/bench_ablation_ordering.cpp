@@ -6,11 +6,16 @@
 // matrix from the "Diagonal format explodes" regime into its sweet spot.
 // This bench scrambles a grid matrix, then measures each format's SpMV
 // before and after RCM.
+//
+// `--trace=<file>` / `--comm-matrix` / `--report=<file>` are accepted for
+// uniformity with the distributed benches; this driver is sequential, so
+// the epilogue reconciles against zero modeled traffic.
 #include <functional>
 #include <iostream>
 
 #include "formats/formats.hpp"
 #include "support/rng.hpp"
+#include "support/trace_cli.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
 #include "workloads/rcm.hpp"
@@ -44,7 +49,12 @@ double rate(const formats::Coo& a, formats::Kind k) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bernoulli::support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i)
+    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  bernoulli::support::obs_begin(obs);
+
   std::cout << "=== Ablation: RCM ordering x storage format ===\n"
             << "(gr_30_30 grid Laplacian, randomly scrambled, then RCM'd;\n"
             << " SpMV MFLOPS per format)\n\n";
@@ -77,5 +87,8 @@ int main() {
             << "\nDiagonal collapses under scrambling (skylines span the "
                "matrix) and recovers\nafter RCM; index-based formats are "
                "largely ordering-insensitive.\n";
+  // No machine runs here; the epilogue still validates the (empty) trace
+  // and prints/export whatever was requested.
+  bernoulli::support::obs_end(obs, 0, 0);
   return 0;
 }

@@ -5,17 +5,27 @@
 // Reports CG iteration counts and time-to-solution on the paper's grid
 // family; IC(0) trades a more expensive application (two triangular
 // solves) for far fewer iterations.
+//
+// `--trace=<file>` / `--comm-matrix` / `--report=<file>` are accepted for
+// uniformity with the distributed benches; this driver is sequential, so
+// the epilogue reconciles against zero modeled traffic.
 #include <functional>
 #include <iostream>
 
 #include "solvers/cg.hpp"
 #include "solvers/ic.hpp"
 #include "support/rng.hpp"
+#include "support/trace_cli.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
 #include "workloads/grid.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  bernoulli::support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i)
+    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  bernoulli::support::obs_begin(obs);
+
   using namespace bernoulli;
 
   std::cout << "=== Ablation: Jacobi-CG vs ICCG (tolerance 1e-10) ===\n\n";
@@ -67,5 +77,8 @@ int main() {
             << "\n(ICCG time includes the IC(0) factorization; on these "
                "diagonally dominant\nproblems Jacobi is already strong, so "
                "the iteration ratio is the headline.)\n";
+  // No machine runs here; the epilogue still validates the (empty) trace
+  // and prints/export whatever was requested.
+  bernoulli::support::obs_end(obs, 0, 0);
   return 0;
 }

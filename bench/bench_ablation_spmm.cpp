@@ -5,6 +5,9 @@
 // index traffic over all right-hand sides. Distributed side: ONE ghost
 // exchange moves whole block rows, so per-RHS communication (messages and
 // modeled time) drops with the block width.
+//
+// `--trace=<file>` / `--comm-matrix` record the distributed sweep and
+// assert the comm reconciliation invariant (support/trace_cli.hpp).
 #include <functional>
 #include <iostream>
 
@@ -13,6 +16,7 @@
 #include "spmd/spmm.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
+#include "support/trace_cli.hpp"
 #include "workloads/grid.hpp"
 
 namespace {
@@ -35,7 +39,10 @@ double best_seconds(const std::function<void()>& fn) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
+
   std::cout << "=== Ablation: SpMM vs k independent SpMVs ===\n\n";
 
   auto g = workloads::grid3d_7pt(12, 12, 12, 1, 77);
@@ -66,13 +73,18 @@ int main() {
 
   std::cout << "--- distributed: modeled comm per RHS (P = 8, mixed) ---\n";
   const int P = 8;
+  // The sequential half above runs no machine; record from here so the
+  // epilogue reconciles against exactly these runs.
+  support::obs_begin(obs);
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
   distrib::BlockDist rows(n, P);
   TextTable dist_table({"width k", "msgs/RHS", "virtual us/RHS"});
   for (index_t k : {1, 4, 16}) {
     runtime::Machine machine(P);
     std::vector<double> vt(P, 0.0);
     std::vector<long long> msgs(P, 0);
-    machine.run([&](runtime::Process& p) {
+    auto reports = machine.run([&](runtime::Process& p) {
       spmd::DistSpmv dist = spmd::build_dist_spmv(
           p, a, rows, spmd::Variant::kBernoulliMixed);
       auto mine = rows.owned_indices(p.rank());
@@ -94,6 +106,8 @@ int main() {
     for (int r = 0; r < P; ++r) {
       tsum += vt[static_cast<std::size_t>(r)];
       msum += msgs[static_cast<std::size_t>(r)];
+      commstats_messages += reports[static_cast<std::size_t>(r)].stats.messages;
+      commstats_bytes += reports[static_cast<std::size_t>(r)].stats.bytes;
     }
     dist_table.new_row();
     dist_table.add(static_cast<long long>(k));
@@ -103,5 +117,6 @@ int main() {
   std::cout << dist_table.str()
             << "\nOne schedule, one exchange: per-RHS messages fall as 1/k; "
                "per-RHS virtual\ntime approaches the pure-bandwidth cost.\n";
+  support::obs_end(obs, commstats_messages, commstats_bytes);
   return 0;
 }

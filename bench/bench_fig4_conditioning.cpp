@@ -8,42 +8,67 @@
 // Bernoulli-Mixed implementations, for P = 8 and P = 64 (paper Eq. 25).
 // The paper reads off the crossovers: iterations needed for Indirect-Mixed
 // to come within 10% / 20% of Bernoulli-Mixed.
+//
+// `--trace=<file>` / `--comm-matrix` record the measurement (reduced to
+// P=8 so the trace stays readable) and assert the comm reconciliation
+// invariant. `--report=<file>` writes a bernoulli.run.v1 run report with
+// r_B / r_I / crossover metrics and the critical path through the last
+// machine run.
 #include <iostream>
 
+#include "analysis/critical_path.hpp"
+#include "analysis/report.hpp"
 #include "common.hpp"
 #include "support/text_table.hpp"
+#include "support/trace_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace bernoulli;
   using spmd::Variant;
+
+  support::ObsOptions obs;
+  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
 
   std::cout << "=== Figure 4: (k + r_I) / (k + r_B) vs iteration count ===\n\n";
 
   const int iterations = 10;
+  const std::vector<int> procs =
+      obs.active() ? std::vector<int>{8} : std::vector<int>{8, 64};
+
+  analysis::RunReport report("bench_fig4_conditioning");
+  report.config("iterations", static_cast<long long>(iterations));
+  support::obs_begin(obs);
+
+  long long commstats_messages = 0;
+  long long commstats_bytes = 0;
   std::map<int, std::pair<double, double>> ratios;  // P -> (r_B, r_I)
-  for (int P : {8, 64}) {
+  for (int P : procs) {
     bench::Problem prob = bench::build_problem(P);
     auto mixed =
         bench::measure_variant_calibrated(prob, P, Variant::kBernoulliMixed, iterations);
     auto indirect =
         bench::measure_variant_calibrated(prob, P, Variant::kIndirectMixed, iterations);
+    commstats_messages += mixed.total_messages + indirect.total_messages;
+    commstats_bytes += mixed.total_bytes + indirect.total_bytes;
     ratios[P] = {mixed.inspector_ratio, indirect.inspector_ratio};
     std::cerr << "  [P=" << P << " measured: r_B=" << mixed.inspector_ratio
               << " r_I=" << indirect.inspector_ratio << "]\n";
   }
 
-  TextTable table({"iterations k", "ratio (P=8)", "ratio (P=64)"});
+  std::vector<std::string> header{"iterations k"};
+  for (int P : procs) header.push_back("ratio (P=" + std::to_string(P) + ")");
+  TextTable table(header);
   for (int k = 5; k <= 100; k += 5) {
     table.new_row();
     table.add(k);
-    for (int P : {8, 64}) {
+    for (int P : procs) {
       auto [rb, ri] = ratios[P];
       table.add((k + ri) / (k + rb), 3);
     }
   }
   std::cout << table.str() << '\n';
 
-  for (int P : {8, 64}) {
+  for (int P : procs) {
     auto [rb, ri] = ratios[P];
     auto crossover = [&](double within) {
       // Smallest k with (k + r_I)/(k + r_B) <= 1 + within.
@@ -54,10 +79,25 @@ int main() {
     std::cout << "P=" << P << ": r_B=" << rb << "  r_I=" << ri
               << "  within 20% at k=" << crossover(0.20)
               << ", within 10% at k=" << crossover(0.10) << '\n';
+    if (!obs.report_path.empty()) {
+      const std::string base = "fig4.P" + std::to_string(P);
+      report.metric(base + ".r_B", rb);
+      report.metric(base + ".r_I", ri);
+      report.metric(base + ".k_within_20pct",
+                    static_cast<double>(crossover(0.20)));
+      report.metric(base + ".k_within_10pct",
+                    static_cast<double>(crossover(0.10)));
+    }
   }
   std::cout << "\nExpected shape (paper): ratios well above 1 at small k, "
                "decaying toward 1;\nhigher curve for larger P; paper's "
                "crossovers were k=21/43 (P=8) and k=39/77\n(P=64) for "
                "20%/10%.\n";
+  // Aborts nonzero if the trace/matrix/counters disagree with CommStats.
+  support::obs_end(obs, commstats_messages, commstats_bytes);
+  if (!obs.report_path.empty()) {
+    report.set_critical_path(analysis::critical_path_current());
+    report.write(obs.report_path);
+  }
   return 0;
 }

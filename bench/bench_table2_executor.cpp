@@ -10,11 +10,14 @@
 //                     paper: ~10% slower than Bernoulli-Mixed (redundant
 //                     global-to-local indirection on every x access)
 //
-// `--report=json` switches to the observability report: an
-// estimate-vs-measured communication table per variant (exchange cost
-// predicted from the CommSchedule alone vs. runtime::CommStats), plus the
-// full counter registry and a reconciliation block proving the
-// phase-split comm.* counters sum to the CommStats totals.
+// `--report=<file>` writes a bernoulli.run.v1 run report
+// (analysis/report.hpp). On the default (variant) axis it runs the
+// reduced traced measurement and the report carries per-variant metrics,
+// per-variant exchange comm-checks, and the critical path through the
+// last machine run; on the --engine axis it carries the exec.* metrics
+// (same names tools/bernoulli_report derives from a
+// bernoulli.bench.exec.v1 snapshot, so the two diff against each other)
+// plus a cost-model check per case.
 //
 // `--trace=<file>` / `--comm-matrix` run a reduced traced measurement
 // (P=4, all three variants): the trace gets one track per rank on virtual
@@ -30,14 +33,20 @@
 // ns per stored entry. Extra flags on this axis:
 //   --small               one-processor problem only (CI smoke)
 //   --check               exit 1 unless linked beats interpreted per case
-//   --exec-json=FILE      write a bernoulli.bench.exec.v1 report to FILE
 //   --validate-exec-json=FILE   parse FILE with support/json_reader.hpp
 //                               and check the v1 schema (no measuring)
+//
+// Deprecated aliases (warn once, keep working): --report=json prints the
+// PR-1 stdout report; --exec-json=FILE writes the PR-3
+// bernoulli.bench.exec.v1 snapshot (still how BENCH_exec.json is
+// regenerated).
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "analysis/critical_path.hpp"
+#include "analysis/report.hpp"
 #include "common.hpp"
 #include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
@@ -182,6 +191,11 @@ int run_traced(const support::ObsOptions& obs) {
   const int iterations = 10;
   std::cout << "=== Table 2 traced run: P=" << P << ", " << iterations
             << " CG iterations, all variants ===\n";
+  analysis::RunReport report("bench_table2_executor");
+  report.config("axis", "variants");
+  report.config("P", static_cast<long long>(P));
+  report.config("iterations", static_cast<long long>(iterations));
+  if (!obs.report_path.empty()) report.observe_solves();
   support::obs_begin(obs);
   bench::Problem prob = bench::build_problem(P);
   long long commstats_messages = 0;
@@ -194,9 +208,27 @@ int run_traced(const support::ObsOptions& obs) {
     std::cout << "  " << spmd::variant_name(v) << ": inspector "
               << t.inspector_s << " s, executor " << t.executor_s
               << " s (virtual)\n";
+    if (!obs.report_path.empty()) {
+      std::string base = std::string("table2.P") + std::to_string(P) + "." +
+                         spmd::variant_name(v);
+      report.metric(base + ".inspector_s", t.inspector_s);
+      report.metric(base + ".executor_s", t.executor_s);
+      analysis::CommCheck cc;
+      cc.predicted_messages = t.predicted_exchange_messages * t.exchanges;
+      cc.predicted_bytes = t.predicted_exchange_bytes * t.exchanges;
+      cc.measured_messages = t.executor_messages;
+      cc.measured_bytes = t.executor_bytes;
+      report.add_comm_check(base + ".exchange", cc);
+    }
   }
   // Aborts nonzero if the trace/matrix/counters disagree with CommStats.
   support::obs_end(obs, commstats_messages, commstats_bytes);
+  if (!obs.report_path.empty()) {
+    // The trace buffers survive trace_stop(); the critical path analyzes
+    // the LAST machine run (the timed executor run of the last variant).
+    report.set_critical_path(analysis::critical_path_current());
+    report.write(obs.report_path);
+  }
   return 0;
 }
 
@@ -212,6 +244,11 @@ struct EngineCase {
   double interpreted_s = -1.0;
   double linked_s = -1.0;
   double kernel_s = -1.0;
+  // Planner estimates joined against one measured run (filled whenever the
+  // interpreter was measured; feeds the run report's model-check table).
+  compiler::Plan plan;
+  compiler::RunStats stats;
+  bool have_stats = false;
 };
 
 double ns_per_nnz(double seconds, index_t nnz) {
@@ -256,6 +293,11 @@ EngineCase measure_engines(const std::string& label,
   const double budget = 0.05;
   if (want_interpreted) {
     Action act = multiply_accumulate(k.query(), target, factors);
+    // One stats-collecting run first: the measured per-level counts feed
+    // the cost-model check in the run report.
+    execute_interpreted(k.plan(), k.query(), act, &out.stats);
+    out.plan = k.plan();
+    out.have_stats = true;
     out.interpreted_s = bench::best_seconds(
         [&] { execute_interpreted(k.plan(), k.query(), act); }, budget);
   }
@@ -317,9 +359,11 @@ void write_exec_json(const std::vector<EngineCase>& cases,
 }
 
 int run_engines(const std::string& which, bool small, bool check,
-                const std::string& json_path) {
+                const std::string& json_path,
+                const std::string& report_path) {
   const bool all = which == "all";
-  const bool want_interpreted = all || which == "interpreted" || check;
+  const bool want_interpreted = all || which == "interpreted" || check ||
+                                !report_path.empty();
   const bool want_linked = all || which == "linked" || check;
   const bool want_kernel = all || which == "kernel";
   if (!(want_interpreted || want_linked || want_kernel)) {
@@ -331,7 +375,9 @@ int run_engines(const std::string& which, bool small, bool check,
   std::cout << "=== Execution engines: y += A x on the Table-2 matrix "
             << "(sequential, ns per stored entry) ===\n\n";
   std::vector<EngineCase> cases;
-  for (int P : (small ? std::vector<int>{1} : std::vector<int>{2, 4})) {
+  // P=1 is in the full sweep too so a --small run (the CI gate) and the
+  // committed BENCH_exec.json snapshot share comparable cases.
+  for (int P : (small ? std::vector<int>{1} : std::vector<int>{1, 2, 4})) {
     bench::Problem prob = bench::build_problem(P);
     const formats::Csr& csr = prob.matrix;
     formats::Ccs ccs = formats::Ccs::from_coo(csr.to_coo());
@@ -389,6 +435,36 @@ int run_engines(const std::string& which, bool small, bool check,
                "interpreter.\n";
 
   if (!json_path.empty()) write_exec_json(cases, json_path);
+  if (!report_path.empty()) {
+    analysis::RunReport report("bench_table2_executor");
+    report.config("axis", "engines");
+    report.config("engine", which);
+    report.config("small", small ? "true" : "false");
+    for (const EngineCase& c : cases) {
+      // Metric names match what report_metrics() derives from a
+      // bernoulli.bench.exec.v1 snapshot, so this report diffs directly
+      // against the committed BENCH_exec.json.
+      const std::string base = "exec." + c.matrix + "." + c.format;
+      auto engine = [&](const char* name, double s) {
+        if (s > 0)
+          report.metric(base + "." + name + ".ns_per_nnz",
+                        ns_per_nnz(s, c.nnz));
+      };
+      engine("interpreted", c.interpreted_s);
+      engine("linked", c.linked_s);
+      engine("kernel", c.kernel_s);
+      if (c.interpreted_s > 0 && c.linked_s > 0)
+        report.metric(base + ".speedup_linked_over_interpreted",
+                      c.interpreted_s / c.linked_s);
+      if (c.kernel_s > 0 && c.linked_s > 0)
+        report.metric(base + ".slowdown_linked_vs_kernel",
+                      c.linked_s / c.kernel_s);
+      if (c.have_stats)
+        report.add_model_check(c.matrix + "." + c.format,
+                               analysis::model_check(c.plan, c.stats));
+    }
+    report.write(report_path);
+  }
   if (check) {
     if (!check_ok) {
       std::cerr << "CHECK FAILED: linked engine slower than the "
@@ -445,7 +521,6 @@ int run_validate_exec_json(const std::string& path) {
 
 int main(int argc, char** argv) {
   support::ObsOptions obs;
-  bool report = false;
   bool small = false;
   bool check = false;
   std::string engine;
@@ -453,20 +528,22 @@ int main(int argc, char** argv) {
   std::string validate_json;
   for (int i = 1; i < argc; ++i) {
     if (support::obs_parse_flag(argv[i], obs)) continue;
-    if (std::strcmp(argv[i], "--report=json") == 0) report = true;
     if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strcmp(argv[i], "--check") == 0) check = true;
-    if (std::strncmp(argv[i], "--exec-json=", 12) == 0)
+    if (std::strncmp(argv[i], "--exec-json=", 12) == 0) {
+      support::warn_deprecated_flag("--exec-json",
+                                    "--report=<file> (bernoulli.run.v1)");
       exec_json = argv[i] + 12;
+    }
     if (std::strncmp(argv[i], "--validate-exec-json=", 21) == 0)
       validate_json = argv[i] + 21;
   }
   if (!validate_json.empty()) return run_validate_exec_json(validate_json);
   if (!engine.empty() || !exec_json.empty())
     return run_engines(engine.empty() ? "all" : engine, small, check,
-                       exec_json);
-  if (report) return run_report();
+                       exec_json, obs.report_path);
+  if (obs.legacy_report_json) return run_report();
   if (obs.active()) return run_traced(obs);
   return run_table();
 }

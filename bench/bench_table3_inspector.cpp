@@ -14,9 +14,14 @@
 // `--trace=<file>` / `--comm-matrix` record the run (reduced to P=4 so the
 // trace stays readable) and assert the comm reconciliation invariant; the
 // traced inspectors show the Chaos build/query all-to-all phases per rank.
+// `--report=<file>` writes a bernoulli.run.v1 run report with the
+// per-variant inspector ratios as metrics and the critical path through
+// the last machine run.
 #include <iostream>
 #include <vector>
 
+#include "analysis/critical_path.hpp"
+#include "analysis/report.hpp"
 #include "common.hpp"
 #include "support/text_table.hpp"
 #include "support/trace_cli.hpp"
@@ -33,11 +38,14 @@ int main(int argc, char** argv) {
 
   const std::vector<int> procs =
       obs.active() ? std::vector<int>{4} : std::vector<int>{2, 4, 8, 16, 32, 64};
+  const int iterations = 10;
+
+  analysis::RunReport report("bench_table3_inspector");
+  report.config("iterations", static_cast<long long>(iterations));
   support::obs_begin(obs);
 
   TextTable table({"P", "BlockSolve", "Bern-Mixed", "Bernoulli",
                    "Indir-Mixed", "Indirect"});
-  const int iterations = 10;
   long long commstats_messages = 0;
   long long commstats_bytes = 0;
   for (int P : procs) {
@@ -51,6 +59,10 @@ int main(int argc, char** argv) {
       commstats_messages += t.total_messages;
       commstats_bytes += t.total_bytes;
       table.add(t.inspector_ratio, 1);
+      if (!obs.report_path.empty())
+        report.metric(std::string("table3.P") + std::to_string(P) + "." +
+                          spmd::variant_name(v) + ".inspector_ratio",
+                      t.inspector_ratio);
     }
     std::cerr << "  [P=" << P << " done]\n";
   }
@@ -60,5 +72,9 @@ int main(int argc, char** argv) {
                "of magnitude above Bernoulli-Mixed;\nIndirect worst.\n";
   // Aborts nonzero if the trace/matrix/counters disagree with CommStats.
   support::obs_end(obs, commstats_messages, commstats_bytes);
+  if (!obs.report_path.empty()) {
+    report.set_critical_path(analysis::critical_path_current());
+    report.write(obs.report_path);
+  }
   return 0;
 }

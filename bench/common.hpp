@@ -104,7 +104,7 @@ inline VariantTiming measure_variant(const Problem& prob, int nprocs,
     std::vector<double> insp(static_cast<std::size_t>(nprocs), 0.0);
     std::vector<double> exec(static_cast<std::size_t>(nprocs), 0.0);
     std::vector<long long> insp_bytes(static_cast<std::size_t>(nprocs), 0);
-    machine.run([&](runtime::Process& p) {
+    auto reports = machine.run([&](runtime::Process& p) {
       auto mine = prob.rows.owned_indices(p.rank());
       Vector bl(mine.size()), dl(mine.size()), xl(mine.size(), 0.0);
       for (std::size_t k = 0; k < mine.size(); ++k) {
@@ -133,6 +133,10 @@ inline VariantTiming measure_variant(const Problem& prob, int nprocs,
       isum += insp[static_cast<std::size_t>(r)];
       esum += exec[static_cast<std::size_t>(r)];
       bytes += insp_bytes[static_cast<std::size_t>(r)];
+      // Every repeat's traffic counts toward the totals, so the caller can
+      // hand them to support::obs_end for reconciliation.
+      best.total_messages += reports[static_cast<std::size_t>(r)].stats.messages;
+      best.total_bytes += reports[static_cast<std::size_t>(r)].stats.bytes;
     }
     best.inspector_s = std::min(best.inspector_s, isum / nprocs);
     best.executor_s = std::min(best.executor_s, esum / nprocs);

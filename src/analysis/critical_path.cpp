@@ -1,0 +1,367 @@
+#include "analysis/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json_writer.hpp"
+#include "support/trace.hpp"
+
+namespace bernoulli::analysis {
+
+namespace {
+
+using support::JsonValue;
+
+// The machine's primitive comm spans. Wrapper spans (alltoallv, exchange,
+// spmv.apply, ...) overlap these on the same rank timeline and must not
+// be counted — the primitives alone partition the rank's comm time.
+enum class PrimKind { kSend, kRecv, kCollective };
+
+bool primitive_kind(const std::string& name, PrimKind& kind) {
+  if (name == "send") {
+    kind = PrimKind::kSend;
+    return true;
+  }
+  if (name == "recv") {
+    kind = PrimKind::kRecv;
+    return true;
+  }
+  if (name == "barrier" || name == "allreduce_sum" ||
+      name == "allreduce_max") {
+    kind = PrimKind::kCollective;
+    return true;
+  }
+  return false;
+}
+
+struct Prim {
+  PrimKind kind = PrimKind::kSend;
+  std::string name;
+  int rank = 0;
+  double t0 = 0.0;
+  double t1 = 0.0;
+  long long bytes = 0;
+  long long flow = -1;  // kRecv: matched flow id, -1 = self/untracked
+};
+
+double num_or(const JsonValue& ev, const char* key, double fallback) {
+  const JsonValue* v = ev.find(key);
+  return v && v->type == JsonValue::Type::kNumber ? v->number : fallback;
+}
+
+// Timestamps survive the JSON round trip bit-exactly (17-significant-digit
+// writer), so rendezvous ends compare equal; the epsilon only guards
+// against a future lossier transport.
+constexpr double kTsEps = 5e-7;  // half a nanosecond, in microseconds
+constexpr double kBlockEps = 1e-9;
+
+}  // namespace
+
+CriticalPathReport critical_path(const JsonValue& doc, int pid) {
+  const JsonValue* events = doc.find("traceEvents");
+  BERNOULLI_CHECK_MSG(events && events->is_array(),
+                      "not a trace document: missing traceEvents array");
+
+  CriticalPathReport out;
+
+  // Pick the machine run: metadata process_name events carry the
+  // registered name; machine pids are allocated monotonically, so the
+  // LAST run is the highest machine pid.
+  if (pid < 0) {
+    for (const JsonValue& ev : events->items) {
+      const JsonValue* ph = ev.find("ph");
+      const JsonValue* name = ev.find("name");
+      if (!ph || !name || ph->as_string() != "M" ||
+          name->as_string() != "process_name")
+        continue;
+      const JsonValue* args = ev.find("args");
+      const JsonValue* pname = args ? args->find("name") : nullptr;
+      if (!pname || !pname->str.starts_with("machine")) continue;
+      pid = std::max(pid, static_cast<int>(num_or(ev, "pid", -1)));
+    }
+    if (pid < 0) return out;  // no machine run in this trace
+  }
+  out.pid = pid;
+
+  // Collect the per-rank span set, the comm primitives, and the flow
+  // endpoints for that pid.
+  std::map<int, double> finish;          // rank -> max span end
+  std::vector<Prim> prims;               // all primitives, all ranks
+  std::map<long long, std::pair<int, double>> flow_start;  // id -> (rank, ts)
+  struct FlowEnd {
+    long long id;
+    int rank;
+    double ts;
+  };
+  std::vector<FlowEnd> flow_ends;
+  int max_tid = -1;
+
+  for (const JsonValue& ev : events->items) {
+    if (static_cast<int>(num_or(ev, "pid", -1)) != pid) continue;
+    const JsonValue* ph = ev.find("ph");
+    if (!ph) continue;
+    const std::string& phase = ph->as_string();
+    const int tid = static_cast<int>(num_or(ev, "tid", 0));
+    if (phase == "M") {
+      const JsonValue* name = ev.find("name");
+      if (name && name->as_string() == "thread_name")
+        max_tid = std::max(max_tid, tid);
+      continue;
+    }
+    if (phase == "s" || phase == "f") {
+      const JsonValue* id = ev.find("id");
+      if (!id) continue;
+      long long fid = static_cast<long long>(id->as_number());
+      double ts = num_or(ev, "ts", 0.0);
+      if (phase == "s")
+        flow_start[fid] = {tid, ts};
+      else
+        flow_ends.push_back({fid, tid, ts});
+      continue;
+    }
+    if (phase != "X") continue;
+    max_tid = std::max(max_tid, tid);
+    const double t0 = num_or(ev, "ts", 0.0);
+    const double t1 = t0 + num_or(ev, "dur", 0.0);
+    double& f = finish[tid];
+    f = std::max(f, t1);
+    const JsonValue* name = ev.find("name");
+    PrimKind kind;
+    if (!name || !primitive_kind(name->as_string(), kind)) continue;
+    Prim p;
+    p.kind = kind;
+    p.name = name->as_string();
+    p.rank = tid;
+    p.t0 = t0;
+    p.t1 = t1;
+    const JsonValue* args = ev.find("args");
+    if (const JsonValue* b = args ? args->find("bytes") : nullptr)
+      p.bytes = static_cast<long long>(b->as_number());
+    prims.push_back(std::move(p));
+  }
+
+  if (max_tid < 0) return out;  // machine registered but ran nothing
+  out.nprocs = max_tid + 1;
+
+  // Attach each flow finish to the recv span it terminates: the machine
+  // emits the flow-finish event at exactly the recv span's end timestamp
+  // on the same rank.
+  for (const FlowEnd& fe : flow_ends) {
+    Prim* best = nullptr;
+    double best_gap = kTsEps;
+    for (Prim& p : prims) {
+      if (p.kind != PrimKind::kRecv || p.rank != fe.rank || p.flow >= 0)
+        continue;
+      double gap = std::fabs(p.t1 - fe.ts);
+      if (gap <= best_gap) {
+        best_gap = gap;
+        best = &p;
+      }
+    }
+    if (best) best->flow = fe.id;
+  }
+
+  // Per-rank primitive index, time-sorted, plus the breakdown.
+  std::vector<std::vector<const Prim*>> by_rank(
+      static_cast<std::size_t>(out.nprocs));
+  out.ranks.resize(static_cast<std::size_t>(out.nprocs));
+  for (int r = 0; r < out.nprocs; ++r) {
+    out.ranks[static_cast<std::size_t>(r)].rank = r;
+    auto it = finish.find(r);
+    out.ranks[static_cast<std::size_t>(r)].finish_us =
+        it == finish.end() ? 0.0 : it->second;
+  }
+  for (const Prim& p : prims) {
+    auto& rb = out.ranks[static_cast<std::size_t>(p.rank)];
+    const double dur = p.t1 - p.t0;
+    switch (p.kind) {
+      case PrimKind::kSend:
+        rb.send_us += dur;
+        ++rb.sent_messages;
+        rb.sent_bytes += p.bytes;
+        break;
+      case PrimKind::kRecv: rb.recv_wait_us += dur; break;
+      case PrimKind::kCollective: rb.collective_us += dur; break;
+    }
+    by_rank[static_cast<std::size_t>(p.rank)].push_back(&p);
+  }
+  for (auto& v : by_rank)
+    std::sort(v.begin(), v.end(),
+              [](const Prim* a, const Prim* b) { return a->t1 < b->t1; });
+
+  double sum_compute = 0.0, max_compute = 0.0;
+  double sum_idle = 0.0, sum_finish = 0.0;
+  for (auto& rb : out.ranks) {
+    rb.comm_us = rb.send_us + rb.recv_wait_us + rb.collective_us;
+    rb.idle_us = rb.recv_wait_us + rb.collective_us;
+    rb.compute_us = std::max(0.0, rb.finish_us - rb.comm_us);
+    out.total_us = std::max(out.total_us, rb.finish_us);
+    sum_compute += rb.compute_us;
+    max_compute = std::max(max_compute, rb.compute_us);
+    sum_idle += rb.idle_us;
+    sum_finish += rb.finish_us;
+  }
+  for (auto& rb : out.ranks)
+    rb.slack_us = out.total_us - rb.finish_us;
+  if (sum_compute > 0.0)
+    out.max_over_mean_compute =
+        max_compute / (sum_compute / static_cast<double>(out.nprocs));
+  if (sum_finish > 0.0) out.idle_fraction = sum_idle / sum_finish;
+
+  // Backward walk from the last-finishing rank. At time t on rank r, the
+  // rank was making local progress since the end of its latest BLOCKING
+  // primitive (a recv that actually waited, or a collective): record that
+  // compute segment, then hop the edge — a recv follows its flow arrow
+  // back to the sender's send-completion timestamp; a collective jumps to
+  // the slowest arriver (the rendezvous peer with the minimal span,
+  // i.e. the rank everyone else waited for). Every hop strictly
+  // decreases t, so the walk terminates at t == 0 of some rank.
+  int r = 0;
+  for (const auto& rb : out.ranks)
+    if (rb.finish_us >= out.total_us - kTsEps) r = rb.rank;
+  double t = out.total_us;
+  std::vector<CriticalStep> steps;
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    const Prim* block = nullptr;
+    for (const Prim* p : by_rank[static_cast<std::size_t>(r)]) {
+      if (p->t1 > t + kTsEps) break;  // sorted by end time
+      if (p->t1 - p->t0 <= kBlockEps) continue;  // did not actually wait
+      if (p->kind == PrimKind::kSend) continue;  // overhead, not blocking
+      if (p->kind == PrimKind::kRecv && p->flow < 0) continue;  // self-send
+      block = p;  // latest qualifying so far
+    }
+    const double seg_start = block ? block->t1 : 0.0;
+    if (t - seg_start > kBlockEps)
+      steps.push_back({r, seg_start, t, "compute", -1});
+    if (!block) break;
+    if (block->kind == PrimKind::kRecv) {
+      auto it = flow_start.find(block->flow);
+      BERNOULLI_CHECK_MSG(it != flow_start.end(),
+                          "recv flow " << block->flow
+                                       << " has no matching flow start");
+      steps.push_back(
+          {r, it->second.second, block->t1, "recv", it->second.first});
+      r = it->second.first;
+      t = it->second.second;
+    } else {
+      // Rendezvous: all member spans end at the same timestamp; the
+      // slowest arriver has the minimal span.
+      const Prim* slowest = block;
+      for (const Prim& p : prims) {
+        if (p.kind != PrimKind::kCollective || p.name != block->name)
+          continue;
+        if (std::fabs(p.t1 - block->t1) > kTsEps) continue;
+        if (p.t1 - p.t0 < slowest->t1 - slowest->t0) slowest = &p;
+      }
+      steps.push_back({r, slowest->t0, block->t1, block->name, slowest->rank});
+      r = slowest->rank;
+      t = slowest->t0;
+    }
+    if (t <= kBlockEps) break;
+  }
+  std::reverse(steps.begin(), steps.end());
+  out.steps = std::move(steps);
+  return out;
+}
+
+CriticalPathReport critical_path_from_text(const std::string& text,
+                                           int pid) {
+  return critical_path(support::json_parse(text), pid);
+}
+
+CriticalPathReport critical_path_from_file(const std::string& path,
+                                           int pid) {
+  std::ifstream in(path, std::ios::binary);
+  BERNOULLI_CHECK_MSG(in.good(), "cannot open trace file: " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return critical_path_from_text(ss.str(), pid);
+}
+
+CriticalPathReport critical_path_current(int pid) {
+  return critical_path_from_text(support::trace_json(), pid);
+}
+
+std::string critical_path_text(const CriticalPathReport& r) {
+  std::ostringstream os;
+  if (r.nprocs == 0) {
+    os << "critical path: no machine run in trace\n";
+    return os.str();
+  }
+  os << "critical path: machine pid " << r.pid << ", " << r.nprocs
+     << " ranks, total " << r.total_us << " us (virtual)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %4s %12s %12s %12s %12s %12s %8s\n",
+                "rank", "finish_us", "compute_us", "comm_us", "idle_us",
+                "slack_us", "sent_B");
+  os << line;
+  for (const auto& rb : r.ranks) {
+    std::snprintf(line, sizeof(line),
+                  "  %4d %12.3f %12.3f %12.3f %12.3f %12.3f %8lld\n", rb.rank,
+                  rb.finish_us, rb.compute_us, rb.comm_us, rb.idle_us,
+                  rb.slack_us, rb.sent_bytes);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  imbalance max/mean compute = %.3f, idle fraction = %.3f\n",
+                r.max_over_mean_compute, r.idle_fraction);
+  os << line;
+  os << "  path (" << r.steps.size() << " steps):\n";
+  for (const auto& s : r.steps) {
+    std::snprintf(line, sizeof(line), "    [%10.3f, %10.3f] rank %d  %s",
+                  s.t0_us, s.t1_us, s.rank, s.kind.c_str());
+    os << line;
+    if (s.kind == "recv")
+      os << " (message from rank " << s.from_rank << ")";
+    else if (s.from_rank >= 0 && s.from_rank != s.rank)
+      os << " (waited on rank " << s.from_rank << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string critical_path_json(const CriticalPathReport& r, int indent) {
+  support::JsonWriter w(indent);
+  w.begin_object();
+  w.key("pid").value(r.pid);
+  w.key("nprocs").value(r.nprocs);
+  w.key("total_us").value(r.total_us);
+  w.key("max_over_mean_compute").value(r.max_over_mean_compute);
+  w.key("idle_fraction").value(r.idle_fraction);
+  w.key("ranks").begin_array();
+  for (const auto& rb : r.ranks) {
+    w.begin_object();
+    w.key("rank").value(rb.rank);
+    w.key("finish_us").value(rb.finish_us);
+    w.key("compute_us").value(rb.compute_us);
+    w.key("send_us").value(rb.send_us);
+    w.key("recv_wait_us").value(rb.recv_wait_us);
+    w.key("collective_us").value(rb.collective_us);
+    w.key("comm_us").value(rb.comm_us);
+    w.key("idle_us").value(rb.idle_us);
+    w.key("slack_us").value(rb.slack_us);
+    w.key("sent_messages").value(rb.sent_messages);
+    w.key("sent_bytes").value(rb.sent_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("steps").begin_array();
+  for (const auto& s : r.steps) {
+    w.begin_object();
+    w.key("rank").value(s.rank);
+    w.key("t0_us").value(s.t0_us);
+    w.key("t1_us").value(s.t1_us);
+    w.key("kind").value(s.kind);
+    if (s.from_rank >= 0) w.key("from_rank").value(s.from_rank);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bernoulli::analysis

@@ -1,0 +1,108 @@
+// Critical-path analysis over exported span traces ("where did the
+// virtual time go?").
+//
+// The simulated machine (runtime/machine.cpp) already emits everything a
+// post-mortem scheduler view needs: one trace track per rank on VIRTUAL
+// time, send/recv spans fed from the single comm-booking site, flow
+// arrows pairing each cross-rank message's send completion with its recv,
+// and collective spans that all end at the same rendezvous timestamp.
+// This module rebuilds the per-rank event DAG from that trace — compute
+// segments ordered by virtual clock within a rank, send->recv edges
+// across ranks, rendezvous edges for collectives — and walks it backwards
+// from the last-finishing rank to recover the critical path through one
+// Machine::run, plus per-rank compute/comm/idle breakdowns and
+// load-imbalance metrics.
+//
+// Works on both the in-memory trace (critical_path_current) and a
+// previously exported bernoulli.trace.v1 file (critical_path_from_file,
+// via support/json_reader) — the analysis only ever sees the parsed JSON
+// document, so the two paths cannot diverge.
+//
+// Definitions (all times in virtual microseconds):
+//   finish    max end timestamp of any span on the rank's track
+//   comm      sum of the machine's PRIMITIVE comm spans: send, recv,
+//             barrier, allreduce_sum, allreduce_max. Wrapper spans
+//             (alltoallv, exchange, spmv.apply, ...) overlap primitives
+//             on the same timeline and are deliberately excluded — they
+//             would double-count.
+//   idle      recv wait + collective wait (a rank inside recv/collective
+//             is blocked on another rank; send latency is charged work)
+//   compute   finish - comm (everything the rank did between primitives)
+//   slack     total - finish (how much later the rank could have finished
+//             without moving the critical path)
+//   total     max finish over ranks == the critical path's end
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json_reader.hpp"
+
+namespace bernoulli::analysis {
+
+struct RankBreakdown {
+  int rank = 0;
+  double finish_us = 0.0;
+  double compute_us = 0.0;
+  double send_us = 0.0;
+  double recv_wait_us = 0.0;
+  double collective_us = 0.0;
+  double comm_us = 0.0;  // send + recv wait + collective
+  double idle_us = 0.0;  // recv wait + collective
+  double slack_us = 0.0;
+  long long sent_messages = 0;  // summed from send-span args; reconciles
+  long long sent_bytes = 0;     // exactly with CommStats / comm matrix
+};
+
+/// One hop of the critical path, earliest first. kind is "compute" (local
+/// progress on `rank`, send overhead included), "recv" (message wait;
+/// from_rank is the sender and [t0, t1] spans flow start to arrival), or
+/// a collective name ("barrier", "allreduce_sum", "allreduce_max").
+struct CriticalStep {
+  int rank = 0;
+  double t0_us = 0.0;
+  double t1_us = 0.0;
+  std::string kind;
+  int from_rank = -1;  // "recv" steps: the sender
+};
+
+struct CriticalPathReport {
+  int pid = 0;     // trace process id of the analyzed Machine::run
+  int nprocs = 0;  // 0 = no machine run found in the trace
+  double total_us = 0.0;
+  std::vector<RankBreakdown> ranks;
+  std::vector<CriticalStep> steps;
+  // Load-imbalance metrics over the rank set.
+  double max_over_mean_compute = 0.0;  // 1.0 = perfectly balanced
+  double idle_fraction = 0.0;          // sum(idle) / sum(finish)
+};
+
+/// Analyzes one Machine::run inside a parsed bernoulli.trace.v1 document.
+/// pid = -1 selects the LAST run (machine pids are allocated
+/// monotonically, so that is the highest machine pid). Returns an empty
+/// report (nprocs == 0) when the trace holds no machine run.
+CriticalPathReport critical_path(const support::JsonValue& doc,
+                                 int pid = -1);
+
+/// Parses `text` (a bernoulli.trace.v1 document) and analyzes it.
+CriticalPathReport critical_path_from_text(const std::string& text,
+                                           int pid = -1);
+
+/// Reads and analyzes a previously exported trace file.
+CriticalPathReport critical_path_from_file(const std::string& path,
+                                           int pid = -1);
+
+/// Analyzes the in-memory trace buffers (call after trace_stop(); the
+/// buffers survive until the next trace_start()).
+CriticalPathReport critical_path_current(int pid = -1);
+
+/// Human-readable rendering: per-rank table, imbalance metrics, then the
+/// path hop by hop.
+std::string critical_path_text(const CriticalPathReport& r);
+
+/// JSON object (spliced into bernoulli.run.v1 reports):
+///   {"pid": n, "nprocs": n, "total_us": t, "max_over_mean_compute": x,
+///    "idle_fraction": x, "ranks": [{...}], "steps": [{...}]}
+std::string critical_path_json(const CriticalPathReport& r, int indent = 0);
+
+}  // namespace bernoulli::analysis

@@ -1,0 +1,53 @@
+#include "analysis/hooks.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+namespace bernoulli::analysis {
+
+namespace {
+
+std::mutex g_mu;
+std::shared_ptr<const SolveHooks> g_hooks;  // guarded by g_mu
+std::atomic<bool> g_active{false};
+
+std::shared_ptr<const SolveHooks> current() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_hooks;
+}
+
+}  // namespace
+
+void set_solve_hooks(SolveHooks hooks) {
+  auto next = std::make_shared<const SolveHooks>(std::move(hooks));
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_hooks = std::move(next);
+  g_active.store(true, std::memory_order_release);
+}
+
+void clear_solve_hooks() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_hooks.reset();
+  g_active.store(false, std::memory_order_release);
+}
+
+bool solve_hooks_active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+void notify_solve_pre(const SolveRecord& rec) {
+  if (!solve_hooks_active()) return;
+  // Grab a shared_ptr so a concurrent clear cannot free the hooks while a
+  // rank is mid-callback; invoke without holding the registry lock.
+  auto hooks = current();
+  if (hooks && hooks->pre) hooks->pre(rec);
+}
+
+void notify_solve_post(const SolveRecord& rec) {
+  if (!solve_hooks_active()) return;
+  auto hooks = current();
+  if (hooks && hooks->post) hooks->post(rec);
+}
+
+}  // namespace bernoulli::analysis

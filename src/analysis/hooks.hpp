@@ -1,0 +1,51 @@
+// Solver observation hooks: pre/post callbacks around compiled solver
+// runs, so a run report can capture per-rank solve records (plan EXPLAIN
+// JSON, iterations, residual, comm deltas, virtual time) without the
+// solver knowing anything about reports.
+//
+// solvers::dist_cg_compiled notifies these hooks once per RANK per solve
+// (every simulated rank calls the solver collectively), so observers MUST
+// be thread-safe — analysis::RunReport::observe_solves() installs a
+// mutex-guarded recorder. Hooks are process-global; installing a new pair
+// replaces the previous one. When no hooks are installed the notify path
+// is one atomic load — solvers stay free.
+#pragma once
+
+#include <functional>
+#include <string>
+
+namespace bernoulli::analysis {
+
+/// One rank's view of one solve.
+struct SolveRecord {
+  std::string solver;  // "dist_cg_compiled"
+  int rank = 0;
+  int nprocs = 0;
+  std::string plan_explain_json;  // bernoulli.explain.v1 for the kernel
+  // Filled for the post notification:
+  int iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+  long long messages = 0;  // CommStats deltas over the solve, this rank
+  long long bytes = 0;
+  double vtime_s = 0.0;  // virtual time the solve took on this rank
+};
+
+struct SolveHooks {
+  std::function<void(const SolveRecord&)> pre;   // before the first iteration
+  std::function<void(const SolveRecord&)> post;  // after convergence/exit
+};
+
+/// Installs (replacing) / removes the process-global hook pair.
+void set_solve_hooks(SolveHooks hooks);
+void clear_solve_hooks();
+
+/// True when any hook is installed (one relaxed atomic load).
+bool solve_hooks_active();
+
+/// Called by instrumented solvers; no-ops when inactive. Callbacks run on
+/// the caller's thread (a simulated rank) without any analysis lock held.
+void notify_solve_pre(const SolveRecord& rec);
+void notify_solve_post(const SolveRecord& rec);
+
+}  // namespace bernoulli::analysis

@@ -1,0 +1,143 @@
+#include "analysis/model_check.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/json_writer.hpp"
+
+namespace bernoulli::analysis {
+
+namespace {
+
+struct LevelEstimate {
+  std::string var;
+  std::string method;
+  double est_iterations = 0.0;
+  double est_cost = 0.0;
+};
+
+ModelCheckReport join_levels(const std::vector<LevelEstimate>& est,
+                             std::span<const compiler::LevelRunStats> meas,
+                             double total_cost, long long tuples) {
+  BERNOULLI_CHECK_MSG(est.size() == meas.size(),
+                      "model check: plan has " << est.size()
+                                               << " levels but measured stats"
+                                                  " have "
+                                               << meas.size());
+  ModelCheckReport out;
+  out.total_cost_est = total_cost;
+  out.tuples_measured = tuples;
+  double cumulative = 1.0;
+  long long prev_produced = 1;
+  for (std::size_t d = 0; d < est.size(); ++d) {
+    LevelCheck lc;
+    lc.var = est[d].var;
+    lc.method = est[d].method;
+    lc.est_iterations = est[d].est_iterations;
+    lc.est_cost = est[d].est_cost;
+    cumulative *= est[d].est_iterations;
+    lc.est_produced = cumulative;
+    lc.enumerated = meas[d].enumerated;
+    lc.produced = meas[d].produced;
+    lc.measured_fanout = static_cast<double>(meas[d].produced) /
+                         static_cast<double>(std::max<long long>(1,
+                                                                 prev_produced));
+    prev_produced = meas[d].produced;
+    lc.ratio = (lc.est_produced + 1.0) /
+               (static_cast<double>(lc.produced) + 1.0);
+    lc.abs_log2_error = std::fabs(std::log2(lc.ratio));
+    out.error_score = std::max(out.error_score, lc.abs_log2_error);
+    out.levels.push_back(std::move(lc));
+  }
+  return out;
+}
+
+}  // namespace
+
+ModelCheckReport model_check(const compiler::Plan& plan,
+                             const compiler::RunStats& stats) {
+  std::vector<LevelEstimate> est;
+  est.reserve(plan.levels.size());
+  for (const auto& level : plan.levels)
+    est.push_back({level.var,
+                   level.method == compiler::JoinMethod::kMerge ? "merge"
+                                                                : "enumerate",
+                   level.est_iterations, level.est_cost});
+  return join_levels(est, stats.levels, plan.total_cost, stats.tuples);
+}
+
+ModelCheckReport model_check(const support::JsonValue& explain_doc,
+                             std::span<const compiler::LevelRunStats> levels,
+                             long long tuples) {
+  const support::JsonValue* schema = explain_doc.find("schema");
+  BERNOULLI_CHECK_MSG(schema &&
+                          schema->as_string() == "bernoulli.explain.v1",
+                      "model check: not a bernoulli.explain.v1 document");
+  const support::JsonValue* doc_levels = explain_doc.find("levels");
+  BERNOULLI_CHECK_MSG(doc_levels && doc_levels->is_array(),
+                      "model check: explain document has no levels array");
+  std::vector<LevelEstimate> est;
+  est.reserve(doc_levels->items.size());
+  for (const support::JsonValue& lv : doc_levels->items) {
+    LevelEstimate e;
+    e.var = lv.find("var")->as_string();
+    e.method = lv.find("method")->as_string();
+    e.est_iterations = lv.find("est_iterations")->as_number();
+    e.est_cost = lv.find("est_cost")->as_number();
+    est.push_back(std::move(e));
+  }
+  const support::JsonValue* total = explain_doc.find("total_cost");
+  return join_levels(est, levels, total ? total->as_number() : 0.0, tuples);
+}
+
+std::string model_check_text(const ModelCheckReport& r) {
+  std::ostringstream os;
+  char line[200];
+  std::snprintf(line, sizeof(line), "  %-10s %-9s %14s %14s %10s %8s\n",
+                "var", "method", "est_produced", "produced", "ratio",
+                "|log2|");
+  os << line;
+  for (const auto& lc : r.levels) {
+    std::snprintf(line, sizeof(line),
+                  "  %-10s %-9s %14.1f %14lld %10.3f %8.3f\n", lc.var.c_str(),
+                  lc.method.c_str(), lc.est_produced, lc.produced, lc.ratio,
+                  lc.abs_log2_error);
+    os << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  error score = %.3f bits (worst level), %lld tuples, "
+                "est total cost %.1f\n",
+                r.error_score, r.tuples_measured, r.total_cost_est);
+  os << line;
+  return os.str();
+}
+
+std::string model_check_json(const ModelCheckReport& r, int indent) {
+  support::JsonWriter w(indent);
+  w.begin_object();
+  w.key("error_score").value(r.error_score);
+  w.key("total_cost_est").value(r.total_cost_est);
+  w.key("tuples_measured").value(r.tuples_measured);
+  w.key("levels").begin_array();
+  for (const auto& lc : r.levels) {
+    w.begin_object();
+    w.key("var").value(lc.var);
+    w.key("method").value(lc.method);
+    w.key("est_iterations").value(lc.est_iterations);
+    w.key("est_cost").value(lc.est_cost);
+    w.key("est_produced").value(lc.est_produced);
+    w.key("enumerated").value(lc.enumerated);
+    w.key("produced").value(lc.produced);
+    w.key("measured_fanout").value(lc.measured_fanout);
+    w.key("ratio").value(lc.ratio);
+    w.key("abs_log2_error").value(lc.abs_log2_error);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace bernoulli::analysis

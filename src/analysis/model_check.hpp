@@ -1,0 +1,82 @@
+// Cost-model validation: the planner's estimates vs. what the executor
+// measured ("how wrong was the cost model, level by level?").
+//
+// The paper's thesis stands or falls on the cost model — the planner
+// picks join orders by comparing est_iterations/est_cost across candidate
+// plans (compiler/plan.hpp documents the conventions). Both execution
+// engines book identical per-level measured stats (RunStats: enumerated/
+// produced per level, asserted equal by tests/exec_linked_test.cpp), so
+// the estimate and the measurement are directly joinable per plan level.
+// This module performs that join and scores the result, turning silent
+// cost-model drift into a number a test or a CI gate can threshold.
+//
+// Scoring. Plan::est_iterations is PER ENCLOSING ITERATION, so the
+// absolute expected binding count at level d is the product of
+// est_iterations through levels 0..d — that is what measured `produced`
+// counts. The per-level ratio is (est_cumulative + 1) / (produced + 1)
+// (the +1 smooths empty levels), the per-level error is |log2 ratio|
+// (symmetric: 2x over- and 2x under-estimation both score 1), and the
+// report's error_score is the worst level's error. A correct model on a
+// representative input scores well under 1; a planner fed garbage
+// statistics scores in the several-bits range (thresholds asserted by
+// tests/analysis_test.cpp with a deliberately mis-costed fixture).
+//
+// A second entry point joins a parsed bernoulli.explain.v1 document
+// (compiler/explain.hpp) against the same measurements, so reports can be
+// checked offline from artifacts alone.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "compiler/executor.hpp"
+#include "compiler/plan.hpp"
+#include "support/json_reader.hpp"
+
+namespace bernoulli::analysis {
+
+struct LevelCheck {
+  std::string var;
+  std::string method;  // "enumerate" | "merge"
+  // Estimated (from the plan / EXPLAIN document):
+  double est_iterations = 0.0;  // per enclosing iteration
+  double est_cost = 0.0;
+  double est_produced = 0.0;  // cumulative product: absolute estimate
+  // Measured (from RunStats, identical across both engines):
+  long long enumerated = 0;
+  long long produced = 0;
+  double measured_fanout = 0.0;  // produced[d] / max(1, produced[d-1])
+  // The join:
+  double ratio = 0.0;           // (est_produced + 1) / (produced + 1)
+  double abs_log2_error = 0.0;  // |log2 ratio|
+};
+
+struct ModelCheckReport {
+  std::vector<LevelCheck> levels;  // one per plan level, outermost first
+  double error_score = 0.0;        // max abs_log2_error over levels
+  double total_cost_est = 0.0;     // the planner's absolute cost estimate
+  long long tuples_measured = 0;   // innermost produced count
+};
+
+/// Joins a plan's estimates against one run's measured stats. The stats
+/// must come from a run of THIS plan (level counts must match).
+ModelCheckReport model_check(const compiler::Plan& plan,
+                             const compiler::RunStats& stats);
+
+/// Same join from a parsed bernoulli.explain.v1 document, for offline
+/// checking of report artifacts.
+ModelCheckReport model_check(const support::JsonValue& explain_doc,
+                             std::span<const compiler::LevelRunStats> levels,
+                             long long tuples);
+
+/// Aligned text table, one row per level, error score last.
+std::string model_check_text(const ModelCheckReport& r);
+
+/// JSON object (spliced into bernoulli.run.v1 reports):
+///   {"error_score": x, "total_cost_est": c, "tuples_measured": n,
+///    "levels": [{"var": ..., "est_produced": ..., "produced": ...,
+///                "ratio": ..., "abs_log2_error": ...}, ...]}
+std::string model_check_json(const ModelCheckReport& r, int indent = 0);
+
+}  // namespace bernoulli::analysis

@@ -37,6 +37,7 @@ std::vector<Machine::RankReport> Machine::run(
     threads.emplace_back([&, p] {
       Process proc(*this, p, nprocs_);
       proc.trace_pid_ = trace_pid;
+      proc.manual_compute_ = manual_compute_default_;
       proc.cpu_mark_ = ThreadCpuTimer::now();
       {
         std::optional<support::TraceTrackScope> track;

@@ -200,6 +200,14 @@ class Machine {
   /// Exceptions thrown by any rank are rethrown after all threads join.
   std::vector<RankReport> run(const std::function<void(Process&)>& fn);
 
+  /// When on, every spawned Process STARTS in manual-compute mode, so the
+  /// virtual timeline holds exactly the charges the program issues —
+  /// nothing accrues between thread spawn and the body's first statement.
+  /// (Calling Process::set_manual_compute(true) inside the body instead
+  /// books that setup CPU time first.) Tests that assert span timestamps
+  /// bit-for-bit depend on this.
+  void set_manual_compute(bool on) { manual_compute_default_ = on; }
+
   int nprocs() const { return nprocs_; }
   const CostModel& cost() const { return cost_; }
 
@@ -236,6 +244,7 @@ class Machine {
 
   int nprocs_;
   CostModel cost_;
+  bool manual_compute_default_ = false;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   Rendezvous rendezvous_;
   std::mutex solo_mu_;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/hooks.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/trace.hpp"
@@ -120,8 +121,38 @@ DistCgResult dist_cg_compiled(runtime::Process& p, spmd::DistKernel& a,
     ConstVectorView y = a.y_local();
     std::copy(y.begin(), y.end(), out.begin());
   };
-  return run_pcg(p, n, matvec, diagonal_precond(diag_local), b_local, x_local,
-                 opts);
+
+  // Run-report hooks (analysis/hooks.hpp): every rank records its own
+  // SolveRecord, with comm/vtime measured as deltas around the solve.
+  // One atomic load when nobody is observing.
+  const bool hooked = analysis::solve_hooks_active();
+  analysis::SolveRecord rec;
+  long long messages0 = 0, bytes0 = 0;
+  double vtime0 = 0.0;
+  if (hooked) {
+    rec.solver = "dist_cg_compiled";
+    rec.rank = p.rank();
+    rec.nprocs = p.nprocs();
+    rec.plan_explain_json = a.explain_json();
+    messages0 = p.stats().messages;
+    bytes0 = p.stats().bytes;
+    vtime0 = p.virtual_time();
+    analysis::notify_solve_pre(rec);
+  }
+
+  DistCgResult result = run_pcg(p, n, matvec, diagonal_precond(diag_local),
+                                b_local, x_local, opts);
+
+  if (hooked) {
+    rec.iterations = result.iterations;
+    rec.residual_norm = result.residual_norm;
+    rec.converged = result.converged;
+    rec.messages = p.stats().messages - messages0;
+    rec.bytes = p.stats().bytes - bytes0;
+    rec.vtime_s = p.virtual_time() - vtime0;
+    analysis::notify_solve_post(rec);
+  }
+  return result;
 }
 
 }  // namespace bernoulli::solvers

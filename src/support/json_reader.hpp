@@ -6,7 +6,8 @@
 // Strictness: RFC 8259 grammar (no comments, no trailing commas, no bare
 // NaN/Infinity), \uXXXX escapes decoded to UTF-8 including surrogate
 // pairs, one value per document with only whitespace after it. Errors
-// throw support::Error with a byte offset. Not built for speed — the
+// throw support::Error with line, column and byte offset (computed by
+// rescanning — errors are the cold path). Not built for speed — the
 // writer is the hot path; this is the checker.
 #pragma once
 
@@ -69,8 +70,21 @@ class Parser {
   static constexpr int kMaxDepth = 256;
 
   void check(bool ok, const char* what) const {
-    BERNOULLI_CHECK_MSG(ok, "JSON parse error at byte " << pos_ << ": "
-                                                        << what);
+    if (ok) return;
+    // 1-based line/column of pos_, by rescanning (errors are cold).
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    BERNOULLI_CHECK_MSG(false, "JSON parse error at line " << line
+                                                           << " column " << col
+                                                           << " (byte " << pos_
+                                                           << "): " << what);
   }
 
   void skip_ws() {
@@ -216,8 +230,10 @@ class Parser {
       check(pos_ < text_.size(), "unterminated string");
       char c = text_[pos_++];
       if (c == '"') return out;
-      check(static_cast<unsigned char>(c) >= 0x20,
-            "raw control character in string");
+      if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;  // point the diagnostic at the offending byte
+        check(false, "raw control character in string");
+      }
       if (c != '\\') {
         out += c;
         continue;
@@ -250,7 +266,9 @@ class Parser {
           append_utf8(out, cp);
           break;
         }
-        default: check(false, "bad escape character");
+        default:
+          --pos_;  // point the diagnostic at the bad escape character
+          check(false, "bad escape character");
       }
     }
   }

@@ -1,6 +1,14 @@
 // Command-line glue for the observability flags the benches and examples
-// share: --trace=<file> (write the Chrome trace-event JSON) and
-// --comm-matrix (print the nprocs x nprocs message/byte matrix).
+// share: --trace=<file> (write the Chrome trace-event JSON),
+// --comm-matrix (print the nprocs x nprocs message/byte matrix), and
+// --report=<file> (write a bernoulli.run.v1 run report — the flag is
+// parsed here so every bench spells it identically; the report itself is
+// assembled by the bench via analysis/report.hpp AFTER obs_end()).
+//
+// Deprecated aliases, kept so existing scripts keep working (each warns
+// once on stderr): the literal spelling --report=json is the PR-1 stdout
+// report (any other value is a run-report file path), and --exec-json=
+// is the PR-3 exec-snapshot writer.
 //
 // obs_end() is deliberately strict: given the CommStats totals the caller
 // gathered over every machine run inside the recording window, the comm
@@ -13,6 +21,7 @@
 
 #include <cstring>
 #include <iostream>
+#include <set>
 #include <string>
 
 #include "support/counters.hpp"
@@ -25,8 +34,26 @@ namespace bernoulli::support {
 struct ObsOptions {
   std::string trace_path;    // --trace=<file>; empty = no trace
   bool comm_matrix = false;  // --comm-matrix
-  bool active() const { return !trace_path.empty() || comm_matrix; }
+  std::string report_path;   // --report=<file>; empty = no run report
+  bool legacy_report_json = false;  // deprecated --report=json (stdout)
+  bool active() const {
+    return !trace_path.empty() || comm_matrix || !report_path.empty();
+  }
+  /// Run reports embed a critical path, so requesting one records spans
+  /// too (in memory only; nothing hits disk unless --trace asked).
+  bool tracing() const {
+    return !trace_path.empty() || !report_path.empty();
+  }
 };
+
+/// Warns once per deprecated spelling (process-wide).
+inline void warn_deprecated_flag(const char* old_spelling,
+                                 const char* use_instead) {
+  static std::set<std::string>* warned = new std::set<std::string>();
+  if (warned->insert(old_spelling).second)
+    std::cerr << "warning: " << old_spelling << " is deprecated; use "
+              << use_instead << "\n";
+}
 
 /// Consumes one argv entry; returns false when it is not an
 /// observability flag (so the caller can keep its own parsing).
@@ -39,6 +66,16 @@ inline bool obs_parse_flag(const char* arg, ObsOptions& o) {
     o.comm_matrix = true;
     return true;
   }
+  if (std::strcmp(arg, "--report=json") == 0) {
+    warn_deprecated_flag("--report=json",
+                         "--report=<file> (bernoulli.run.v1)");
+    o.legacy_report_json = true;
+    return true;
+  }
+  if (std::strncmp(arg, "--report=", 9) == 0) {
+    o.report_path = arg + 9;
+    return true;
+  }
   return false;
 }
 
@@ -47,7 +84,7 @@ inline bool obs_parse_flag(const char* arg, ObsOptions& o) {
 inline void obs_begin(const ObsOptions& o) {
   if (!o.active()) return;
   counters_reset();
-  if (!o.trace_path.empty())
+  if (o.tracing())
     trace_start();  // implies comm-matrix recording
   else
     comm_record_start();
@@ -85,9 +122,10 @@ inline void obs_end(const ObsOptions& o, long long commstats_messages,
                           << " bytes) != CommStats (" << commstats_messages
                           << " msgs, " << commstats_bytes << " bytes)");
 
-  if (!o.trace_path.empty()) {
+  if (o.tracing()) {
     // Reconcile the EXPORT, not internal state: parse the document that
-    // will hit the disk and sum the "send" span byte args.
+    // will hit the disk (or feed the run report's critical path) and sum
+    // the "send" span byte args.
     std::string json = trace_json();
     JsonValue doc = json_parse(json);
     long long span_messages = 0;
@@ -108,12 +146,14 @@ inline void obs_end(const ObsOptions& o, long long commstats_messages,
                                              << commstats_messages
                                              << " msgs, " << commstats_bytes
                                              << " bytes)");
-    trace_write(o.trace_path);
-    std::cerr << "trace: " << o.trace_path << " ("
-              << doc.find("traceEvents")->items.size() << " events, "
-              << span_messages
-              << " sends reconciled against CommStats; open in "
-                 "ui.perfetto.dev)\n";
+    if (!o.trace_path.empty()) {
+      trace_write(o.trace_path);
+      std::cerr << "trace: " << o.trace_path << " ("
+                << doc.find("traceEvents")->items.size() << " events, "
+                << span_messages
+                << " sends reconciled against CommStats; open in "
+                   "ui.perfetto.dev)\n";
+    }
   }
 
   if (o.comm_matrix) std::cout << "\n" << comm_matrix_text();

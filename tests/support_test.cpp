@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "support/error.hpp"
+#include "support/json_reader.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/text_table.hpp"
@@ -111,6 +113,55 @@ TEST(TextTable, RejectsOverfullRow) {
   t.new_row();
   t.add("x");
   EXPECT_THROW(t.add("y"), Error);
+}
+
+// Where in the input did the parser give up? Every malformed document
+// must be rejected with a 1-based line/column position pointing at the
+// offending byte — the analysis tools parse user-supplied report/trace
+// files, so "JSON parse error" alone is not actionable.
+TEST(JsonReader, MalformedInputsReportLineAndColumn) {
+  struct Case {
+    const char* label;
+    const char* text;
+    const char* where;  // expected "line L column C" substring
+  };
+  const Case cases[] = {
+      {"truncated object", "{\"a\": 1,", "line 1 column 9"},
+      {"truncated array", "[1, 2", "line 1 column 6"},
+      {"truncated string", "\"abc", "line 1 column 5"},
+      {"bad escape", "\"a\\q\"", "line 1 column 4"},
+      {"bare control char", "\"a\tb\"", "line 1 column 3"},
+      {"trailing garbage", "{\"a\": 1} x", "line 1 column 10"},
+      {"missing colon", "{\"a\" 1}", "line 1 column 6"},
+      {"missing comma", "[1 2]", "line 1 column 4"},
+      {"leading zero", "01", "line 1 column 2"},
+      {"lone minus", "-", "line 1 column 2"},
+      {"bad literal", "tru", "line 1 column 1"},
+      {"empty input", "", "line 1 column 1"},
+      {"error on later line", "{\n  \"a\": 1,\n  \"b\": }\n}",
+       "line 3 column 8"},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)support::json_parse(c.text);
+      FAIL() << c.label << ": expected a parse error";
+    } catch (const Error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("JSON parse error"), std::string::npos) << c.label;
+      EXPECT_NE(what.find(c.where), std::string::npos)
+          << c.label << ": got \"" << what << '"';
+    }
+  }
+}
+
+TEST(JsonReader, WellFormedInputStillParses) {
+  support::JsonValue v = support::json_parse(
+      "{\"s\": \"a\\u0041b\", \"n\": [-1.5e2, 0], \"t\": true, "
+      "\"nothing\": null}");
+  EXPECT_EQ(v.find("s")->as_string(), "aAb");
+  EXPECT_EQ(v.find("n")->items[0].as_number(), -150.0);
+  EXPECT_TRUE(v.find("t")->boolean);
+  EXPECT_EQ(v.find("nothing")->type, support::JsonValue::Type::kNull);
 }
 
 TEST(Timer, WallTimeAdvances) {

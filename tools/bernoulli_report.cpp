@@ -1,0 +1,105 @@
+// bernoulli_report: render and diff bernoulli.run.v1 run reports.
+//
+// Usage:
+//   bernoulli_report <report.json>
+//       Render the report (config, metrics, model checks, comm checks,
+//       solves, critical path) as text.
+//   bernoulli_report --diff <base.json> <new.json>
+//                    [--tolerance=X] [--metrics=<substr>]
+//       Compare the flat metrics of two reports. Either side may also be a
+//       bernoulli.bench.exec.v1 snapshot (BENCH_exec.json); its cases are
+//       mapped onto the same exec.* metric names the benches emit with
+//       --report. Exits 1 when any metric worsens by more than the
+//       relative tolerance (default 0.25), when the reports share no
+//       metrics, or when an input fails to parse; 2 on usage errors.
+//
+// This is the perf-gate half of the observability loop: CI runs a fresh
+// --report bench and diffs it against the committed trajectory.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "support/json_reader.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: bernoulli_report <report.json>\n"
+         "       bernoulli_report --diff <base.json> <new.json>"
+         " [--tolerance=X] [--metrics=<substr>]\n";
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bernoulli;
+
+  bool diff = false;
+  double tolerance = 0.25;
+  std::string metric_filter;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff = true;
+    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      try {
+        tolerance = std::stod(arg.substr(12));
+      } catch (const std::exception&) {
+        std::cerr << "bernoulli_report: bad tolerance '" << arg << "'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      metric_filter = arg.substr(10);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "bernoulli_report: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (diff ? paths.size() != 2 : paths.size() != 1) return usage();
+
+  std::vector<support::JsonValue> docs;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_file(path, &text)) {
+      std::cerr << "bernoulli_report: cannot read " << path << "\n";
+      return 1;
+    }
+    try {
+      docs.push_back(support::json_parse(text));
+    } catch (const std::exception& e) {
+      std::cerr << "bernoulli_report: " << path << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+
+  try {
+    if (!diff) {
+      std::cout << analysis::report_text(docs[0]);
+      return 0;
+    }
+    analysis::DiffResult d =
+        analysis::diff_reports(docs[0], docs[1], tolerance, metric_filter);
+    std::cout << analysis::diff_text(d, tolerance);
+    return d.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bernoulli_report: " << e.what() << "\n";
+    return 1;
+  }
+}
