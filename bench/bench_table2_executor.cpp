@@ -33,6 +33,13 @@
 // ns per stored entry. Extra flags on this axis:
 //   --small               one-processor problem only (CI smoke)
 //   --check               exit 1 unless linked beats interpreted per case
+//   --threads=N           additionally measure the multi-threaded linked
+//                         engine (compiler::ParallelRunner) and, for CRS,
+//                         a row-chunked threaded format kernel; reported
+//                         as linked_tN / kernel_tN engine entries. With
+//                         --check the threaded run must also be bitwise
+//                         identical to the serial linked run with exactly
+//                         matching executor.* counter deltas.
 //   --validate-exec-json=FILE   parse FILE with support/json_reader.hpp
 //                               and check the v1 schema (no measuring)
 //
@@ -40,10 +47,15 @@
 // PR-1 stdout report; --exec-json=FILE writes the PR-3
 // bernoulli.bench.exec.v1 snapshot (still how BENCH_exec.json is
 // regenerated).
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
+#include <thread>
 
 #include "analysis/critical_path.hpp"
 #include "analysis/report.hpp"
@@ -52,10 +64,12 @@
 #include "compiler/loopnest.hpp"
 #include "formats/ccs.hpp"
 #include "support/counters.hpp"
+#include "support/histogram.hpp"
 #include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
 #include "support/text_table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace_cli.hpp"
 
 namespace {
@@ -244,6 +258,16 @@ struct EngineCase {
   double interpreted_s = -1.0;
   double linked_s = -1.0;
   double kernel_s = -1.0;
+  // Threaded engines (--threads=N; negative when not measured). linked_t
+  // is compiler::ParallelRunner on the same LinkedPlan; kernel_t is a
+  // row-chunked CRS spmv on the shared pool (CRS only). parallel records
+  // whether the legality check let linked_t actually fan out.
+  double linked_t_s = -1.0;
+  double kernel_t_s = -1.0;
+  bool parallel = false;
+  // Under --check: threaded linked run reproduced the serial linked run
+  // bitwise with identical executor.* and fanout deltas.
+  bool thread_check_ok = true;
   // Planner estimates joined against one measured run (filled whenever the
   // interpreter was measured; feeds the run report's model-check table).
   compiler::Plan plan;
@@ -255,12 +279,46 @@ double ns_per_nnz(double seconds, index_t nnz) {
   return seconds * 1e9 / static_cast<double>(nnz);
 }
 
+// executor.* counter deltas across a run (zero deltas elided), for the
+// --threads --check reconciliation against the serial linked engine.
+std::map<std::string, long long> exec_delta(
+    const support::CountersSnapshot& before,
+    const support::CountersSnapshot& after) {
+  std::map<std::string, long long> d;
+  for (const auto& [name, value] : after.counts) {
+    if (name.rfind("executor.", 0) != 0) continue;
+    long long delta = value;
+    if (auto it = before.counts.find(name); it != before.counts.end())
+      delta -= it->second;
+    if (delta != 0) d[name] = delta;
+  }
+  return d;
+}
+
+// executor.fanout.* histogram bucket deltas (all-zero histograms elided).
+std::map<std::string, std::vector<long long>> fanout_delta(
+    const std::map<std::string, std::vector<long long>>& before,
+    const std::map<std::string, std::vector<long long>>& after) {
+  std::map<std::string, std::vector<long long>> d;
+  for (const auto& [name, buckets] : after) {
+    if (name.rfind("executor.fanout.", 0) != 0) continue;
+    std::vector<long long> delta = buckets;
+    if (auto it = before.find(name); it != before.end())
+      for (std::size_t i = 0; i < delta.size() && i < it->second.size(); ++i)
+        delta[i] -= it->second[i];
+    bool any = false;
+    for (long long v : delta) any = any || v != 0;
+    if (any) d[name] = std::move(delta);
+  }
+  return d;
+}
+
 // Measures one (matrix, format) case. Engines run the same accumulation
 // y += A x on the same buffers; only the execution mechanism differs.
 EngineCase measure_engines(const std::string& label,
                            const formats::Csr* csr, const formats::Ccs* ccs,
                            bool want_interpreted, bool want_linked,
-                           bool want_kernel) {
+                           bool want_kernel, int threads, bool check) {
   using namespace bernoulli::compiler;
   const index_t rows = csr ? csr->rows() : ccs->rows();
   const index_t cols = csr ? csr->cols() : ccs->cols();
@@ -307,6 +365,38 @@ EngineCase measure_engines(const std::string& label,
     runner.run(mac);  // warm the cursor scratch
     out.linked_s = bench::best_seconds([&] { runner.run(mac); }, budget);
   }
+  if (want_linked && threads > 1) {
+    ParallelRunner runner(link_plan(k.plan(), k.query()), threads);
+    LinkedMac mac = link_mac(k.query(), target, factors);
+    out.parallel = runner.parallel();
+    if (check) {
+      // Observability reconciliation: the threaded run must reproduce a
+      // serial linked run bitwise — outputs, executor.* counter deltas,
+      // executor.fanout.* histogram deltas — before its timing counts.
+      LinkedRunner serial(link_plan(k.plan(), k.query()));
+      std::fill(y.begin(), y.end(), 0.0);
+      auto h0 = support::histograms_snapshot();
+      auto c0 = support::counters_snapshot();
+      serial.run(mac);
+      const auto serial_counters = exec_delta(c0, support::counters_snapshot());
+      const auto serial_fanout = fanout_delta(h0, support::histograms_snapshot());
+      Vector y_serial = y;
+
+      std::fill(y.begin(), y.end(), 0.0);
+      h0 = support::histograms_snapshot();
+      c0 = support::counters_snapshot();
+      runner.run(mac);
+      out.thread_check_ok =
+          serial_counters == exec_delta(c0, support::counters_snapshot()) &&
+          serial_fanout == fanout_delta(h0, support::histograms_snapshot()) &&
+          y == y_serial;
+      if (!out.thread_check_ok)
+        std::cerr << "  [" << label << " " << out.format << " threads="
+                  << threads << " MISMATCH vs serial linked]\n";
+    }
+    runner.run(mac);  // warm per-worker scratch
+    out.linked_t_s = bench::best_seconds([&] { runner.run(mac); }, budget);
+  }
   if (want_kernel) {
     if (csr)
       out.kernel_s = bench::best_seconds(
@@ -315,15 +405,42 @@ EngineCase measure_engines(const std::string& label,
       out.kernel_s = bench::best_seconds(
           [&] { formats::spmv_add(*ccs, x, y); }, budget);
   }
+  if (want_kernel && threads > 1 && csr) {
+    // Row-chunked hand-written CRS kernel on the shared pool: the bound
+    // the threaded linked engine chases, built from the same static chunk
+    // grid the executor's coordinator uses.
+    support::ThreadPool& pool = support::shared_pool(threads);
+    const auto rp = csr->rowptr();
+    const auto ci = csr->colind();
+    const auto av = csr->vals();
+    const index_t chunk = (rows + threads - 1) / threads;
+    auto run_threaded = [&] {
+      pool.run_slots(threads, [&](int slot) {
+        const index_t lo = std::min<index_t>(rows, slot * chunk);
+        const index_t hi = std::min<index_t>(rows, lo + chunk);
+        for (index_t r = lo; r < hi; ++r) {
+          value_t acc = 0.0;
+          const index_t pe = rp[static_cast<std::size_t>(r) + 1];
+          for (index_t p = rp[static_cast<std::size_t>(r)]; p < pe; ++p)
+            acc += av[static_cast<std::size_t>(p)] *
+                   x[static_cast<std::size_t>(ci[static_cast<std::size_t>(p)])];
+          y[static_cast<std::size_t>(r)] += acc;
+        }
+      });
+    };
+    run_threaded();  // warm
+    out.kernel_t_s = bench::best_seconds(run_threaded, budget);
+  }
   return out;
 }
 
 void write_exec_json(const std::vector<EngineCase>& cases,
-                     const std::string& path) {
+                     const std::string& path, int threads) {
   support::JsonWriter w(2);
   w.begin_object();
   w.key("schema").value("bernoulli.bench.exec.v1");
-  w.key("kernel_desc").value("y += A x, sequential, best-of-k wall time");
+  w.key("kernel_desc").value("y += A x, best-of-k wall time");
+  if (threads > 1) w.key("threads").value(static_cast<long long>(threads));
   w.key("cases").begin_array();
   for (const EngineCase& c : cases) {
     w.begin_object();
@@ -332,7 +449,7 @@ void write_exec_json(const std::vector<EngineCase>& cases,
     w.key("rows").value(static_cast<long long>(c.rows));
     w.key("nnz").value(static_cast<long long>(c.nnz));
     w.key("engines").begin_object();
-    auto engine = [&](const char* name, double s) {
+    auto engine = [&](const std::string& name, double s) {
       if (s < 0) return;
       w.key(name).begin_object();
       w.key("seconds").value(s);
@@ -342,12 +459,20 @@ void write_exec_json(const std::vector<EngineCase>& cases,
     engine("interpreted", c.interpreted_s);
     engine("linked", c.linked_s);
     engine("kernel", c.kernel_s);
+    // Threaded engine names carry the thread count (linked_t4, kernel_t4)
+    // so snapshots taken at different widths stay distinguishable; the
+    // scaling key below is fixed-name so report diffs line up.
+    engine("linked_t" + std::to_string(threads), c.linked_t_s);
+    engine("kernel_t" + std::to_string(threads), c.kernel_t_s);
     w.end_object();
     if (c.interpreted_s > 0 && c.linked_s > 0)
       w.key("speedup_linked_over_interpreted")
           .value(c.interpreted_s / c.linked_s);
     if (c.kernel_s > 0 && c.linked_s > 0)
       w.key("slowdown_linked_vs_kernel").value(c.linked_s / c.kernel_s);
+    if (c.linked_s > 0 && c.linked_t_s > 0)
+      w.key("speedup_linked_threaded_over_serial")
+          .value(c.linked_s / c.linked_t_s);
     w.end_object();
   }
   w.end_array();
@@ -359,7 +484,7 @@ void write_exec_json(const std::vector<EngineCase>& cases,
 }
 
 int run_engines(const std::string& which, bool small, bool check,
-                const std::string& json_path,
+                int threads, const std::string& json_path,
                 const std::string& report_path) {
   const bool all = which == "all";
   const bool want_interpreted = all || which == "interpreted" || check ||
@@ -371,9 +496,12 @@ int run_engines(const std::string& which, bool small, bool check,
               << " (expected interpreted|linked|kernel|all)\n";
     return 2;
   }
+  const std::string tsuf = "_t" + std::to_string(threads);
 
   std::cout << "=== Execution engines: y += A x on the Table-2 matrix "
-            << "(sequential, ns per stored entry) ===\n\n";
+            << "(ns per stored entry";
+  if (threads > 1) std::cout << ", threaded engines at " << threads;
+  std::cout << ") ===\n\n";
   std::vector<EngineCase> cases;
   // P=1 is in the full sweep too so a --small run (the CI gate) and the
   // committed BENCH_exec.json snapshot share comparable cases.
@@ -383,16 +511,30 @@ int run_engines(const std::string& which, bool small, bool check,
     formats::Ccs ccs = formats::Ccs::from_coo(csr.to_coo());
     std::string label = "grid3d_bs_P" + std::to_string(P);
     cases.push_back(measure_engines(label, &csr, nullptr, want_interpreted,
-                                    want_linked, want_kernel));
+                                    want_linked, want_kernel, threads,
+                                    check));
     cases.push_back(measure_engines(label, nullptr, &ccs, want_interpreted,
-                                    want_linked, want_kernel));
+                                    want_linked, want_kernel, threads,
+                                    check));
     std::cerr << "  [" << label << " done]\n";
   }
 
-  TextTable table({"matrix", "format", "rows", "nnz", "interp (ns/nnz)",
-                   "linked (ns/nnz)", "kernel (ns/nnz)", "linked speedup",
-                   "vs kernel"});
+  std::vector<std::string> headers{"matrix", "format", "rows", "nnz",
+                                   "interp (ns/nnz)", "linked (ns/nnz)",
+                                   "kernel (ns/nnz)"};
+  if (threads > 1) {
+    headers.push_back("linked" + tsuf);
+    headers.push_back("kernel" + tsuf);
+    headers.push_back(tsuf.substr(1) + " scaling");
+  }
+  headers.push_back("linked speedup");
+  headers.push_back("vs kernel");
+  TextTable table(std::move(headers));
   bool check_ok = true;
+  bool thread_check_ok = true;
+  // Threaded scaling on the LARGEST measured CRS case (the acceptance
+  // target: >= 2.5x at 4 threads on the full Table-2 sweep).
+  double big_scaling = -1.0;
   for (const EngineCase& c : cases) {
     table.new_row();
     table.add(c.matrix);
@@ -405,9 +547,34 @@ int run_engines(const std::string& which, bool small, bool check,
       else
         table.add(ns_per_nnz(s, c.nnz), 2);
     };
+    auto ratio = [&](double num, double den, const char* fallback = "-") {
+      if (num > 0 && den > 0) {
+        std::ostringstream os;
+        os.setf(std::ios::fixed);
+        os.precision(1);
+        os << num / den << "x";
+        table.add(os.str());
+      } else {
+        table.add(fallback);
+      }
+    };
     cell(c.interpreted_s);
     cell(c.linked_s);
     cell(c.kernel_s);
+    if (threads > 1) {
+      cell(c.linked_t_s);
+      cell(c.kernel_t_s);
+      // Serial-over-threaded: > 1 means the threads helped. Plans the
+      // legality check rejected ran the serial fallback — say so instead
+      // of printing a meaningless ~1.0x.
+      if (!c.parallel && c.linked_t_s > 0)
+        table.add("serial");
+      else
+        ratio(c.linked_s, c.linked_t_s);
+      if (c.parallel && c.format == "csr" && c.linked_s > 0 &&
+          c.linked_t_s > 0)
+        big_scaling = c.linked_s / c.linked_t_s;  // last CRS case = largest
+    }
     if (c.interpreted_s > 0 && c.linked_s > 0) {
       std::ostringstream os;
       os.setf(std::ios::fixed);
@@ -418,34 +585,34 @@ int run_engines(const std::string& which, bool small, bool check,
     } else {
       table.add("-");
     }
-    if (c.kernel_s > 0 && c.linked_s > 0) {
-      std::ostringstream os;
-      os.setf(std::ios::fixed);
-      os.precision(1);
-      os << c.linked_s / c.kernel_s << "x";
-      table.add(os.str());
-    } else {
-      table.add("-");
-    }
+    ratio(c.linked_s, c.kernel_s);
+    thread_check_ok = thread_check_ok && c.thread_check_ok;
   }
   std::cout << table.str()
             << "\nlinked = plan linked once into a cursor program "
                "(compiler/link.hpp), then re-run;\nkernel = hand-written "
                "format spmv_add; interp = tree-walking reference "
                "interpreter.\n";
+  if (threads > 1)
+    std::cout << "linked" << tsuf
+              << " = ParallelRunner, outer level chunked over " << threads
+              << " pool threads; kernel" << tsuf
+              << " = row-chunked CRS spmv\non the same pool (CRS only). "
+                 "scaling = serial linked time / threaded linked time.\n";
 
-  if (!json_path.empty()) write_exec_json(cases, json_path);
+  if (!json_path.empty()) write_exec_json(cases, json_path, threads);
   if (!report_path.empty()) {
     analysis::RunReport report("bench_table2_executor");
     report.config("axis", "engines");
     report.config("engine", which);
     report.config("small", small ? "true" : "false");
+    if (threads > 1) report.config("threads", static_cast<long long>(threads));
     for (const EngineCase& c : cases) {
       // Metric names match what report_metrics() derives from a
       // bernoulli.bench.exec.v1 snapshot, so this report diffs directly
       // against the committed BENCH_exec.json.
       const std::string base = "exec." + c.matrix + "." + c.format;
-      auto engine = [&](const char* name, double s) {
+      auto engine = [&](const std::string& name, double s) {
         if (s > 0)
           report.metric(base + "." + name + ".ns_per_nnz",
                         ns_per_nnz(s, c.nnz));
@@ -453,12 +620,17 @@ int run_engines(const std::string& which, bool small, bool check,
       engine("interpreted", c.interpreted_s);
       engine("linked", c.linked_s);
       engine("kernel", c.kernel_s);
+      engine("linked" + tsuf, c.linked_t_s);
+      engine("kernel" + tsuf, c.kernel_t_s);
       if (c.interpreted_s > 0 && c.linked_s > 0)
         report.metric(base + ".speedup_linked_over_interpreted",
                       c.interpreted_s / c.linked_s);
       if (c.kernel_s > 0 && c.linked_s > 0)
         report.metric(base + ".slowdown_linked_vs_kernel",
                       c.linked_s / c.kernel_s);
+      if (c.linked_s > 0 && c.linked_t_s > 0)
+        report.metric(base + ".speedup_linked_threaded_over_serial",
+                      c.linked_s / c.linked_t_s);
       if (c.have_stats)
         report.add_model_check(c.matrix + "." + c.format,
                                analysis::model_check(c.plan, c.stats));
@@ -471,7 +643,35 @@ int run_engines(const std::string& which, bool small, bool check,
                    "interpreter on at least one case\n";
       return 1;
     }
+    if (!thread_check_ok) {
+      std::cerr << "CHECK FAILED: threaded linked run did not reproduce "
+                   "the serial run (outputs/counters/histograms)\n";
+      return 1;
+    }
     std::cerr << "check ok: linked faster than interpreted on every case\n";
+    if (threads > 1)
+      std::cerr << "check ok: threaded linked runs bitwise-identical to "
+                   "serial with reconciling executor counters/histograms\n";
+    // The scaling gate needs real cores; on an undersized host (CI smoke
+    // containers are often 1-2 wide) the correctness checks above still
+    // ran, so report the scaling and move on.
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (threads > 1 && !small && big_scaling > 0) {
+      if (hw >= static_cast<unsigned>(threads)) {
+        if (big_scaling < 2.5) {
+          std::cerr << "CHECK FAILED: linked" << tsuf << " only "
+                    << big_scaling << "x over serial on the largest CRS "
+                    << "case (need >= 2.5x on " << hw << " hw threads)\n";
+          return 1;
+        }
+        std::cerr << "check ok: linked" << tsuf << " " << big_scaling
+                  << "x over serial on the largest CRS case\n";
+      } else {
+        std::cerr << "check skipped: scaling gate needs >= " << threads
+                  << " hw threads, host has " << hw << " (measured "
+                  << big_scaling << "x)\n";
+      }
+    }
   }
   return 0;
 }
@@ -523,6 +723,7 @@ int main(int argc, char** argv) {
   support::ObsOptions obs;
   bool small = false;
   bool check = false;
+  int threads = 0;
   std::string engine;
   std::string exec_json;
   std::string validate_json;
@@ -531,6 +732,13 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strcmp(argv[i], "--check") == 0) check = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) {
+        std::cerr << "bad --threads value: " << argv[i] + 10 << "\n";
+        return 2;
+      }
+    }
     if (std::strncmp(argv[i], "--exec-json=", 12) == 0) {
       support::warn_deprecated_flag("--exec-json",
                                     "--report=<file> (bernoulli.run.v1)");
@@ -540,10 +748,13 @@ int main(int argc, char** argv) {
       validate_json = argv[i] + 21;
   }
   if (!validate_json.empty()) return run_validate_exec_json(validate_json);
-  if (!engine.empty() || !exec_json.empty())
+  if (!engine.empty() || !exec_json.empty() || threads > 0)
     return run_engines(engine.empty() ? "all" : engine, small, check,
-                       exec_json, obs.report_path);
-  if (obs.legacy_report_json) return run_report();
+                       threads, exec_json, obs.report_path);
+  // Explicit --report=<file> wins over the deprecated --report=json alias
+  // in either flag order; the stdout report only runs when no run-report
+  // file was requested.
+  if (obs.legacy_report_stdout()) return run_report();
   if (obs.active()) return run_traced(obs);
   return run_table();
 }

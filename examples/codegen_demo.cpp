@@ -46,8 +46,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--explain") == 0) mode = Mode::kExplain;
   }
   // obs_parse_flag recognizes the deprecated `--report=json` spelling and
-  // warns; it maps onto the old stdout document mode.
-  if (obs.legacy_report_json) mode = Mode::kJson;
+  // warns; it maps onto the old stdout document mode. An explicit
+  // --report=<file> beats the alias in either flag order.
+  if (obs.legacy_report_stdout()) mode = Mode::kJson;
 
   SplitMix64 rng(11);
   formats::TripletBuilder b(6, 6);

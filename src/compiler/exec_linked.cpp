@@ -17,13 +17,26 @@
 //     frame close; every cursor knows its extent), no allocation;
 //   - counters and fan-out histograms accumulate in plain locals and
 //     flush once per run instead of one relaxed-atomic add per event.
+//
+// ParallelRunner (bottom of this file) workshares the outermost
+// enumerate level across the shared thread pool when the link-time
+// legality check passed (LinkedPlan::parallel_ok): a deterministic chunk
+// grid over the outer cursor range, per-worker runners with private
+// scratch and counter/fan-out shards, merged and flushed once per run so
+// observability stays exact — same executor.* deltas, same histogram
+// samples, same trace span totals as a serial run, for any thread count.
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "compiler/link.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
+#include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::compiler {
@@ -227,8 +240,15 @@ void LinkedRunner::close_frame(std::size_t d, LocalCounters& c,
     c.merge_segment_bytes += f.seg_bytes;
   }
   c.enumerated += f.inv_enumerated;
-  ++fanout_local_[d][static_cast<std::size_t>(
-      support::Log2Histogram::bucket_of(f.inv_produced))];
+  if (d == 0 && chunk_outer_produced_ != nullptr) {
+    // Chunk mode: the serial engine books ONE level-0 fan-out sample per
+    // run (one outer invocation), so per-chunk samples would inflate the
+    // histogram total. Hand the count to the coordinator instead.
+    *chunk_outer_produced_ += f.inv_produced;
+  } else {
+    ++fanout_local_[d][static_cast<std::size_t>(
+        support::Log2Histogram::bucket_of(f.inv_produced))];
+  }
   if (stats) {
     stats->levels[d].enumerated += f.inv_enumerated;
     stats->levels[d].produced += f.inv_produced;
@@ -328,19 +348,36 @@ void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
     stats->tuples = 0;
     stats->levels.assign(L, LevelRunStats{});
   }
-  std::fill(vars_.begin(), vars_.end(), static_cast<index_t>(-1));
-  std::fill(pos_.begin(), pos_.end(), static_cast<index_t>(-1));
-
   if (L == 0) {
     ++c.tuples;
     sink();
     flush(c, stats);
     return;
   }
+  run_span(sink, c, stats, 0, -1);
+  flush(c, stats);
+}
 
-  const std::size_t leaf = L - 1;
+template <class Sink>
+void LinkedRunner::run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
+                            index_t chunk_begin, index_t chunk_count) {
+  std::fill(vars_.begin(), vars_.end(), static_cast<index_t>(-1));
+  std::fill(pos_.begin(), pos_.end(), static_cast<index_t>(-1));
+
+  const std::size_t leaf = lp_.levels.size() - 1;
   std::size_t d = 0;
   open_frame(0);
+  if (chunk_count >= 0) {
+    // Clamp the outer cursor onto this chunk's offsets. Every cursor kind
+    // iterates cur in [cur, end), so clamping the two counters restricts
+    // any driver — dense ranges, ind arrays, buffered fallbacks — to the
+    // same deterministic slice regardless of which worker pulls it.
+    relation::Cursor& cur = frames_[0].cursors[0];
+    const index_t lo = std::min<index_t>(cur.end, cur.cur + chunk_begin);
+    const index_t hi = std::min<index_t>(cur.end, lo + chunk_count);
+    cur.cur = lo;
+    cur.end = hi;
+  }
   while (true) {
     if (d == leaf && lp_.levels[d].method == JoinMethod::kEnumerate) {
       drain_enumerate_leaf(d, c, sink);
@@ -361,7 +398,6 @@ void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
       --d;
     }
   }
-  flush(c, stats);
 }
 
 namespace {
@@ -433,6 +469,176 @@ void LinkedRunner::run(const LinkedMac& mac, RunStats* stats) {
 void execute(const Plan& plan, const relation::Query& q,
              const Action& action) {
   LinkedRunner runner(link_plan(plan, q));
+  runner.run(action);
+}
+
+// ---- Parallel outer-level worksharing ---------------------------------
+
+ParallelRunner::ParallelRunner(LinkedPlan lp, int threads)
+    : threads_(std::max(1, threads)) {
+  parallel_ = threads_ > 1 && lp.parallel_ok;
+  const int nworkers = parallel_ ? threads_ : 1;
+  workers_.reserve(static_cast<std::size_t>(nworkers));
+  for (int w = 0; w < nworkers; ++w)
+    workers_.push_back(std::make_unique<LinkedRunner>(lp));
+  if (parallel_) support::shared_pool(threads_);  // spawn once, not per run
+}
+
+// The coordinator: deterministic chunk grid over the outer cursor range,
+// guided assignment (workers pull the next chunk off one atomic), shards
+// merged and flushed ONCE — counters, fan-out histograms, stats and the
+// trace all reconcile exactly with a serial run of the same plan.
+template <class MakeSink>
+void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
+  LinkedRunner& r0 = *workers_.front();
+  const std::size_t L = r0.lp_.levels.size();
+  traced(r0.lp_, stats, [&](RunStats* st) {
+    // The outer extent, probed once: every worker's level-0 cursor opens
+    // on the same root parent, so worker 0's view of the range is THE
+    // range the chunk grid must cover.
+    index_t extent = 0;
+    {
+      const LinkedAccess& a = r0.lp_.levels[0].drivers[0];
+      relation::Cursor cur;
+      relation::CursorBuffer buf;
+      a.level->begin_cursor(0, cur, buf);
+      extent = cur.remaining();
+    }
+    // Chunk grid: fixed size, independent of which worker runs what, a
+    // few chunks per worker so uneven rows still balance.
+    const index_t chunk =
+        std::max<index_t>(1, (extent + threads_ * 4 - 1) /
+                                 std::max(1, threads_ * 4));
+
+    struct WorkerState {
+      LinkedRunner::LocalCounters c;
+      RunStats stats;
+      long long outer_produced = 0;
+      long long chunks = 0;
+    };
+    std::vector<WorkerState> states(workers_.size());
+    std::atomic<index_t> next{0};
+    const bool tracing = support::trace_enabled();
+
+    support::shared_pool(threads_).run_slots(
+        threads_, [&](int slot) {
+          LinkedRunner& r = *workers_[static_cast<std::size_t>(slot)];
+          WorkerState& ws = states[static_cast<std::size_t>(slot)];
+          ws.stats.levels.assign(L, LevelRunStats{});
+          r.chunk_outer_produced_ = &ws.outer_produced;
+          auto sink = make_sink(r);
+          std::unique_ptr<support::TraceSpan> span;
+          if (tracing) {
+            support::trace_name_thread(
+                1, support::trace_track().tid,
+                "exec worker " + std::to_string(slot));
+            span = std::make_unique<support::TraceSpan>("execute.worker",
+                                                        "compiler");
+          }
+          while (true) {
+            const index_t k = next.fetch_add(1, std::memory_order_relaxed);
+            const index_t begin = k * chunk;
+            if (begin >= extent) break;
+            r.run_span(sink, ws.c, &ws.stats, begin, chunk);
+            ++ws.chunks;
+          }
+          r.chunk_outer_produced_ = nullptr;
+          if (span)
+            span->arg("chunks", ws.chunks).arg("tuples", ws.c.tuples);
+        });
+
+    // Merge the shards: plain sums for counters and per-level stats, a
+    // bucket-wise sum for the deeper fan-out shards, and the withheld
+    // level-0 counts folded into the single per-run sample serial books.
+    LinkedRunner::LocalCounters total;
+    long long outer_produced = 0;
+    RunStats merged;
+    merged.levels.assign(L, LevelRunStats{});
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      const WorkerState& ws = states[w];
+      total.tuples += ws.c.tuples;
+      total.enumerated += ws.c.enumerated;
+      total.merge_steps += ws.c.merge_steps;
+      total.probe_hits += ws.c.probe_hits;
+      total.probe_misses += ws.c.probe_misses;
+      total.fill_ins += ws.c.fill_ins;
+      total.merge_segment_bytes += ws.c.merge_segment_bytes;
+      outer_produced += ws.outer_produced;
+      for (std::size_t d = 0; d < L; ++d) {
+        merged.levels[d].enumerated += ws.stats.levels[d].enumerated;
+        merged.levels[d].produced += ws.stats.levels[d].produced;
+      }
+      if (w != 0) {
+        for (std::size_t d = 0; d < L; ++d)
+          for (std::size_t b = 0; b < r0.fanout_local_[d].size(); ++b)
+            r0.fanout_local_[d][b] += workers_[w]->fanout_local_[d][b];
+        for (auto& buckets : workers_[w]->fanout_local_)
+          std::fill(buckets.begin(), buckets.end(), 0);
+      }
+    }
+    ++r0.fanout_local_[0][static_cast<std::size_t>(
+        support::Log2Histogram::bucket_of(outer_produced))];
+    r0.flush(total, nullptr);
+    if (st) {
+      st->tuples = total.tuples;
+      st->levels = std::move(merged.levels);
+    }
+  });
+}
+
+void ParallelRunner::run(const Action& action, RunStats* stats) {
+  if (!parallel_) {
+    workers_.front()->run(action, stats);
+    return;
+  }
+  run_parallel(
+      [&](LinkedRunner& r) {
+        return [&] {
+          for (std::size_t rel = 0; rel < r.leaf_.size(); ++rel)
+            r.leaf_[rel] =
+                r.pos_[static_cast<std::size_t>(r.lp_.leaf_slot[rel])];
+          Env env{r.vars_, r.leaf_};
+          action(env);
+        };
+      },
+      stats);
+}
+
+void ParallelRunner::run(const LinkedMac& mac, RunStats* stats) {
+  if (!parallel_) {
+    workers_.front()->run(mac, stats);
+    return;
+  }
+  run_parallel(
+      [&](LinkedRunner& r) {
+        // Per-worker copy of the serial mac fast path: operand leaf slots
+        // resolved once per run, pos_ read directly per tuple.
+        std::vector<std::size_t> pslots;
+        for (const LinkedMac::Factor& f : mac.factors)
+          pslots.push_back(static_cast<std::size_t>(r.lp_.leaf_slot[f.slot]));
+        const std::size_t tslot =
+            static_cast<std::size_t>(r.lp_.leaf_slot[mac.target_slot]);
+        return [&r, &mac, pslots = std::move(pslots), tslot] {
+          value_t prod = mac.scale;
+          for (std::size_t i = 0; i < mac.factors.size(); ++i) {
+            const LinkedMac::Factor& f = mac.factors[i];
+            const index_t p = r.pos_[pslots[i]];
+            prod *= f.data.empty() ? f.view->value_at(p)
+                                   : f.data[static_cast<std::size_t>(p)];
+          }
+          const index_t tp = r.pos_[tslot];
+          if (mac.target_data.empty())
+            mac.target->value_add(tp, prod);
+          else
+            mac.target_data[static_cast<std::size_t>(tp)] += prod;
+        };
+      },
+      stats);
+}
+
+void execute_parallel(const Plan& plan, const relation::Query& q,
+                      const Action& action, int threads) {
+  ParallelRunner runner(link_plan(plan, q), threads);
   runner.run(action);
 }
 

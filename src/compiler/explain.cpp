@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "compiler/link.hpp"
 #include "support/json_writer.hpp"
 
 namespace bernoulli::compiler {
@@ -110,6 +111,9 @@ std::string explain(const Plan& plan, const Query& q) {
        << (level.est_iterations == 1.0 ? "" : "s") << ", cost "
        << num(level.est_cost) << " per outer iteration\n";
   }
+  const ParallelLegality leg = plan_parallel_legality(plan, q);
+  os << "parallel: " << (leg.ok ? "" : "serial fallback — ") << leg.note
+     << "\n";
   return os.str();
 }
 
@@ -134,6 +138,11 @@ std::string explain_json(const Plan& plan, const Query& q, int indent) {
     w.end_object();
   }
   w.end_array();
+  const ParallelLegality leg = plan_parallel_legality(plan, q);
+  w.key("parallel").begin_object();
+  w.key("ok").value(leg.ok);
+  w.key("note").value(leg.note);
+  w.end_object();
   w.end_object();
   return w.str();
 }

@@ -85,7 +85,59 @@ LinkedPlan link_plan(const Plan& plan, const Query& q) {
         &support::histogram("executor.fanout.level" + std::to_string(d));
     lp.levels.push_back(std::move(ll));
   }
+  ParallelLegality leg = plan_parallel_legality(plan, q);
+  lp.parallel_ok = leg.ok;
+  lp.parallel_note = std::move(leg.note);
   return lp;
+}
+
+ParallelLegality plan_parallel_legality(const Plan& plan, const Query& q) {
+  if (plan.levels.empty())
+    return {false, "plan has no levels"};
+  const PlanLevel& outer = plan.levels[0];
+  if (outer.method == JoinMethod::kMerge)
+    return {false, "outer level " + outer.var +
+                       " is a merge join (chunking the k-finger sweep "
+                       "would change merge_steps)"};
+  // Scan every access the plan touches for mid-run mutation or stateful
+  // virtual search; either makes concurrent frames unsafe.
+  auto scan_access = [&](const Access& a) -> std::string {
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    const relation::IndexLevel& level = rel.view->level(a.depth);
+    const std::string var = rel.vars[static_cast<std::size_t>(a.depth)];
+    if (rel.writes && level.insertable())
+      return rel.view->name() + " inserts on miss at " + var +
+             " (fill-in grows shared storage)";
+    return "";
+  };
+  auto scan_probe = [&](const Access& a) -> std::string {
+    if (std::string why = scan_access(a); !why.empty()) return why;
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    const relation::IndexLevel& level = rel.view->level(a.depth);
+    if (level.search_spec().kind == relation::SearchSpec::Kind::kVirtual)
+      return rel.view->name() + " probes " +
+             rel.vars[static_cast<std::size_t>(a.depth)] +
+             " through a stateful virtual search";
+    return "";
+  };
+  for (const PlanLevel& pl : plan.levels) {
+    for (const Access& a : pl.drivers)
+      if (std::string why = scan_access(a); !why.empty()) return {false, why};
+    for (const Access& a : pl.probes)
+      if (std::string why = scan_probe(a); !why.empty()) return {false, why};
+  }
+  // Disjoint output rows: every written relation must bind the outer
+  // variable at its root level, so distinct outer bindings land in
+  // disjoint storage segments and no cross-thread reduction is needed.
+  for (const auto& rel : q.relations) {
+    if (!rel.writes) continue;
+    if (rel.vars.empty() || rel.vars[0] != outer.var)
+      return {false, "output " + rel.view->name() +
+                         " rows are not partitioned by the outer variable " +
+                         outer.var};
+  }
+  return {true, "outer level " + outer.var +
+                    " chunked across threads (disjoint output rows)"};
 }
 
 LinkedMac link_mac(const Query& q, index_t target_rel,

@@ -19,6 +19,8 @@
 // iteration.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "compiler/executor.hpp"
@@ -64,10 +66,30 @@ struct LinkedPlan {
   int pos_slots = 0;           // flat position array size
   const Plan* plan = nullptr;            // borrowed (trace labels)
   const relation::Query* query = nullptr;  // borrowed (diagnostics, arity)
+  // Link-time parallelizability verdict for the outermost level (see
+  // plan_parallel_legality): when false, ParallelRunner runs serially and
+  // parallel_note says why (also surfaced by EXPLAIN).
+  bool parallel_ok = false;
+  std::string parallel_note;
 };
 
 /// Validates `q` and lowers the pair. The result borrows both arguments.
 LinkedPlan link_plan(const Plan& plan, const relation::Query& q);
+
+/// Whether the outermost plan level may be chunked across threads, and
+/// why (not). Legal iff the outer level is an enumerate (a chunked
+/// k-finger merge would change merge_steps), no access anywhere inserts
+/// on miss (fill-in grows shared storage mid-run), no probe goes through
+/// a stateful virtual search (e.g. the lazily built hash index), and
+/// every written relation binds the outer variable at its root level —
+/// distinct outer bindings then touch disjoint output rows, so any chunk
+/// assignment reproduces the serial result bitwise with no reduction.
+struct ParallelLegality {
+  bool ok = false;
+  std::string note;
+};
+ParallelLegality plan_parallel_legality(const Plan& plan,
+                                        const relation::Query& q);
 
 /// The multiply-accumulate statement, lowered: relation slots resolved and
 /// raw value arrays captured where the views expose them (empty spans fall
@@ -133,6 +155,16 @@ class LinkedRunner {
   template <class Sink>
   void run_impl(Sink&& sink, RunStats* stats);
 
+  // Shared body of the serial run and the parallel chunk run: iterates
+  // the level stack over outer-cursor offsets [chunk_begin, chunk_begin +
+  // chunk_count) (chunk_count < 0 = the whole range), accumulating into
+  // caller-owned locals without flushing. In chunk mode (see
+  // chunk_outer_produced_) the level-0 fan-out sample is withheld so the
+  // coordinator can book ONE merged sample per run, exactly like serial.
+  template <class Sink>
+  void run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
+                index_t chunk_begin, index_t chunk_count);
+
   // Innermost-level fast path: produces every binding of an enumerate leaf
   // frame in one tight loop (cursor kind dispatched once per invocation,
   // not per element) and fires the sink inline, instead of re-entering the
@@ -157,6 +189,54 @@ class LinkedRunner {
   // Per-level local fan-out buckets, flushed to the registry histograms
   // once per run (kBuckets wide, see support/histogram.hpp).
   std::vector<std::vector<long long>> fanout_local_;
+  // Chunk mode (set by ParallelRunner): close_frame(0) adds the outer
+  // level's produced count here instead of booking a fan-out sample per
+  // chunk — the serial engine books exactly one sample per run.
+  long long* chunk_outer_produced_ = nullptr;
+
+  friend class ParallelRunner;
 };
+
+/// Runs a LinkedPlan across the shared thread pool by chunking the
+/// outermost enumerate level: a deterministic chunk grid over the outer
+/// cursor range, pulled guided-style by `threads` workers, each with its
+/// own LinkedRunner (scratch, counters, fan-out shards, trace buffer).
+/// Shards merge once per run into the same registry objects the serial
+/// engine feeds, so executor.* deltas, fan-out histograms and per-level
+/// stats are EXACTLY the serial engine's, for any thread count.
+///
+/// When the plan is not parallelizable (see plan_parallel_legality) or
+/// threads <= 1 every run delegates to a single serial LinkedRunner —
+/// same results, no pool involvement. Callers of run(Action) must pass an
+/// action that is safe to invoke concurrently for distinct outer
+/// bindings; run(LinkedMac) is safe whenever the plan is parallel-legal
+/// (disjoint output rows).
+class ParallelRunner {
+ public:
+  ParallelRunner(LinkedPlan lp, int threads);
+
+  const LinkedPlan& linked() const { return workers_.front()->linked(); }
+  int threads() const { return threads_; }
+  /// True when runs actually fan out (legal plan and threads > 1).
+  bool parallel() const { return parallel_; }
+
+  void run(const Action& action, RunStats* stats = nullptr);
+  void run(const LinkedMac& mac, RunStats* stats = nullptr);
+
+ private:
+  template <class MakeSink>
+  void run_parallel(MakeSink&& make_sink, RunStats* stats);
+
+  int threads_ = 1;
+  bool parallel_ = false;
+  // workers_[0] doubles as the serial fallback runner.
+  std::vector<std::unique_ptr<LinkedRunner>> workers_;
+};
+
+/// One-shot parallel execution of a (Plan, Query) pair — links, runs the
+/// action across `threads` workers (serial fallback applies), discards
+/// the program. Repeated runs should hold a ParallelRunner instead.
+void execute_parallel(const Plan& plan, const relation::Query& q,
+                      const Action& action, int threads);
 
 }  // namespace bernoulli::compiler

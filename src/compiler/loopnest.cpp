@@ -132,12 +132,22 @@ CompiledKernel compile(const LoopNest& nest, const Bindings& bindings,
   return kernel;
 }
 
-void CompiledKernel::run() const {
-  if (!linked_) {
-    linked_ = std::make_shared<LinkedProgram>(LinkedProgram{
-        LinkedRunner(link_plan(plan_, query_)),
-        link_mac(query_, stmt_.target_rel, stmt_.factor_rels, stmt_.scale)});
+void CompiledKernel::relink() const {
+  linked_ = std::make_shared<LinkedProgram>(LinkedProgram{
+      LinkedRunner(link_plan(plan_, query_)),
+      link_mac(query_, stmt_.target_rel, stmt_.factor_rels, stmt_.scale)});
+}
+
+void CompiledKernel::relink_noexcept() const noexcept {
+  try {
+    relink();
+  } catch (...) {
+    linked_.reset();
   }
+}
+
+void CompiledKernel::run() const {
+  if (!linked_) relink();
   linked_->runner.run(linked_->mac);
 }
 

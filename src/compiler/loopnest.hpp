@@ -99,15 +99,22 @@ class CompiledKernel {
  public:
   CompiledKernel() = default;
   // The lazily-built linked program borrows this object's plan_/query_, so
-  // copies and moves must not share or carry it — they drop the cache and
-  // re-link on their own first run.
+  // copies and moves must not share or carry the source's cache. Dropping
+  // it silently would make the first run() after a copy/move pay a hidden
+  // re-link (and, worse, mutate a const kernel from what looks like a
+  // steady-state call), so when the source was already linked the cache is
+  // re-established eagerly against this object's own plan_/query_.
   CompiledKernel(const CompiledKernel& o)
       : query_(o.query_), plan_(o.plan_), stmt_(o.stmt_),
-        interval_(o.interval_) {}
+        interval_(o.interval_) {
+    if (o.linked_) relink();
+  }
   CompiledKernel(CompiledKernel&& o) noexcept
       : query_(std::move(o.query_)), plan_(std::move(o.plan_)),
         stmt_(std::move(o.stmt_)), interval_(std::move(o.interval_)) {
+    const bool had = o.linked_ != nullptr;
     o.linked_.reset();
+    if (had) relink_noexcept();
   }
   CompiledKernel& operator=(const CompiledKernel& o) {
     if (this != &o) {
@@ -116,6 +123,7 @@ class CompiledKernel {
       stmt_ = o.stmt_;
       interval_ = o.interval_;
       linked_.reset();
+      if (o.linked_) relink();
     }
     return *this;
   }
@@ -125,8 +133,10 @@ class CompiledKernel {
       plan_ = std::move(o.plan_);
       stmt_ = std::move(o.stmt_);
       interval_ = std::move(o.interval_);
+      const bool had = o.linked_ != nullptr;
       linked_.reset();
       o.linked_.reset();
+      if (had) relink_noexcept();
     }
     return *this;
   }
@@ -165,6 +175,11 @@ class CompiledKernel {
     LinkedRunner runner;
     LinkedMac mac;
   };
+  // Rebuilds linked_ against this object's plan_/query_. relink_noexcept
+  // swallows failures (move operations are noexcept); run() re-links
+  // lazily in that case.
+  void relink() const;
+  void relink_noexcept() const noexcept;
   mutable std::shared_ptr<LinkedProgram> linked_;  // built on first run()
 };
 

@@ -23,9 +23,8 @@ namespace bernoulli::support {
 
 class Log2Histogram {
  public:
-  /// Bucket 0 holds value 0; bucket k >= 1 holds [2^(k-1), 2^k).
-  /// 40 buckets cover values up to 2^39 - 1; larger values clamp into the
-  /// last bucket.
+  /// Bucket 0 holds value 0; bucket k in [1, 38] holds [2^(k-1), 2^k);
+  /// the last bucket (39) is open-ended and absorbs every value >= 2^38.
   static constexpr int kBuckets = 40;
 
   void add(long long value, long long count = 1) {

@@ -1,0 +1,51 @@
+// A small reusable worker pool for shared-memory parallel execution
+// (the linked executor's outer-level worksharing, threaded bench
+// kernels). Deliberately minimal: one job at a time, slot-indexed fork/
+// join, no task queue — the executor brings its own chunk scheduler and
+// only needs "run body(slot) on N threads and wait".
+//
+// Threads are lazily spawned and kept for the life of the process (same
+// leak-on-purpose policy as the counter registry), so steady-state
+// parallel runs pay no thread creation. Each pool thread is an ordinary
+// host thread to the tracing layer: it gets its own (pid 1, tid) track
+// on first use, which is what tags per-worker TraceSpans.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+namespace bernoulli::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is fine; grow later with ensure()).
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const;
+
+  /// Grows the pool to at least `threads` workers (never shrinks).
+  void ensure(int threads);
+
+  /// Invokes body(slot) once for every slot in [0, nslots) on the pool
+  /// threads and blocks until all slots returned. Slots may outnumber
+  /// threads (a thread then runs several slots back to back). Jobs are
+  /// serialized: concurrent run_slots calls queue on an internal mutex.
+  /// Must not be called from inside a pool thread (it would deadlock).
+  /// The first exception thrown by a body is rethrown here after the
+  /// remaining slots finish.
+  void run_slots(int nslots, const std::function<void(int)>& body);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide shared pool, grown on demand to `min_threads`. All
+/// executor and bench worksharing goes through this instance so repeated
+/// runs (and nested benchmark reps) reuse one set of threads.
+ThreadPool& shared_pool(int min_threads = 0);
+
+}  // namespace bernoulli::support

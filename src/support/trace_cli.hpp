@@ -8,7 +8,9 @@
 // Deprecated aliases, kept so existing scripts keep working (each warns
 // once on stderr): the literal spelling --report=json is the PR-1 stdout
 // report (any other value is a run-report file path), and --exec-json=
-// is the PR-3 exec-snapshot writer.
+// is the PR-3 exec-snapshot writer. When both the alias and an explicit
+// --report=<file> appear, the explicit file wins in either flag order —
+// callers must dispatch on legacy_report_stdout(), not legacy_report_json.
 //
 // obs_end() is deliberately strict: given the CommStats totals the caller
 // gathered over every machine run inside the recording window, the comm
@@ -38,6 +40,12 @@ struct ObsOptions {
   bool legacy_report_json = false;  // deprecated --report=json (stdout)
   bool active() const {
     return !trace_path.empty() || comm_matrix || !report_path.empty();
+  }
+  /// True when the deprecated stdout report should run. An explicit
+  /// --report=<file> wins over the alias regardless of flag order: the
+  /// alias only takes effect when no file report was requested.
+  bool legacy_report_stdout() const {
+    return legacy_report_json && report_path.empty();
   }
   /// Run reports embed a critical path, so requesting one records spans
   /// too (in memory only; nothing hits disk unless --trace asked).

@@ -10,6 +10,7 @@
 #include <map>
 
 #include "blas/spgemm.hpp"
+#include "compiler/explain.hpp"
 #include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
 #include "formats/formats.hpp"
@@ -17,7 +18,9 @@
 #include "relation/hash_index.hpp"
 #include "relation/jds_view.hpp"
 #include "relation/spa_view.hpp"
+#include "relation/sparse_vector_view.hpp"
 #include "support/counters.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 
 namespace bernoulli::compiler {
@@ -354,6 +357,273 @@ TEST(LinkedExec, RunnerReuseKeepsCountsStable) {
     expect_same_work(first, again);
     for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_first[i]);
   }
+}
+
+// ---- Parallel execution: ParallelRunner vs the interpreter ----------
+
+// executor.fanout.* histogram bucket deltas across a run (all-zero
+// histograms elided, mirroring exec_delta).
+std::map<std::string, std::vector<long long>> fanout_delta(
+    const std::map<std::string, std::vector<long long>>& before,
+    const std::map<std::string, std::vector<long long>>& after) {
+  std::map<std::string, std::vector<long long>> d;
+  for (const auto& [name, buckets] : after) {
+    if (name.rfind("executor.fanout.", 0) != 0) continue;
+    std::vector<long long> delta = buckets;
+    if (auto it = before.find(name); it != before.end())
+      for (std::size_t i = 0; i < delta.size() && i < it->second.size(); ++i)
+        delta[i] -= it->second[i];
+    bool any = false;
+    for (long long v : delta) any = any || v != 0;
+    if (any) d[name] = std::move(delta);
+  }
+  return d;
+}
+
+class ParallelSweep : public ::testing::TestWithParam<Case> {};
+
+// The contract extends to threads: for every storage and every thread
+// count, ParallelRunner must reproduce the interpreter bitwise — outputs,
+// merged executor.* counter deltas, merged fan-out histogram deltas and
+// per-level stats. Plans the legality check rejects (e.g. CCS's
+// column-outer order writing row-indexed Y) exercise the serial fallback
+// through the very same assertions.
+TEST_P(ParallelSweep, MatchesInterpreterForAllThreadCounts) {
+  const Case& c = GetParam();
+  SplitMix64 rng(c.seed);
+  Coo coo = random_matrix(c.rows, c.cols, c.nnz, c.seed);
+
+  Vector x(static_cast<std::size_t>(c.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(c.rows), 0.0);
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Ccs ccs = formats::Ccs::from_coo(coo);
+  formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Dense dm = formats::Dense::from_coo(coo);
+  relation::CsrView csr_base("A", csr);
+  relation::HashIndexedView hashed(csr_base, 1);
+
+  Bindings b;
+  switch (c.storage) {
+    case Storage::kCsr: b.bind_csr("A", csr); break;
+    case Storage::kCcs: b.bind_ccs("A", ccs); break;
+    case Storage::kCoo: b.bind_coo("A", coo); break;
+    case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
+    case Storage::kCsrHashed:
+      b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
+      break;
+  }
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+
+  LoopNest nest{{{"i", c.rows}, {"j", c.cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  auto hist_before = support::histograms_snapshot();
+  EngineRun ir =
+      run_interpreted(k.plan(), k.query(),
+                      multiply_accumulate(k.query(), target, factors));
+  auto ir_fanout = fanout_delta(hist_before, support::histograms_snapshot());
+  Vector y_interp = y;
+
+  for (int threads : {1, 2, 4, 8}) {
+    std::fill(y.begin(), y.end(), 0.0);
+    auto hb = support::histograms_snapshot();
+    auto before = support::counters_snapshot();
+    ParallelRunner runner(link_plan(k.plan(), k.query()), threads);
+    EngineRun pr;
+    runner.run(link_mac(k.query(), target, factors), &pr.stats);
+    pr.deltas = exec_delta(before, support::counters_snapshot());
+    expect_same_work(ir, pr);
+    EXPECT_EQ(ir_fanout,
+              fanout_delta(hb, support::histograms_snapshot()))
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], y_interp[i]) << "threads=" << threads << " row " << i;
+  }
+
+  // The Action-sink path fans out too (distinct outer bindings only, so a
+  // concurrently-invoked accumulate into disjoint rows is safe).
+  std::fill(y.begin(), y.end(), 0.0);
+  auto before = support::counters_snapshot();
+  ParallelRunner runner(link_plan(k.plan(), k.query()), 4);
+  EngineRun pa;
+  runner.run(multiply_accumulate(k.query(), target, factors), &pa.stats);
+  pa.deltas = exec_delta(before, support::counters_snapshot());
+  expect_same_work(ir, pa);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_interp[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorages, ParallelSweep,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           const Case& c = info.param;
+                           std::ostringstream os;
+                           os << storage_name(c.storage) << "_" << c.rows
+                              << "x" << c.cols << "_nnz" << c.nnz;
+                           return os.str();
+                         });
+
+// A row-major matvec plan must actually fan out, and the merge-join test
+// above (merge at the INNER level) stays legal — only an outer merge is
+// disqualifying.
+TEST(ParallelExec, CsrMatvecIsParallelLegal) {
+  Coo coo = random_matrix(40, 40, 200, 31);
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  Vector x(40, 1.0), y(40, 0.0);
+  Bindings b;
+  b.bind_csr("A", csr);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", 40}, {"j", 40}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  LinkedPlan lp = link_plan(k.plan(), k.query());
+  EXPECT_TRUE(lp.parallel_ok) << lp.parallel_note;
+  ParallelRunner runner(std::move(lp), 4);
+  EXPECT_TRUE(runner.parallel());
+  EXPECT_EQ(runner.threads(), 4);
+  EXPECT_NE(k.explain().find("parallel: outer level i chunked"),
+            std::string::npos);
+}
+
+// An outer-level merge join cannot be chunked (splitting the k-finger
+// sweep would change merge_steps): two sparse filtering drivers on the
+// single loop variable force an outer merge, which must fall back.
+TEST(ParallelExec, OuterMergeJoinFallsBackToSerial) {
+  const index_t n = 50;
+  formats::SparseVector x1(
+      n, {{2, 1.0}, {7, 2.0}, {19, -1.0}, {23, 0.5}, {41, 3.0}});
+  formats::SparseVector x2(n, {{7, 4.0}, {19, 0.25}, {23, -2.0}, {48, 1.0}});
+  Vector y(static_cast<std::size_t>(n), 0.0);
+
+  relation::IntervalView iview("I", {n});
+  relation::SparseVectorView v1("X1", x1);
+  relation::SparseVectorView v2("X2", x2);
+  relation::DenseVectorView yview("Y", VectorView(y));
+
+  Query q;
+  q.vars = {"i"};
+  q.relations.push_back({&iview, {"i"}, true, false, true});
+  q.relations.push_back({&v1, {"i"}, true, false, false});
+  q.relations.push_back({&v2, {"i"}, true, false, false});
+  q.relations.push_back({&yview, {"i"}, false, true, false});
+  Plan plan = plan_query(q);
+  ASSERT_EQ(plan.levels[0].method, JoinMethod::kMerge);
+
+  LinkedPlan lp = link_plan(plan, q);
+  EXPECT_FALSE(lp.parallel_ok);
+  EXPECT_NE(lp.parallel_note.find("merge join"), std::string::npos)
+      << lp.parallel_note;
+  EXPECT_NE(explain(plan, q).find("serial fallback"), std::string::npos);
+
+  // The fallback still runs — and matches the interpreter exactly.
+  EngineRun ir =
+      run_interpreted(plan, q, multiply_accumulate(q, 3, {1, 2}));
+  Vector y_interp = y;
+  std::fill(y.begin(), y.end(), 0.0);
+  auto before = support::counters_snapshot();
+  ParallelRunner runner(link_plan(plan, q), 8);
+  EXPECT_FALSE(runner.parallel());
+  EngineRun pr;
+  runner.run(multiply_accumulate(q, 3, {1, 2}), &pr.stats);
+  pr.deltas = exec_delta(before, support::counters_snapshot());
+  expect_same_work(ir, pr);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_interp[i]);
+}
+
+// Sparse-output fill-in grows shared storage mid-run: the SpGEMM plan
+// must refuse to fan out, and the fallback must still insert correctly.
+// (The SPA trips the legality scan at its first unsafe access — its row
+// level is probed through a stateful virtual search; the insert-on-miss
+// rule backs that up one level deeper — so the note names the output.)
+TEST(ParallelExec, FillInFallsBackToSerial) {
+  Coo a = random_matrix(14, 18, 60, 22);
+  Coo bm = random_matrix(18, 11, 55, 23);
+  formats::Csr acsr = formats::Csr::from_coo(a);
+  formats::Csr bcsr = formats::Csr::from_coo(bm);
+  relation::CsrView aview("A", acsr);
+  relation::CsrView bview("B", bcsr);
+  relation::IntervalView iview("I", {14, 18, 11});
+  relation::SpaView cview("C", 14, 11);
+
+  Query q;
+  q.vars = {"i", "k", "j"};
+  q.relations.push_back({&iview, {"i", "k", "j"}, true, false, true});
+  q.relations.push_back({&aview, {"i", "k"}, true, false, false});
+  q.relations.push_back({&bview, {"k", "j"}, true, false, false});
+  q.relations.push_back({&cview, {"i", "j"}, false, true, false});
+  Plan plan = plan_query(q);
+
+  LinkedPlan lp = link_plan(plan, q);
+  EXPECT_FALSE(lp.parallel_ok);
+  EXPECT_NE(lp.parallel_note.find("C "), std::string::npos)
+      << lp.parallel_note;
+  EXPECT_NE(explain(plan, q).find("serial fallback"), std::string::npos);
+
+  ParallelRunner runner(std::move(lp), 4);
+  EXPECT_FALSE(runner.parallel());
+  runner.run(link_mac(q, 3, {1, 2}));
+  EXPECT_EQ(cview.harvest(), blas::spgemm(acsr, bcsr).to_coo());
+}
+
+// ---- CompiledKernel copy/move keeps the pre-linked program ----------
+
+// Copies and moves used to silently drop the lazily-built linked program
+// — the next run() paid a hidden re-link. They now re-establish it
+// eagerly, and a moved-from-then-reassigned kernel must behave exactly
+// like the original: same output, same executor.* deltas, and no
+// observable re-link on first use.
+TEST(CompiledKernelCache, CopyAndMoveKeepLinkedProgram) {
+  Coo coo = random_matrix(24, 24, 100, 33);
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  Vector x(24, 1.0), y(24, 0.0);
+  Bindings b;
+  b.bind_csr("A", csr);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", 24}, {"j", 24}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  // Reference run (also builds the cache the copies must re-establish).
+  std::fill(y.begin(), y.end(), 0.0);
+  auto before = support::counters_snapshot();
+  k.run();
+  auto ref_delta = exec_delta(before, support::counters_snapshot());
+  Vector y_ref = y;
+
+  auto run_and_compare = [&](const CompiledKernel& kk, const char* label) {
+    std::fill(y.begin(), y.end(), 0.0);
+    auto b0 = support::counters_snapshot();
+    kk.run();
+    EXPECT_EQ(exec_delta(b0, support::counters_snapshot()), ref_delta)
+        << label;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], y_ref[i]) << label << " row " << i;
+  };
+
+  CompiledKernel copied(k);
+  run_and_compare(copied, "copy ctor");
+
+  CompiledKernel moved(std::move(copied));
+  run_and_compare(moved, "move ctor");
+
+  // Move-assign back into the hollowed-out shell and run again: the
+  // reassigned kernel must match the original exactly.
+  copied = std::move(moved);
+  run_and_compare(copied, "move assign");
+
+  CompiledKernel assigned;
+  assigned = copied;
+  run_and_compare(assigned, "copy assign");
+  run_and_compare(k, "original after all of it");
 }
 
 }  // namespace

@@ -147,7 +147,9 @@ TEST(Explain, GoldenCsrMatvecText) {
       "  probe  I[1] binds j  (dense, sorted, search O(1), E[n]=3, filters, "
       "order-free)\n"
       "  probe  X[0] binds j  (dense, sorted, search O(1), E[n]=3)\n"
-      "  est 1.66667 bindings, cost 5 per outer iteration\n";
+      "  est 1.66667 bindings, cost 5 per outer iteration\n"
+      "parallel: outer level i chunked across threads (disjoint output "
+      "rows)\n";
   EXPECT_EQ(k.explain(), golden);
 
   std::string j = k.explain_json();

@@ -29,6 +29,32 @@ TEST(Log2Histogram, BucketGeometry) {
             Log2Histogram::kBuckets - 1);
 }
 
+TEST(Log2Histogram, PowerOfTwoBoundaries) {
+  // Exact powers of two open a new bucket; one less closes the previous
+  // one. Sweep every boundary the bucket grid resolves, then the
+  // open-ended last bucket.
+  for (int k = 1; k <= 37; ++k) {
+    EXPECT_EQ(Log2Histogram::bucket_of(1LL << k), k + 1) << "2^" << k;
+    EXPECT_EQ(Log2Histogram::bucket_of((1LL << k) - 1), k) << "2^" << k
+                                                           << " - 1";
+  }
+  EXPECT_EQ(Log2Histogram::bucket_of((1LL << 38) - 1), 38);
+  EXPECT_EQ(Log2Histogram::bucket_of(1LL << 38), 39);
+  EXPECT_EQ(Log2Histogram::bucket_of(1LL << 39), 39);  // clamps, no 40
+}
+
+TEST(Log2Histogram, FlushRepresentativeRoundTrips) {
+  // The linked executor's counter flush re-books per-thread shard grids
+  // into the registry by synthesizing one representative value per bucket
+  // (0 for bucket 0, 2^(b-1) otherwise). That convention is only sound if
+  // every representative maps back to its own bucket — lock it here so
+  // bucket-geometry changes cannot silently skew merged histograms.
+  for (int b = 0; b < Log2Histogram::kBuckets; ++b) {
+    const long long rep = b == 0 ? 0 : 1LL << (b - 1);
+    EXPECT_EQ(Log2Histogram::bucket_of(rep), b) << "bucket " << b;
+  }
+}
+
 TEST(Log2Histogram, BucketLabels) {
   EXPECT_EQ(Log2Histogram::bucket_label(0), "0");
   EXPECT_EQ(Log2Histogram::bucket_label(1), "1");

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <set>
 #include <string>
 
@@ -8,6 +10,7 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/text_table.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 
 namespace bernoulli {
@@ -140,6 +143,15 @@ TEST(JsonReader, MalformedInputsReportLineAndColumn) {
       {"empty input", "", "line 1 column 1"},
       {"error on later line", "{\n  \"a\": 1,\n  \"b\": }\n}",
        "line 3 column 8"},
+      // \uXXXX surrogate handling: every malformed pair shape must be
+      // rejected with a position, never silently decoded or crashed on.
+      {"lone high surrogate", "\"\\uD83D\"", "line 1 column 8"},
+      {"high surrogate at EOF", "\"\\uD83D", "line 1 column 8"},
+      {"low surrogate first", "\"\\uDC00\"", "line 1 column 8"},
+      {"truncated \\u hex at EOF", "\"\\u12", "line 1 column 4"},
+      {"high surrogate with bad low", "\"\\uD83D\\u0041\"",
+       "line 1 column 14"},
+      {"high surrogate then literal", "\"\\uD800ab\"", "line 1 column 8"},
   };
   for (const Case& c : cases) {
     try {
@@ -162,6 +174,43 @@ TEST(JsonReader, WellFormedInputStillParses) {
   EXPECT_EQ(v.find("n")->items[0].as_number(), -150.0);
   EXPECT_TRUE(v.find("t")->boolean);
   EXPECT_EQ(v.find("nothing")->type, support::JsonValue::Type::kNull);
+}
+
+// Back-to-back jobs are the pool's hard case: a worker that wakes late
+// for job N must not pull a slot after job N completed, or it would
+// invoke job N's destroyed body with job N+1's slot (a use-after-scope
+// the linked executor's bench loop hit in production) and corrupt job
+// N+1's completion count. Hammer many short jobs with uneven slot work
+// and assert every slot of every job ran exactly once.
+TEST(ThreadPool, BackToBackJobsRunEverySlotExactlyOnce) {
+  support::ThreadPool pool(4);
+  constexpr int kJobs = 200;
+  constexpr int kSlots = 8;
+  for (int j = 0; j < kJobs; ++j) {
+    std::array<std::atomic<int>, kSlots> ran{};
+    pool.run_slots(kSlots, [&](int slot) {
+      // Uneven work so slot hand-out interleaves differently per job.
+      volatile double sink = 0;
+      for (int i = 0; i < (slot % 3) * 500; ++i) sink = sink + 1.0;
+      ran[static_cast<std::size_t>(slot)].fetch_add(1);
+    });
+    for (int s = 0; s < kSlots; ++s)
+      ASSERT_EQ(ran[static_cast<std::size_t>(s)].load(), 1)
+          << "job " << j << " slot " << s;
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstBodyException) {
+  support::ThreadPool pool(2);
+  EXPECT_THROW(pool.run_slots(4,
+                              [&](int slot) {
+                                if (slot == 2) throw Error("slot two");
+                              }),
+               Error);
+  // The pool stays usable after a throwing job.
+  std::atomic<int> n{0};
+  pool.run_slots(3, [&](int) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 3);
 }
 
 TEST(Timer, WallTimeAdvances) {

@@ -6,8 +6,11 @@
 // the single booking site in runtime::Process::send_bytes.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 
 #include "distrib/distribution.hpp"
 #include "formats/csr.hpp"
@@ -17,6 +20,7 @@
 #include "support/histogram.hpp"
 #include "support/json_reader.hpp"
 #include "support/trace.hpp"
+#include "support/trace_cli.hpp"
 #include "workloads/grid.hpp"
 
 namespace bernoulli::support {
@@ -209,6 +213,45 @@ TEST(Trace, CommMatrixWithoutTracing) {
   EXPECT_EQ(snap.messages_at(0, 1), 2);
   EXPECT_EQ(snap.bytes_at(0, 1), 200);
   EXPECT_EQ(snap.bytes_at(1, 0), 50);
+}
+
+// A run that records no spans and sends no messages must still export a
+// bernoulli.trace.v1 document that round-trips, and the strict obs_end
+// reconciliation epilogue must accept the all-zeros totals instead of
+// aborting on an empty comm matrix / empty histogram set.
+TEST(Trace, ZeroSpanZeroMessageRunExportsAndReconciles) {
+  histograms_reset();
+  const std::string path =
+      ::testing::TempDir() + "/zero_span_trace_test.json";
+  ObsOptions o;
+  o.trace_path = path;
+  obs_begin(o);
+  runtime::Machine m(1);
+  m.run([](runtime::Process&) {});
+  EXPECT_NO_THROW(obs_end(o, /*commstats_messages=*/0,
+                          /*commstats_bytes=*/0));
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  JsonValue doc = json_parse(ss.str());
+  const JsonValue* meta = doc.find("bernoulli");
+  ASSERT_NE(meta, nullptr);
+  EXPECT_EQ(meta->find("schema")->as_string(), "bernoulli.trace.v1");
+  const JsonValue* mat = meta->find("comm_matrix");
+  ASSERT_NE(mat, nullptr);
+  EXPECT_EQ(mat->find("nprocs")->as_number(), 0);
+  EXPECT_EQ(mat->find("total_bytes")->as_number(), 0);
+  const JsonValue* hist = meta->find("histograms");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_TRUE(hist->members.empty());
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // Only metadata events (process/thread names), no "X" spans.
+  for (const JsonValue& ev : events->items)
+    EXPECT_NE(ev.find("ph")->as_string(), "X");
+  std::remove(path.c_str());
 }
 
 }  // namespace
