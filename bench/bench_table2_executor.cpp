@@ -25,14 +25,19 @@
 // send-span byte args in the exported JSON, the comm matrix, and the
 // comm.<phase>.* counters all equal the CommStats totals exactly.
 //
-// `--engine=interpreted|linked|kernel|all` switches to the sequential
-// EXECUTION-ENGINE comparison: the same compiled SpMV plan on the Table-2
-// matrices (CRS and CCS), run through the tree-walking interpreter
-// (execute_interpreted), the linked cursor engine (compiler/link.hpp) and
-// the hand-tuned format kernel (formats::spmv_add), reported as wall-clock
-// ns per stored entry. Extra flags on this axis:
+// `--engine=interpreted|linked|specialized|kernel|all` switches to the
+// sequential EXECUTION-ENGINE comparison: the same compiled SpMV plan on
+// the Table-2 matrices (CRS and CCS), run through the tree-walking
+// interpreter (execute_interpreted), the linked cursor engine
+// (compiler/link.hpp), the runtime-specialized dlopen backend
+// (compiler/specialize.hpp; falls back to linked with a note when the
+// host has no C toolchain) and the hand-tuned format kernel
+// (formats::spmv_add), reported as wall-clock ns per stored entry. Any
+// other --engine value fails with a usage message. Extra flags:
 //   --small               one-processor problem only (CI smoke)
-//   --check               exit 1 unless linked beats interpreted per case
+//   --check               exit 1 unless linked beats interpreted per case;
+//                         the specialized engine (when it loads) must also
+//                         reproduce the serial linked run bitwise
 //   --threads=N           additionally measure the multi-threaded linked
 //                         engine (compiler::ParallelRunner) and, for CRS,
 //                         a row-chunked threaded format kernel; reported
@@ -62,6 +67,7 @@
 #include "common.hpp"
 #include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
+#include "compiler/specialize.hpp"
 #include "formats/ccs.hpp"
 #include "support/counters.hpp"
 #include "support/histogram.hpp"
@@ -258,6 +264,14 @@ struct EngineCase {
   double interpreted_s = -1.0;
   double linked_s = -1.0;
   double kernel_s = -1.0;
+  // Runtime-specialized dlopen backend (compiler/specialize.hpp).
+  // Negative when not requested OR when the kernel could not be built —
+  // specialized_note then says why (toolchain missing, shape refused).
+  double specialized_s = -1.0;
+  std::string specialized_note;
+  // Under --check: the specialized run reproduced the serial linked run
+  // bitwise with identical executor.* and fanout deltas.
+  bool specialized_check_ok = true;
   // Threaded engines (--threads=N; negative when not measured). linked_t
   // is compiler::ParallelRunner on the same LinkedPlan; kernel_t is a
   // row-chunked CRS spmv on the shared pool (CRS only). parallel records
@@ -318,7 +332,8 @@ std::map<std::string, std::vector<long long>> fanout_delta(
 EngineCase measure_engines(const std::string& label,
                            const formats::Csr* csr, const formats::Ccs* ccs,
                            bool want_interpreted, bool want_linked,
-                           bool want_kernel, int threads, bool check) {
+                           bool want_kernel, bool want_specialized,
+                           int threads, bool check) {
   using namespace bernoulli::compiler;
   const index_t rows = csr ? csr->rows() : ccs->rows();
   const index_t cols = csr ? csr->cols() : ccs->cols();
@@ -397,6 +412,49 @@ EngineCase measure_engines(const std::string& label,
     runner.run(mac);  // warm per-worker scratch
     out.linked_t_s = bench::best_seconds([&] { runner.run(mac); }, budget);
   }
+  if (want_specialized) {
+    // The kernel borrows the linked plan and mac (and their arrays), so
+    // both must outlive it in this scope.
+    LinkedPlan lp = link_plan(k.plan(), k.query());
+    LinkedMac mac = link_mac(k.query(), target, factors);
+    SpecializedKernel spec(lp, mac);
+    out.specialized_note = spec.note();
+    if (!spec.ok()) {
+      std::cerr << "  [" << label << " " << out.format
+                << " specialized: falling back to linked — " << spec.note()
+                << "]\n";
+    } else {
+      if (check) {
+        // Same reconciliation the threaded engine passes: the specialized
+        // run must reproduce a serial linked run bitwise — outputs,
+        // executor.* counter deltas, executor.fanout.* histogram deltas.
+        LinkedRunner serial(link_plan(k.plan(), k.query()));
+        std::fill(y.begin(), y.end(), 0.0);
+        auto h0 = support::histograms_snapshot();
+        auto c0 = support::counters_snapshot();
+        serial.run(mac);
+        const auto serial_counters =
+            exec_delta(c0, support::counters_snapshot());
+        const auto serial_fanout =
+            fanout_delta(h0, support::histograms_snapshot());
+        Vector y_serial = y;
+
+        std::fill(y.begin(), y.end(), 0.0);
+        h0 = support::histograms_snapshot();
+        c0 = support::counters_snapshot();
+        spec.run();
+        out.specialized_check_ok =
+            serial_counters == exec_delta(c0, support::counters_snapshot()) &&
+            serial_fanout == fanout_delta(h0, support::histograms_snapshot()) &&
+            y == y_serial;
+        if (!out.specialized_check_ok)
+          std::cerr << "  [" << label << " " << out.format
+                    << " specialized MISMATCH vs serial linked]\n";
+      }
+      spec.run();  // warm (first run after dlopen pays page-in costs)
+      out.specialized_s = bench::best_seconds([&] { spec.run(); }, budget);
+    }
+  }
   if (want_kernel) {
     if (csr)
       out.kernel_s = bench::best_seconds(
@@ -458,6 +516,7 @@ void write_exec_json(const std::vector<EngineCase>& cases,
     };
     engine("interpreted", c.interpreted_s);
     engine("linked", c.linked_s);
+    engine("specialized", c.specialized_s);
     engine("kernel", c.kernel_s);
     // Threaded engine names carry the thread count (linked_t4, kernel_t4)
     // so snapshots taken at different widths stay distinguishable; the
@@ -470,6 +529,9 @@ void write_exec_json(const std::vector<EngineCase>& cases,
           .value(c.interpreted_s / c.linked_s);
     if (c.kernel_s > 0 && c.linked_s > 0)
       w.key("slowdown_linked_vs_kernel").value(c.linked_s / c.kernel_s);
+    if (c.kernel_s > 0 && c.specialized_s > 0)
+      w.key("slowdown_specialized_vs_kernel")
+          .value(c.specialized_s / c.kernel_s);
     if (c.linked_s > 0 && c.linked_t_s > 0)
       w.key("speedup_linked_threaded_over_serial")
           .value(c.linked_s / c.linked_t_s);
@@ -486,16 +548,21 @@ void write_exec_json(const std::vector<EngineCase>& cases,
 int run_engines(const std::string& which, bool small, bool check,
                 int threads, const std::string& json_path,
                 const std::string& report_path) {
+  // Validate the engine name FIRST: --check/--threads/--report force
+  // extra engines on, so deriving "unknown" from the want_* flags would
+  // silently run a default sweep on a typo'd --engine value.
+  if (which != "all" && which != "interpreted" && which != "linked" &&
+      which != "specialized" && which != "kernel") {
+    std::cerr << "unknown --engine value: " << which
+              << " (expected interpreted|linked|specialized|kernel|all)\n";
+    return 2;
+  }
   const bool all = which == "all";
   const bool want_interpreted = all || which == "interpreted" || check ||
                                 !report_path.empty();
   const bool want_linked = all || which == "linked" || check;
+  const bool want_specialized = all || which == "specialized";
   const bool want_kernel = all || which == "kernel";
-  if (!(want_interpreted || want_linked || want_kernel)) {
-    std::cerr << "unknown --engine value: " << which
-              << " (expected interpreted|linked|kernel|all)\n";
-    return 2;
-  }
   const std::string tsuf = "_t" + std::to_string(threads);
 
   std::cout << "=== Execution engines: y += A x on the Table-2 matrix "
@@ -511,17 +578,21 @@ int run_engines(const std::string& which, bool small, bool check,
     formats::Ccs ccs = formats::Ccs::from_coo(csr.to_coo());
     std::string label = "grid3d_bs_P" + std::to_string(P);
     cases.push_back(measure_engines(label, &csr, nullptr, want_interpreted,
-                                    want_linked, want_kernel, threads,
-                                    check));
+                                    want_linked, want_kernel,
+                                    want_specialized, threads, check));
     cases.push_back(measure_engines(label, nullptr, &ccs, want_interpreted,
-                                    want_linked, want_kernel, threads,
-                                    check));
+                                    want_linked, want_kernel,
+                                    want_specialized, threads, check));
     std::cerr << "  [" << label << " done]\n";
   }
 
   std::vector<std::string> headers{"matrix", "format", "rows", "nnz",
                                    "interp (ns/nnz)", "linked (ns/nnz)",
                                    "kernel (ns/nnz)"};
+  if (want_specialized) {
+    headers.push_back("spec (ns/nnz)");
+    headers.push_back("spec vs kernel");
+  }
   if (threads > 1) {
     headers.push_back("linked" + tsuf);
     headers.push_back("kernel" + tsuf);
@@ -532,6 +603,8 @@ int run_engines(const std::string& which, bool small, bool check,
   TextTable table(std::move(headers));
   bool check_ok = true;
   bool thread_check_ok = true;
+  bool specialized_check_ok = true;
+  bool any_specialized = false;
   // Threaded scaling on the LARGEST measured CRS case (the acceptance
   // target: >= 2.5x at 4 threads on the full Table-2 sweep).
   double big_scaling = -1.0;
@@ -561,6 +634,15 @@ int run_engines(const std::string& which, bool small, bool check,
     cell(c.interpreted_s);
     cell(c.linked_s);
     cell(c.kernel_s);
+    if (want_specialized) {
+      if (c.specialized_s < 0) {
+        table.add("fallback");
+        table.add("-");
+      } else {
+        cell(c.specialized_s);
+        ratio(c.specialized_s, c.kernel_s);
+      }
+    }
     if (threads > 1) {
       cell(c.linked_t_s);
       cell(c.kernel_t_s);
@@ -587,12 +669,19 @@ int run_engines(const std::string& which, bool small, bool check,
     }
     ratio(c.linked_s, c.kernel_s);
     thread_check_ok = thread_check_ok && c.thread_check_ok;
+    specialized_check_ok = specialized_check_ok && c.specialized_check_ok;
+    any_specialized = any_specialized || c.specialized_s > 0;
   }
   std::cout << table.str()
             << "\nlinked = plan linked once into a cursor program "
                "(compiler/link.hpp), then re-run;\nkernel = hand-written "
                "format spmv_add; interp = tree-walking reference "
                "interpreter.\n";
+  if (want_specialized)
+    std::cout << "spec = plan emitted as C, compiled to a shared object "
+                 "and dlopen'd\n(compiler/specialize.hpp); \"fallback\" = "
+                 "kernel unavailable on this host\n(reason printed above), "
+                 "the linked engine stands in.\n";
   if (threads > 1)
     std::cout << "linked" << tsuf
               << " = ParallelRunner, outer level chunked over " << threads
@@ -619,6 +708,7 @@ int run_engines(const std::string& which, bool small, bool check,
       };
       engine("interpreted", c.interpreted_s);
       engine("linked", c.linked_s);
+      engine("specialized", c.specialized_s);
       engine("kernel", c.kernel_s);
       engine("linked" + tsuf, c.linked_t_s);
       engine("kernel" + tsuf, c.kernel_t_s);
@@ -628,6 +718,9 @@ int run_engines(const std::string& which, bool small, bool check,
       if (c.kernel_s > 0 && c.linked_s > 0)
         report.metric(base + ".slowdown_linked_vs_kernel",
                       c.linked_s / c.kernel_s);
+      if (c.kernel_s > 0 && c.specialized_s > 0)
+        report.metric(base + ".slowdown_specialized_vs_kernel",
+                      c.specialized_s / c.kernel_s);
       if (c.linked_s > 0 && c.linked_t_s > 0)
         report.metric(base + ".speedup_linked_threaded_over_serial",
                       c.linked_s / c.linked_t_s);
@@ -648,7 +741,19 @@ int run_engines(const std::string& which, bool small, bool check,
                    "the serial run (outputs/counters/histograms)\n";
       return 1;
     }
+    if (!specialized_check_ok) {
+      std::cerr << "CHECK FAILED: specialized kernel did not reproduce "
+                   "the serial linked run (outputs/counters/histograms)\n";
+      return 1;
+    }
     std::cerr << "check ok: linked faster than interpreted on every case\n";
+    if (any_specialized)
+      std::cerr << "check ok: specialized kernel bitwise-identical to the "
+                   "serial linked engine with reconciling counters/"
+                   "histograms\n";
+    else if (want_specialized)
+      std::cerr << "check note: specialized kernel unavailable on this "
+                   "host (fell back to linked); nothing to verify\n";
     if (threads > 1)
       std::cerr << "check ok: threaded linked runs bitwise-identical to "
                    "serial with reconciling executor counters/histograms\n";

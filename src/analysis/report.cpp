@@ -210,6 +210,7 @@ std::map<std::string, double> report_metrics(const JsonValue& doc) {
             out[base + "." + engine + ".ns_per_nnz"] = ns->as_number();
       for (const char* key : {"speedup_linked_over_interpreted",
                               "slowdown_linked_vs_kernel",
+                              "slowdown_specialized_vs_kernel",
                               "speedup_linked_threaded_over_serial"})
         if (const JsonValue* v = c.find(key))
           out[base + "." + key] = v->as_number();

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "compiler/link.hpp"
 #include "support/types.hpp"
 
 namespace bernoulli::compiler {
@@ -35,5 +36,44 @@ std::string emit_standalone_c(const std::string& kernel_code,
                               const std::vector<CDoubleArray>& double_arrays,
                               const std::string& print_array,
                               std::size_t print_count);
+
+/// A (LinkedPlan, LinkedMac) pair rendered as one compilable C translation
+/// unit — the input to the runtime-specialization backend
+/// (compiler/specialize.hpp). Unlike emit_standalone_c, the arrays are NOT
+/// baked in: the generated function takes them as runtime pointer
+/// arguments (int_args/const_args/out_args give the argument order), so
+/// one emitted kernel reruns against live data with no re-emission.
+///
+/// The exported symbol has C signature
+///
+///   int SYMBOL(const int** ia, const double** da, double** wa,
+///              long long* ctr, long long* lvl_enum, long long* lvl_prod,
+///              long long* fanout);
+///
+/// and returns 0 on success or 1 when a non-filtering probe misses (the
+/// condition the engines treat as a checked runtime error). ctr receives
+/// {tuples, probe_hits, probe_misses}; lvl_enum/lvl_prod receive per-level
+/// enumerated/produced totals; fanout receives num_levels * 40 log2
+/// buckets, one histogram sample per level invocation — exactly the
+/// observability the linked engine books, so the host can flush identical
+/// executor.* deltas.
+struct LinkedEmission {
+  bool ok = false;
+  std::string note;    // why emission was refused (ok == false)
+  std::string source;  // the full C translation unit
+  std::string symbol;
+  std::vector<const index_t*> int_args;   // ia[] in argument order
+  std::vector<const value_t*> const_args;  // da[]
+  std::vector<value_t*> out_args;          // wa[]
+  std::size_t num_levels = 0;
+};
+
+/// Emits C for the pair, or refuses with a note when the plan uses a shape
+/// specialization does not cover: merge levels, virtual probes or
+/// enumerations (no flat SearchSpec/EnumSpec), sparse fill-in, or operands
+/// without flat value arrays. The emission borrows the plan's arrays; it
+/// is valid only while the views behind `lp` stay alive and unmoved.
+LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
+                             const std::string& symbol);
 
 }  // namespace bernoulli::compiler

@@ -27,6 +27,7 @@
 // samples, same trace span totals as a serial run, for any thread count.
 #include <algorithm>
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,7 +71,26 @@ index_t bin_search(const index_t* ind, index_t lo, index_t hi, index_t idx) {
   return -1;
 }
 
+std::atomic<bool> g_bulk_drain{true};
+
+// Half-open value ranges [a, a+an) and [b, b+bn) overlap. std::less gives
+// the pointer comparison a defined total order across unrelated arrays.
+bool ranges_overlap(const value_t* a, std::size_t an, const value_t* b,
+                    std::size_t bn) {
+  if (an == 0 || bn == 0) return false;
+  std::less<const value_t*> lt;
+  return !(lt(a + an - 1, b) || lt(b + bn - 1, a));
+}
+
 }  // namespace
+
+void set_bulk_drain(bool enabled) {
+  g_bulk_drain.store(enabled, std::memory_order_relaxed);
+}
+
+bool bulk_drain_enabled() {
+  return g_bulk_drain.load(std::memory_order_relaxed);
+}
 
 bool LinkedRunner::resolve_probes(const LinkedLevel& lv, LocalCounters& c) {
   for (const LinkedProbe& pr : lv.probes) {
@@ -277,9 +297,267 @@ void LinkedRunner::flush(const LocalCounters& c, RunStats* stats) {
   if (stats) stats->tuples = c.tuples;
 }
 
+// Classifies the mac operands against the leaf level so try_bulk (below)
+// can stream whole cursor ranges. Bulk drains engage only when:
+//   - the leaf level is an enumerate (drain_enumerate_leaf's precondition);
+//   - every leaf probe is an identity/affine bounds check (no binary
+//     searches, no virtual probes, no fill-in inserts) — those are the
+//     probes whose all-hit outcome is provable from an index range;
+//   - the target and every factor expose flat value arrays (no virtual
+//     value access mid-loop).
+// Everything else falls back to the per-element path, which stays the
+// ground truth the bulk path must reproduce bitwise.
+void LinkedRunner::prepare_bulk(const LinkedMac& mac) {
+  bulk_ok_ = false;
+  bulk_acc_ok_ = false;
+  bulk_ops_.clear();
+  if (lp_.levels.empty()) return;
+  const std::size_t leaf = lp_.levels.size() - 1;
+  const LinkedLevel& lv = lp_.levels[leaf];
+  if (lv.method != JoinMethod::kEnumerate) return;
+  for (const LinkedProbe& pr : lv.probes) {
+    if (pr.insert_on_miss) return;
+    if (pr.search.kind != relation::SearchSpec::Kind::kIdentity &&
+        pr.search.kind != relation::SearchSpec::Kind::kAffine)
+      return;
+  }
+  if (mac.target_data.empty()) return;
+  for (const LinkedMac::Factor& f : mac.factors)
+    if (f.data.empty()) return;
+
+  const int driver_slot = lv.drivers[0].pos_slot;
+  auto classify = [&](std::size_t rel_slot) {
+    BulkOp op;
+    const int s = lp_.leaf_slot[rel_slot];
+    if (s == driver_slot) {
+      op.src = BulkOp::Src::kDriver;
+      return op;
+    }
+    for (const LinkedProbe& pr : lv.probes) {
+      if (pr.access.pos_slot != s) continue;
+      if (pr.search.kind == relation::SearchSpec::Kind::kIdentity) {
+        op.src = BulkOp::Src::kIdentity;
+      } else {
+        op.src = BulkOp::Src::kAffine;
+        op.stride = pr.search.stride;
+        op.parent_slot = pr.access.parent_slot;
+      }
+      return op;
+    }
+    // Bound at an outer level: constant for the whole drain.
+    op.src = BulkOp::Src::kConst;
+    op.slot = static_cast<std::size_t>(s);
+    return op;
+  };
+
+  bulk_target_ = classify(mac.target_slot);
+  for (const LinkedMac::Factor& f : mac.factors) {
+    BulkOp op = classify(f.slot);
+    op.data = f.data.data();
+    bulk_ops_.push_back(op);
+  }
+  bulk_ok_ = true;
+  // The accumulator register cache is only safe when the target element is
+  // fixed for the whole drain AND no factor can read the target storage
+  // mid-loop (the deferred store would then be observable).
+  bulk_acc_ok_ = bulk_target_.src == BulkOp::Src::kConst;
+  for (const LinkedMac::Factor& f : mac.factors)
+    if (ranges_overlap(mac.target_data.data(), mac.target_data.size(),
+                       f.data.data(), f.data.size()))
+      bulk_acc_ok_ = false;
+}
+
+// The run(LinkedMac) sink. operator() is the per-element multiply-
+// accumulate (unchanged semantics); try_bulk is the hook
+// drain_enumerate_leaf offers a whole leaf invocation to. A local class
+// cannot befriend templates, so this lives at class scope with full
+// access to the runner internals.
+struct LinkedRunner::MacSink {
+  LinkedRunner& r;
+  const LinkedMac& mac;
+  std::size_t tslot;
+
+  void operator()() const {
+    value_t prod = mac.scale;
+    for (std::size_t i = 0; i < mac.factors.size(); ++i) {
+      const LinkedMac::Factor& f = mac.factors[i];
+      const index_t p = r.pos_[r.mac_pslots_[i]];
+      prod *= f.data.empty() ? f.view->value_at(p)
+                             : f.data[static_cast<std::size_t>(p)];
+    }
+    const index_t tp = r.pos_[tslot];
+    if (mac.target_data.empty())
+      mac.target->value_add(tp, prod);
+    else
+      mac.target_data[static_cast<std::size_t>(tp)] += prod;
+  }
+
+  // Streams the whole remaining cursor range of leaf invocation `d` as one
+  // fused loop, booking counters/stats in bulk. Returns false (nothing
+  // consumed, nothing booked) when the invocation is not provably all-hit,
+  // so the caller's per-element path keeps exact miss semantics.
+  bool try_bulk(std::size_t d, LocalCounters& c) const {
+    if (!r.bulk_ok_ || !bulk_drain_enabled()) return false;
+    Frame& f = r.frames_[d];
+    const LinkedLevel& lv = r.lp_.levels[d];
+    relation::Cursor& cur = f.cursors[0];
+    if (cur.remaining() <= 0) return false;
+
+    auto bulk = [&](auto index_of, auto pos_of, bool ascending) -> bool {
+      const index_t k0 = cur.cur;
+      const index_t k1 = cur.end;
+      if (!lv.probes.empty()) {
+        // All-hit proof: identity/affine probes hit iff 0 <= idx < extent,
+        // so range membership of the min and max settles every element.
+        index_t mn, mx;
+        if (ascending) {
+          mn = index_of(k0);
+          mx = index_of(k1 - 1);
+        } else {
+          mn = mx = index_of(k0);
+          for (index_t k = k0 + 1; k < k1; ++k) {
+            const index_t v = index_of(k);
+            mn = std::min(mn, v);
+            mx = std::max(mx, v);
+          }
+        }
+        for (const LinkedProbe& pr : lv.probes)
+          if (mn < 0 || mx >= pr.search.extent) return false;
+      }
+
+      // Book the invocation in bulk: every element enumerates, hits every
+      // probe, and produces — identical totals to the per-element path in
+      // any order, because no element misses.
+      const long long n = k1 - k0;
+      f.inv_enumerated += n;
+      f.inv_produced += n;
+      c.tuples += n;
+      c.probe_hits += n * static_cast<long long>(lv.probes.size());
+
+      // Flatten each operand to pos = base + mp*driver_pos + mi*idx for
+      // this invocation (kConst slots and affine parents are fixed here).
+      auto refresh = [&](BulkOp& o) {
+        switch (o.src) {
+          case BulkOp::Src::kConst:
+            o.base = r.pos_[o.slot];
+            o.mp = 0;
+            o.mi = 0;
+            break;
+          case BulkOp::Src::kDriver:
+            o.base = 0;
+            o.mp = 1;
+            o.mi = 0;
+            break;
+          case BulkOp::Src::kIdentity:
+            o.base = 0;
+            o.mp = 0;
+            o.mi = 1;
+            break;
+          case BulkOp::Src::kAffine:
+            o.base = (o.parent_slot < 0
+                          ? 0
+                          : r.pos_[static_cast<std::size_t>(o.parent_slot)]) *
+                     o.stride;
+            o.mp = 0;
+            o.mi = 1;
+            break;
+        }
+      };
+      refresh(r.bulk_target_);
+      for (BulkOp& o : r.bulk_ops_) refresh(o);
+
+      value_t* const td = mac.target_data.data();
+      const value_t scale = mac.scale;
+      const std::size_t nf = r.bulk_ops_.size();
+      auto prod_of = [&](index_t idx, index_t pos) {
+        value_t prod = scale;
+        for (std::size_t i = 0; i < nf; ++i) {
+          const BulkOp& o = r.bulk_ops_[i];
+          prod *= o.data[o.base + o.mp * pos + o.mi * idx];
+        }
+        return prod;
+      };
+
+      const BulkOp& t = r.bulk_target_;
+      if (r.bulk_acc_ok_) {
+        // Same addition sequence into the same element, accumulated in a
+        // register: bitwise-identical to the per-element stores.
+        value_t acc = td[t.base];
+        if (nf == 2) {
+          const BulkOp o0 = r.bulk_ops_[0];
+          const BulkOp o1 = r.bulk_ops_[1];
+          for (index_t k = k0; k < k1; ++k) {
+            const index_t idx = index_of(k);
+            const index_t pos = pos_of(k);
+            value_t prod = scale;
+            prod *= o0.data[o0.base + o0.mp * pos + o0.mi * idx];
+            prod *= o1.data[o1.base + o1.mp * pos + o1.mi * idx];
+            acc += prod;
+          }
+        } else {
+          for (index_t k = k0; k < k1; ++k)
+            acc += prod_of(index_of(k), pos_of(k));
+        }
+        td[t.base] = acc;
+      } else {
+        for (index_t k = k0; k < k1; ++k) {
+          const index_t idx = index_of(k);
+          const index_t pos = pos_of(k);
+          td[t.base + t.mp * pos + t.mi * idx] += prod_of(idx, pos);
+        }
+      }
+      cur.cur = k1;
+      return true;
+    };
+
+    switch (cur.kind) {
+      case relation::Cursor::Kind::kDenseRange: {
+        const index_t base = cur.base;
+        return bulk([](index_t k) { return k; },
+                    [base](index_t k) { return base + k; },
+                    /*ascending=*/true);
+      }
+      case relation::Cursor::Kind::kIndArray: {
+        const index_t* ind = cur.ind;
+        return bulk([ind](index_t k) { return ind[k]; },
+                    [](index_t k) { return k; },
+                    /*ascending=*/false);
+      }
+      case relation::Cursor::Kind::kStrided: {
+        const index_t* ind = cur.ind;
+        const index_t base = cur.base;
+        const index_t stride = cur.stride;
+        return bulk([=](index_t k) { return ind[base + k * stride]; },
+                    [=](index_t k) { return base + k * stride; },
+                    /*ascending=*/false);
+      }
+      case relation::Cursor::Kind::kOffsets: {
+        const index_t* ind = cur.ind;
+        const index_t* off = cur.off;
+        const index_t base = cur.base;
+        return bulk([=](index_t k) { return ind[off[k] + base]; },
+                    [=](index_t k) { return off[k] + base; },
+                    /*ascending=*/false);
+      }
+      case relation::Cursor::Kind::kBuffered: {
+        const relation::IndexPos* buf = cur.buf;
+        return bulk([buf](index_t k) { return buf[k].idx; },
+                    [buf](index_t k) { return buf[k].pos; },
+                    /*ascending=*/false);
+      }
+      case relation::Cursor::Kind::kSingleton:
+        return false;  // one element: the per-element path is already tight
+    }
+    return false;
+  }
+};
+
 template <class Sink>
 void LinkedRunner::drain_enumerate_leaf(std::size_t d, LocalCounters& c,
                                         Sink&& sink) {
+  if constexpr (requires { sink.try_bulk(d, c); }) {
+    if (sink.try_bulk(d, c)) return;
+  }
   Frame& f = frames_[d];
   const LinkedLevel& lv = lp_.levels[d];
   relation::Cursor& cur = f.cursors[0];
@@ -446,23 +724,9 @@ void LinkedRunner::run(const LinkedMac& mac, RunStats* stats) {
     mac_pslots_.push_back(static_cast<std::size_t>(lp_.leaf_slot[f.slot]));
   const std::size_t tslot =
       static_cast<std::size_t>(lp_.leaf_slot[mac.target_slot]);
+  prepare_bulk(mac);
   traced(lp_, stats, [&](RunStats* st) {
-    run_impl(
-        [&] {
-          value_t prod = mac.scale;
-          for (std::size_t i = 0; i < mac.factors.size(); ++i) {
-            const LinkedMac::Factor& f = mac.factors[i];
-            const index_t p = pos_[mac_pslots_[i]];
-            prod *= f.data.empty() ? f.view->value_at(p)
-                                   : f.data[static_cast<std::size_t>(p)];
-          }
-          const index_t tp = pos_[tslot];
-          if (mac.target_data.empty())
-            mac.target->value_add(tp, prod);
-          else
-            mac.target_data[static_cast<std::size_t>(tp)] += prod;
-        },
-        st);
+    run_impl(MacSink{*this, mac, tslot}, st);
   });
 }
 
@@ -612,26 +876,15 @@ void ParallelRunner::run(const LinkedMac& mac, RunStats* stats) {
   run_parallel(
       [&](LinkedRunner& r) {
         // Per-worker copy of the serial mac fast path: operand leaf slots
-        // resolved once per run, pos_ read directly per tuple.
-        std::vector<std::size_t> pslots;
+        // and the bulk-drain plan resolved once per run per worker.
+        r.mac_pslots_.clear();
         for (const LinkedMac::Factor& f : mac.factors)
-          pslots.push_back(static_cast<std::size_t>(r.lp_.leaf_slot[f.slot]));
+          r.mac_pslots_.push_back(
+              static_cast<std::size_t>(r.lp_.leaf_slot[f.slot]));
         const std::size_t tslot =
             static_cast<std::size_t>(r.lp_.leaf_slot[mac.target_slot]);
-        return [&r, &mac, pslots = std::move(pslots), tslot] {
-          value_t prod = mac.scale;
-          for (std::size_t i = 0; i < mac.factors.size(); ++i) {
-            const LinkedMac::Factor& f = mac.factors[i];
-            const index_t p = r.pos_[pslots[i]];
-            prod *= f.data.empty() ? f.view->value_at(p)
-                                   : f.data[static_cast<std::size_t>(p)];
-          }
-          const index_t tp = r.pos_[tslot];
-          if (mac.target_data.empty())
-            mac.target->value_add(tp, prod);
-          else
-            mac.target_data[static_cast<std::size_t>(tp)] += prod;
-        };
+        r.prepare_bulk(mac);
+        return LinkedRunner::MacSink{r, mac, tslot};
       },
       stats);
 }

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "compiler/link.hpp"
+#include "compiler/specialize.hpp"
 #include "support/json_writer.hpp"
 
 namespace bernoulli::compiler {
@@ -114,6 +115,9 @@ std::string explain(const Plan& plan, const Query& q) {
   const ParallelLegality leg = plan_parallel_legality(plan, q);
   os << "parallel: " << (leg.ok ? "" : "serial fallback — ") << leg.note
      << "\n";
+  const SpecializeLegality spec = plan_specialize_legality(plan, q);
+  os << "specialize: " << (spec.ok ? "" : "linked fallback — ") << spec.note
+     << "\n";
   return os.str();
 }
 
@@ -142,6 +146,11 @@ std::string explain_json(const Plan& plan, const Query& q, int indent) {
   w.key("parallel").begin_object();
   w.key("ok").value(leg.ok);
   w.key("note").value(leg.note);
+  w.end_object();
+  const SpecializeLegality spec = plan_specialize_legality(plan, q);
+  w.key("specialize").begin_object();
+  w.key("ok").value(spec.ok);
+  w.key("note").value(spec.note);
   w.end_object();
   w.end_object();
   return w.str();

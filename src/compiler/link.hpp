@@ -112,6 +112,18 @@ LinkedMac link_mac(const relation::Query& q, index_t target_rel,
                    const std::vector<index_t>& factor_rels,
                    value_t scale = 1.0);
 
+/// Process-wide toggle for the bulk leaf-range drain (exec_linked.cpp):
+/// when the leaf level of a run(LinkedMac) plan enumerates a flat cursor
+/// range and every leaf probe provably hits, the whole range streams
+/// through one tight multiply-accumulate loop instead of per-element
+/// probe resolution. Outputs, executor.* counter deltas, fan-out
+/// histograms and per-level stats are bitwise-identical either way (the
+/// differential sweep in tests/exec_linked_test.cpp enforces it); the
+/// toggle exists so tests and ablations can compare the two paths.
+/// Default: enabled.
+void set_bulk_drain(bool enabled);
+bool bulk_drain_enabled();
+
 /// Runs a LinkedPlan. Owns all executor scratch (frames, cursor buffers,
 /// merge state, local counter blocks), reused across runs — after the
 /// first run of a given plan, steady state performs no heap allocation.
@@ -178,6 +190,31 @@ class LinkedRunner {
   bool resolve_probes(const LinkedLevel& lv, LocalCounters& c);
   void flush(const LocalCounters& c, RunStats* stats);
 
+  // --- Bulk leaf-range drain (run(LinkedMac) only) -------------------
+  // One mac operand's leaf position, classified against the leaf level:
+  // constant across the drain (bound at an outer level), the driver's own
+  // position, or derived from the bound index through an identity/affine
+  // probe. Resolved once per run; the per-invocation bases (kConst slot
+  // reads, kAffine parent*stride) are refreshed inside try_bulk.
+  struct BulkOp {
+    enum class Src : unsigned char { kConst, kDriver, kIdentity, kAffine };
+    Src src = Src::kConst;
+    const value_t* data = nullptr;  // factor value array (target: unused)
+    std::size_t slot = 0;           // kConst: pos_ slot read per invocation
+    index_t stride = 0;             // kAffine
+    int parent_slot = -1;           // kAffine
+    // Per-invocation flattened form: pos = base + mp*driver_pos + mi*idx.
+    index_t base = 0;
+    index_t mp = 0;
+    index_t mi = 0;
+  };
+  // The run(LinkedMac) sink: per-element multiply-accumulate plus the
+  // try_bulk hook drain_enumerate_leaf detects. Defined in exec_linked.cpp
+  // (local to the engine); ParallelRunner builds one per worker.
+  struct MacSink;
+  // Classifies the mac against the leaf level and fills bulk_* members.
+  void prepare_bulk(const LinkedMac& mac);
+
   LinkedPlan lp_;
   std::vector<index_t> vars_;
   std::vector<index_t> pos_;
@@ -186,6 +223,13 @@ class LinkedRunner {
   // run(LinkedMac) scratch: each operand's resolved leaf position slot.
   // Member (not a local) so repeated runs reuse the capacity.
   std::vector<std::size_t> mac_pslots_;
+  // Bulk-drain plan (prepare_bulk): factor operand forms in factor order,
+  // the target's form, and the two eligibility verdicts. Members so
+  // steady-state runs allocate nothing.
+  std::vector<BulkOp> bulk_ops_;
+  BulkOp bulk_target_;
+  bool bulk_ok_ = false;      // leaf level + operands admit bulk drains
+  bool bulk_acc_ok_ = false;  // target constant and alias-free: cache it
   // Per-level local fan-out buckets, flushed to the registry histograms
   // once per run (kBuckets wide, see support/histogram.hpp).
   std::vector<std::vector<long long>> fanout_local_;

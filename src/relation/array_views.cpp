@@ -42,6 +42,14 @@ class DenseIntervalLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kDense;
+    e.extent = extent_;
+    e.stride = 0;  // pos = k for every parent
+    return e;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -108,6 +116,16 @@ class CompressedLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kSegmented;
+    e.ptr = ptr_.data();
+    e.ind = ind_.data();
+    e.ptr_len = static_cast<index_t>(ptr_.size());
+    e.ind_len = static_cast<index_t>(ind_.size());
+    return e;
+  }
+
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = " + ptr_name_ + "[" + parent + "]; " + pos +
@@ -172,6 +190,15 @@ class SortedListLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kList;
+    e.ind = list_.data();
+    e.extent = static_cast<index_t>(list_.size());
+    e.ind_len = e.extent;
+    return e;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = 0; " + pos + " < " +
@@ -228,6 +255,14 @@ class FunctionLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kFunction;
+    e.map = map_.data();
+    e.map_len = static_cast<index_t>(map_.size());
+    return e;
+  }
+
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "{ const int " + idx + " = " + map_name_ + "[" + parent +
@@ -280,6 +315,14 @@ class DenseMatrixInnerLevel final : public IndexLevel {
     s.extent = cols_;
     s.stride = cols_;
     return s;
+  }
+
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kDense;
+    e.extent = cols_;
+    e.stride = cols_;  // pos = parent*cols + k
+    return e;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

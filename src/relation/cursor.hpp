@@ -90,6 +90,46 @@ struct Cursor {
   }
 };
 
+/// Flat description of a level's ENUMERATION method, independent of the
+/// parent position — the static counterpart of begin_cursor. Where a
+/// Cursor describes one invocation (children of one concrete parent), an
+/// EnumSpec describes the iteration RULE for every parent at once: which
+/// arrays drive it, how positions derive from the loop counter, and how
+/// large the backing arrays are. The specializing code generator
+/// (compiler/emit_standalone.hpp) renders each kind as a C for-loop and
+/// uses the array extents for whole-structure index scans (always-hit
+/// probe proofs). kNone means the level has no flat enumeration shape and
+/// specialization must fall back to the linked engine.
+struct EnumSpec {
+  enum class Kind : unsigned char {
+    kNone,       // no flat description: reject specialization
+    kDense,      // k in [0, extent):      idx = k, pos = parent*stride + k
+    kSegmented,  // p in [ptr[parent], ptr[parent+1]): idx = ind[p], pos = p
+    kList,       // p in [0, extent):      idx = ind[p], pos = p
+    kFunction,   // the single child:      idx = map[parent], pos = parent
+    kStrided,    // k in [0, len[parent]): pos = parent + k*stride,
+                 //                        idx = ind[pos]         (ELLPACK)
+    kOffsets,    // k in [0, len[parent]): pos = off[k] + parent,
+                 //                        idx = ind[pos]         (JDS)
+  };
+
+  Kind kind = Kind::kNone;
+  index_t extent = 0;  // kDense / kList loop bound
+  index_t stride = 0;  // kDense pos stride (0: pos = k) / kStrided stride
+  const index_t* ptr = nullptr;  // kSegmented
+  const index_t* ind = nullptr;  // kSegmented / kList / kStrided / kOffsets
+  const index_t* off = nullptr;  // kOffsets
+  const index_t* len = nullptr;  // kStrided / kOffsets per-parent count
+  const index_t* map = nullptr;  // kFunction
+  // Element counts of the backing arrays (for baking and for specialize-
+  // time min/max scans over every index the structure can enumerate).
+  index_t ind_len = 0;
+  index_t ptr_len = 0;
+  index_t off_len = 0;
+  index_t len_len = 0;
+  index_t map_len = 0;
+};
+
 /// Flat description of a level's search method, independent of the parent
 /// position (the arrays backing a level are fixed; only the segment bounds
 /// move with the parent). Lowered once per probe at link time.

@@ -38,6 +38,14 @@ class EllRowLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kDense;
+    e.extent = rows_;
+    e.stride = 0;
+    return e;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -94,6 +102,19 @@ class EllColLevel final : public IndexLevel {
     c.base = parent;
     c.stride = m_.rows();
     c.end = m_.rownnz()[static_cast<std::size_t>(parent)];
+  }
+
+  // The padding slots beyond rownnz hold column 0 (from_coo zero-fills),
+  // so whole-array index scans over COLIND stay within [0, cols).
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kStrided;
+    e.ind = m_.colind().data();
+    e.len = m_.rownnz().data();
+    e.stride = m_.rows();
+    e.ind_len = static_cast<index_t>(m_.colind().size());
+    e.len_len = static_cast<index_t>(m_.rownnz().size());
+    return e;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

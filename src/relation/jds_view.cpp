@@ -38,6 +38,14 @@ class JdsRowLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kDense;
+    e.extent = rows_;
+    e.stride = 0;
+    return e;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -98,6 +106,18 @@ class JdsColLevel final : public IndexLevel {
     c.off = m_.jdptr().data();
     c.base = parent;
     c.end = rowlen_[static_cast<std::size_t>(parent)];
+  }
+
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kOffsets;
+    e.ind = m_.colind().data();
+    e.off = m_.jdptr().data();
+    e.len = rowlen_.data();
+    e.ind_len = static_cast<index_t>(m_.colind().size());
+    e.off_len = static_cast<index_t>(m_.jdptr().size());
+    e.len_len = static_cast<index_t>(rowlen_.size());
+    return e;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

@@ -48,6 +48,15 @@ class SparseVectorLevel final : public IndexLevel {
     return s;
   }
 
+  EnumSpec enum_spec() const override {
+    EnumSpec e;
+    e.kind = EnumSpec::Kind::kList;
+    e.ind = ind_.data();
+    e.extent = static_cast<index_t>(ind_.size());
+    e.ind_len = e.extent;
+    return e;
+  }
+
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = 0; " + pos + " < " +

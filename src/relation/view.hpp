@@ -80,6 +80,11 @@ class IndexLevel {
   /// (probe through IndexLevel::search).
   virtual SearchSpec search_spec() const { return {}; }
 
+  /// Flat enumeration descriptor, valid for every parent — what the
+  /// specializing code generator compiles into a C loop. Default: kNone
+  /// (no flat shape; specialization falls back to the linked engine).
+  virtual EnumSpec enum_spec() const { return {}; }
+
   // --- Codegen hooks -------------------------------------------------
   // The compiler's emitter materializes a plan as C-like source; each
   // access method renders its own enumeration loop header and search

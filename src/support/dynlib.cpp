@@ -1,0 +1,81 @@
+#include "support/dynlib.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define BERNOULLI_HAVE_DLOPEN 1
+#include <dlfcn.h>
+#endif
+
+namespace bernoulli::support {
+
+DynLib::~DynLib() { close(); }
+
+DynLib::DynLib(DynLib&& other) noexcept
+    : handle_(other.handle_), error_(std::move(other.error_)) {
+  other.handle_ = nullptr;
+}
+
+DynLib& DynLib::operator=(DynLib&& other) noexcept {
+  if (this != &other) {
+    close();
+    handle_ = other.handle_;
+    error_ = std::move(other.error_);
+    other.handle_ = nullptr;
+  }
+  return *this;
+}
+
+bool DynLib::available() {
+#ifdef BERNOULLI_HAVE_DLOPEN
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool DynLib::open(const std::string& path) {
+  close();
+#ifdef BERNOULLI_HAVE_DLOPEN
+  handle_ = ::dlopen(path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (handle_ == nullptr) {
+    const char* msg = ::dlerror();
+    error_ = msg != nullptr ? msg : "dlopen failed";
+    return false;
+  }
+  error_.clear();
+  return true;
+#else
+  error_ = "dynamic loading unavailable on this platform";
+  (void)path;
+  return false;
+#endif
+}
+
+void* DynLib::symbol(const std::string& name) {
+#ifdef BERNOULLI_HAVE_DLOPEN
+  if (handle_ == nullptr) {
+    error_ = "library not open";
+    return nullptr;
+  }
+  ::dlerror();  // clear stale state: a symbol may legitimately be null
+  void* addr = ::dlsym(handle_, name.c_str());
+  const char* msg = ::dlerror();
+  if (msg != nullptr) {
+    error_ = msg;
+    return nullptr;
+  }
+  return addr;
+#else
+  error_ = "dynamic loading unavailable on this platform";
+  (void)name;
+  return nullptr;
+#endif
+}
+
+void DynLib::close() {
+#ifdef BERNOULLI_HAVE_DLOPEN
+  if (handle_ != nullptr) ::dlclose(handle_);
+#endif
+  handle_ = nullptr;
+}
+
+}  // namespace bernoulli::support

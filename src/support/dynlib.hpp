@@ -1,0 +1,41 @@
+// Minimal RAII wrapper over dlopen/dlsym/dlclose, for loading runtime-
+// specialized kernels (compiler/specialize.hpp). On platforms without
+// <dlfcn.h> the wrapper compiles but available() is false and open()
+// always fails with a note — callers fall back to the linked engine.
+#pragma once
+
+#include <string>
+
+namespace bernoulli::support {
+
+class DynLib {
+ public:
+  DynLib() = default;
+  ~DynLib();
+
+  DynLib(const DynLib&) = delete;
+  DynLib& operator=(const DynLib&) = delete;
+  DynLib(DynLib&& other) noexcept;
+  DynLib& operator=(DynLib&& other) noexcept;
+
+  /// Whether this build can load shared objects at all.
+  static bool available();
+
+  /// Loads `path` (RTLD_NOW | RTLD_LOCAL). On failure returns false and
+  /// leaves the loader's message in error().
+  bool open(const std::string& path);
+
+  /// Resolves `name` to a function/object address, or nullptr (error()
+  /// explains). Valid only while the library stays open.
+  void* symbol(const std::string& name);
+
+  void close();
+  bool is_open() const { return handle_ != nullptr; }
+  const std::string& error() const { return error_; }
+
+ private:
+  void* handle_ = nullptr;
+  std::string error_;
+};
+
+}  // namespace bernoulli::support

@@ -8,10 +8,17 @@
 #include <fstream>
 #include <sstream>
 
+#include <map>
+
 #include "compiler/emit_standalone.hpp"
+#include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
+#include "compiler/specialize.hpp"
+#include "formats/ccs.hpp"
 #include "formats/csr.hpp"
 #include "formats/sparse_vector.hpp"
+#include "support/counters.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 
 namespace bernoulli::compiler {
@@ -138,6 +145,122 @@ TEST(EmitCompile, SparseVectorProbeRunsAndMatches) {
   ASSERT_EQ(got->size(), y.size());
   for (std::size_t i = 0; i < y.size(); ++i)
     ASSERT_NEAR((*got)[i], y[i], 1e-14) << "row " << i;
+}
+
+// ---- LinkedPlan emission round-trip ---------------------------------
+// emit_linked_c → system cc → dlopen → run, diffed against the serial
+// linked engine under the full observability contract: bitwise outputs,
+// identical executor.* counter deltas, identical fan-out histogram
+// deltas, identical per-level stats. This is the same reconciliation
+// bench_table2_executor --engine=specialized --check enforces.
+
+std::map<std::string, long long> exec_delta(
+    const support::CountersSnapshot& before,
+    const support::CountersSnapshot& after) {
+  std::map<std::string, long long> d;
+  for (const auto& [name, v] : after.counts) {
+    if (name.rfind("executor.", 0) != 0) continue;
+    long long b = 0;
+    if (auto it = before.counts.find(name); it != before.counts.end())
+      b = it->second;
+    if (v != b) d[name] = v - b;
+  }
+  return d;
+}
+
+std::map<std::string, std::vector<long long>> fanout_delta(
+    const std::map<std::string, std::vector<long long>>& before,
+    const std::map<std::string, std::vector<long long>>& after) {
+  std::map<std::string, std::vector<long long>> d;
+  for (const auto& [name, buckets] : after) {
+    if (name.rfind("executor.fanout.", 0) != 0) continue;
+    std::vector<long long> delta = buckets;
+    if (auto it = before.find(name); it != before.end())
+      for (std::size_t i = 0; i < delta.size() && i < it->second.size(); ++i)
+        delta[i] -= it->second[i];
+    bool any = false;
+    for (long long v : delta) any = any || v != 0;
+    if (any) d[name] = std::move(delta);
+  }
+  return d;
+}
+
+void linked_roundtrip(bool use_ccs) {
+  const index_t rows = 19, cols = 23;
+  SplitMix64 rng(use_ccs ? 8 : 7);
+  TripletBuilder tb(rows, cols);
+  for (int k = 0; k < 110; ++k)
+    tb.add(rng.next_index(rows), rng.next_index(cols),
+           rng.next_double(-1, 1));
+  Coo coo = std::move(tb).build();
+  Csr csr = Csr::from_coo(coo);
+  formats::Ccs ccs = formats::Ccs::from_coo(coo);
+
+  Vector x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(rows), 0.0);
+
+  Bindings b;
+  if (use_ccs)
+    b.bind_ccs("A", ccs);
+  else
+    b.bind_csr("A", csr);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", rows}, {"j", cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  LinkedPlan lp = link_plan(k.plan(), k.query());
+  LinkedMac mac = link_mac(k.query(), 1, {2, 3});
+
+  // Reference: serial linked engine.
+  auto hb_ref = support::histograms_snapshot();
+  auto cb_ref = support::counters_snapshot();
+  RunStats ref_stats;
+  LinkedRunner runner(link_plan(k.plan(), k.query()));
+  runner.run(mac, &ref_stats);
+  auto ref_delta = exec_delta(cb_ref, support::counters_snapshot());
+  auto ref_fanout = fanout_delta(hb_ref, support::histograms_snapshot());
+  Vector y_ref = y;
+
+  // The kernel borrows lp and mac; both outlive it here.
+  SpecializedKernel spec(lp, mac);
+  if (!spec.ok())
+    GTEST_SKIP() << "specialization unavailable: " << spec.note();
+  EXPECT_NE(spec.source().find("bernoulli_specialized_kernel"),
+            std::string::npos);
+
+  std::fill(y.begin(), y.end(), 0.0);
+  auto hb = support::histograms_snapshot();
+  auto cb = support::counters_snapshot();
+  RunStats spec_stats;
+  spec.run(&spec_stats);
+  EXPECT_EQ(ref_delta, exec_delta(cb, support::counters_snapshot()));
+  EXPECT_EQ(ref_fanout, fanout_delta(hb, support::histograms_snapshot()));
+  EXPECT_EQ(ref_stats.tuples, spec_stats.tuples);
+  ASSERT_EQ(ref_stats.levels.size(), spec_stats.levels.size());
+  for (std::size_t d = 0; d < ref_stats.levels.size(); ++d) {
+    EXPECT_EQ(ref_stats.levels[d].enumerated, spec_stats.levels[d].enumerated)
+        << "level " << d;
+    EXPECT_EQ(ref_stats.levels[d].produced, spec_stats.levels[d].produced)
+        << "level " << d;
+  }
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], y_ref[i]) << "row " << i;  // bitwise
+
+  // Repeat runs through the cached .so stay stable.
+  std::fill(y.begin(), y.end(), 0.0);
+  spec.run();
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], y_ref[i]);
+}
+
+TEST(LinkedEmission, CsrRoundTripMatchesLinkedEngine) {
+  linked_roundtrip(/*use_ccs=*/false);
+}
+
+TEST(LinkedEmission, CcsRoundTripMatchesLinkedEngine) {
+  linked_roundtrip(/*use_ccs=*/true);
 }
 
 }  // namespace

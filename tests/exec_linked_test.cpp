@@ -469,6 +469,84 @@ INSTANTIATE_TEST_SUITE_P(AllStorages, ParallelSweep,
                            return os.str();
                          });
 
+// ---- Bulk leaf-range drains: fused loop vs per-tuple callbacks ------
+
+// The bulk path (set_bulk_drain(true), the default) streams a contiguous
+// leaf range into the accumulate as one fused loop. The contract is the
+// same as everywhere else in this file: against the per-tuple path it
+// must be bitwise-identical in outputs AND indistinguishable in every
+// observable — executor.* counter deltas, fan-out histogram deltas and
+// per-level enumerated/produced totals, because the bulk booking settles
+// probe hits from the enumerated index range instead of per element.
+class BulkDrainSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(BulkDrainSweep, BulkPathIndistinguishableFromPerTuple) {
+  const Case& c = GetParam();
+  SplitMix64 rng(c.seed);
+  Coo coo = random_matrix(c.rows, c.cols, c.nnz, c.seed);
+
+  Vector x(static_cast<std::size_t>(c.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(c.rows), 0.0);
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Ccs ccs = formats::Ccs::from_coo(coo);
+  formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Dense dm = formats::Dense::from_coo(coo);
+  relation::CsrView csr_base("A", csr);
+  relation::HashIndexedView hashed(csr_base, 1);
+
+  Bindings b;
+  switch (c.storage) {
+    case Storage::kCsr: b.bind_csr("A", csr); break;
+    case Storage::kCcs: b.bind_ccs("A", ccs); break;
+    case Storage::kCoo: b.bind_coo("A", coo); break;
+    case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
+    case Storage::kCsrHashed:
+      b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
+      break;
+  }
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+
+  LoopNest nest{{{"i", c.rows}, {"j", c.cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  // Reference: per-tuple callbacks, bulk drains disabled.
+  set_bulk_drain(false);
+  auto hb_slow = support::histograms_snapshot();
+  EngineRun slow = run_linked_mac(k.plan(), k.query(), target, factors);
+  auto slow_fanout =
+      fanout_delta(hb_slow, support::histograms_snapshot());
+  Vector y_slow = y;
+
+  // Bulk drains back on (the process default) before any assertion can
+  // bail out of the test body.
+  set_bulk_drain(true);
+  std::fill(y.begin(), y.end(), 0.0);
+  auto hb_fast = support::histograms_snapshot();
+  EngineRun fast = run_linked_mac(k.plan(), k.query(), target, factors);
+  expect_same_work(slow, fast);
+  EXPECT_EQ(slow_fanout,
+            fanout_delta(hb_fast, support::histograms_snapshot()));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], y_slow[i]) << "row " << i;  // bitwise
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorages, BulkDrainSweep,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           const Case& c = info.param;
+                           std::ostringstream os;
+                           os << storage_name(c.storage) << "_" << c.rows
+                              << "x" << c.cols << "_nnz" << c.nnz;
+                           return os.str();
+                         });
+
 // A row-major matvec plan must actually fan out, and the merge-join test
 // above (merge at the INNER level) stays legal — only an outer merge is
 // disqualifying.

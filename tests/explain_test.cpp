@@ -149,7 +149,9 @@ TEST(Explain, GoldenCsrMatvecText) {
       "  probe  X[0] binds j  (dense, sorted, search O(1), E[n]=3)\n"
       "  est 1.66667 bindings, cost 5 per outer iteration\n"
       "parallel: outer level i chunked across threads (disjoint output "
-      "rows)\n";
+      "rows)\n"
+      "specialize: every level enumerates a flat shape and every probe "
+      "lowers to inline checks or binary searches\n";
   EXPECT_EQ(k.explain(), golden);
 
   std::string j = k.explain_json();
