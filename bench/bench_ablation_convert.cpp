@@ -11,6 +11,7 @@
 #include <functional>
 #include <iostream>
 
+#include "common.hpp"
 #include "formats/formats.hpp"
 #include "support/text_table.hpp"
 #include "support/timer.hpp"
@@ -34,9 +35,8 @@ double once_seconds(const std::function<void()>& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bernoulli::support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i)
-    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  auto opts = bernoulli::bench::Options::parse(argc, argv);
+  bernoulli::support::ObsOptions& obs = opts.obs;
   bernoulli::support::obs_begin(obs);
 
   std::cout << "=== Ablation: conversion time (ms) / storage (KiB) from "
@@ -69,5 +69,6 @@ int main(int argc, char** argv) {
   // No machine runs here; the epilogue still validates the (empty) trace
   // and prints/export whatever was requested.
   bernoulli::support::obs_end(obs, 0, 0);
+  opts.finish();
   return 0;
 }

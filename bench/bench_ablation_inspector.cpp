@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
   using namespace bernoulli;
   using spmd::Variant;
 
-  support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
+  auto opts = bench::Options::parse(argc, argv);
+  support::ObsOptions& obs = opts.obs;
 
   std::cout << "=== Ablation: inspector communication volume vs N ===\n"
             << "(P = 8; modeled bytes moved by the whole inspector phase, "
@@ -63,5 +63,6 @@ int main(int argc, char** argv) {
                "(surface); the Chaos table\nadds volume proportional to N "
                "— the structural point of Table 3.\n";
   support::obs_end(obs, commstats_messages, commstats_bytes);
+  opts.finish();
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <functional>
 #include <iostream>
 
+#include "common.hpp"
 #include "compiler/loopnest.hpp"
 #include "formats/formats.hpp"
 #include "formats/sparse_vector.hpp"
@@ -44,9 +45,8 @@ double best_seconds(const std::function<void()>& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bernoulli::support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i)
-    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  auto opts = bernoulli::bench::Options::parse(argc, argv);
+  bernoulli::support::ObsOptions& obs = opts.obs;
   bernoulli::support::obs_begin(obs);
 
   std::cout << "=== Ablation: merge join vs index-nested-loop probing ===\n"
@@ -122,5 +122,6 @@ int main(int argc, char** argv) {
   // No machine runs here; the epilogue still validates the (empty) trace
   // and prints/export whatever was requested.
   bernoulli::support::obs_end(obs, 0, 0);
+  opts.finish();
   return 0;
 }

@@ -13,6 +13,7 @@
 #include <functional>
 #include <iostream>
 
+#include "common.hpp"
 #include "formats/formats.hpp"
 #include "support/rng.hpp"
 #include "support/trace_cli.hpp"
@@ -50,9 +51,8 @@ double rate(const formats::Coo& a, formats::Kind k) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bernoulli::support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i)
-    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  auto opts = bernoulli::bench::Options::parse(argc, argv);
+  bernoulli::support::ObsOptions& obs = opts.obs;
   bernoulli::support::obs_begin(obs);
 
   std::cout << "=== Ablation: RCM ordering x storage format ===\n"
@@ -90,5 +90,6 @@ int main(int argc, char** argv) {
   // No machine runs here; the epilogue still validates the (empty) trace
   // and prints/export whatever was requested.
   bernoulli::support::obs_end(obs, 0, 0);
+  opts.finish();
   return 0;
 }

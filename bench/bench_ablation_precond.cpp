@@ -12,6 +12,7 @@
 #include <functional>
 #include <iostream>
 
+#include "common.hpp"
 #include "solvers/cg.hpp"
 #include "solvers/ic.hpp"
 #include "support/rng.hpp"
@@ -21,9 +22,8 @@
 #include "workloads/grid.hpp"
 
 int main(int argc, char** argv) {
-  bernoulli::support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i)
-    (void)bernoulli::support::obs_parse_flag(argv[i], obs);
+  auto opts = bernoulli::bench::Options::parse(argc, argv);
+  bernoulli::support::ObsOptions& obs = opts.obs;
   bernoulli::support::obs_begin(obs);
 
   using namespace bernoulli;
@@ -80,5 +80,6 @@ int main(int argc, char** argv) {
   // No machine runs here; the epilogue still validates the (empty) trace
   // and prints/export whatever was requested.
   bernoulli::support::obs_end(obs, 0, 0);
+  opts.finish();
   return 0;
 }

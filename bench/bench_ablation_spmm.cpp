@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "blas/spmm.hpp"
+#include "common.hpp"
 #include "distrib/distribution.hpp"
 #include "spmd/spmm.hpp"
 #include "support/text_table.hpp"
@@ -40,8 +41,8 @@ double best_seconds(const std::function<void()>& fn) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
+  auto opts = bench::Options::parse(argc, argv);
+  support::ObsOptions& obs = opts.obs;
 
   std::cout << "=== Ablation: SpMM vs k independent SpMVs ===\n\n";
 
@@ -118,5 +119,6 @@ int main(int argc, char** argv) {
             << "\nOne schedule, one exchange: per-RHS messages fall as 1/k; "
                "per-RHS virtual\ntime approaches the pure-bandwidth cost.\n";
   support::obs_end(obs, commstats_messages, commstats_bytes);
+  opts.finish();
   return 0;
 }

@@ -48,6 +48,17 @@
 //   --validate-exec-json=FILE   parse FILE with support/json_reader.hpp
 //                               and check the v1 schema (no measuring)
 //
+// `--metrics=<file>` (any axis) writes the serving-metrics registry as
+// Prometheus text at exit (bench::Options::finish). With --check the
+// engine axis also reconciles the serving metrics: one serial linked run
+// books exactly one execute.latency sample whose nanoseconds equal the
+// execute.wall_ns rate (same integer, same flush site) and whose model
+// bytes/flops equal the link-time PlanFootprint; threaded runs must match
+// the serial run on the deterministic subset (sample count, model
+// traffic) exactly. On the engine axis --report also carries a roofline
+// section: every measured rung's footprint/seconds against the simulated
+// machine's CostModel peaks.
+//
 // Deprecated aliases (warn once, keep working): --report=json prints the
 // PR-1 stdout report; --exec-json=FILE writes the PR-3
 // bernoulli.bench.exec.v1 snapshot (still how BENCH_exec.json is
@@ -69,8 +80,10 @@
 #include "compiler/loopnest.hpp"
 #include "compiler/specialize.hpp"
 #include "formats/ccs.hpp"
+#include "runtime/machine.hpp"
 #include "support/counters.hpp"
 #include "support/histogram.hpp"
+#include "support/metrics.hpp"
 #include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
@@ -282,6 +295,14 @@ struct EngineCase {
   // Under --check: threaded linked run reproduced the serial linked run
   // bitwise with identical executor.* and fanout deltas.
   bool thread_check_ok = true;
+  // Under --check: the serving-metrics registry reconciled across one
+  // serial linked run (latency samples == runs, hist sum == wall_ns rate,
+  // model bytes/flops == footprint).
+  bool metrics_check_ok = true;
+  // Link-time data-movement footprint of the SpMV plan (exact for these
+  // flat CSR/CCS cases); feeds the report's roofline section and the
+  // --check model-traffic reconciliation.
+  compiler::PlanFootprint footprint;
   // Planner estimates joined against one measured run (filled whenever the
   // interpreter was measured; feeds the run report's model-check table).
   compiler::Plan plan;
@@ -327,6 +348,55 @@ std::map<std::string, std::vector<long long>> fanout_delta(
   return d;
 }
 
+// Serving-metrics deltas across one run window (support/metrics.hpp), for
+// the --check reconciliations: the execute.* registry entries plus the
+// executor.runs counter they must agree with.
+struct ExecMetricsDelta {
+  long long runs = 0;     // executor.runs counter
+  long long samples = 0;  // execute.latency histogram count
+  long long sum_ns = 0;   // execute.latency histogram sum
+  long long wall_ns = 0;  // execute.wall_ns rate
+  long long bytes = 0;    // execute.model_bytes rate
+  long long flops = 0;    // execute.model_flops rate
+};
+
+ExecMetricsDelta exec_metrics_window(const support::CountersSnapshot& c0,
+                                     const support::MetricsSnapshot& m0,
+                                     const support::CountersSnapshot& c1,
+                                     const support::MetricsSnapshot& m1) {
+  auto cnt = [](const support::CountersSnapshot& s, const char* k) {
+    auto it = s.counts.find(k);
+    return it == s.counts.end() ? 0LL : it->second;
+  };
+  auto rate = [](const support::MetricsSnapshot& s, const char* k) {
+    auto it = s.rates.find(k);
+    return it == s.rates.end() ? 0LL : it->second;
+  };
+  auto lat = [](const support::MetricsSnapshot& s) {
+    auto it = s.latencies.find("execute.latency");
+    return it == s.latencies.end() ? support::LatencySnapshot{} : it->second;
+  };
+  ExecMetricsDelta d;
+  d.runs = cnt(c1, "executor.runs") - cnt(c0, "executor.runs");
+  d.samples = lat(m1).count - lat(m0).count;
+  d.sum_ns = lat(m1).sum_ns - lat(m0).sum_ns;
+  d.wall_ns = rate(m1, "execute.wall_ns") - rate(m0, "execute.wall_ns");
+  d.bytes = rate(m1, "execute.model_bytes") - rate(m0, "execute.model_bytes");
+  d.flops = rate(m1, "execute.model_flops") - rate(m0, "execute.model_flops");
+  return d;
+}
+
+// The serial-vs-threaded serving-metrics invariant: the DETERMINISTIC
+// subset must match exactly (sample count, model traffic — integer sums
+// merged in fixed shard order), and each side's histogram sum must equal
+// its own wall_ns rate (the same integer booked at the same flush site).
+// The timings themselves legitimately differ between the two runs.
+bool deterministic_metrics_match(const ExecMetricsDelta& a,
+                                 const ExecMetricsDelta& b) {
+  return a.runs == b.runs && a.samples == b.samples && a.bytes == b.bytes &&
+         a.flops == b.flops && a.sum_ns == a.wall_ns && b.sum_ns == b.wall_ns;
+}
+
 // Measures one (matrix, format) case. Engines run the same accumulation
 // y += A x on the same buffers; only the execution mechanism differs.
 EngineCase measure_engines(const std::string& label,
@@ -362,6 +432,7 @@ EngineCase measure_engines(const std::string& label,
   // compile() lays relations out as I=0, target=1, factors in order.
   const index_t target = 1;
   const std::vector<index_t> factors{2, 3};
+  out.footprint = link_plan(k.plan(), k.query()).footprint;
 
   const double budget = 0.05;
   if (want_interpreted) {
@@ -378,6 +449,30 @@ EngineCase measure_engines(const std::string& label,
     LinkedRunner runner(link_plan(k.plan(), k.query()));
     LinkedMac mac = link_mac(k.query(), target, factors);
     runner.run(mac);  // warm the cursor scratch
+    if (check) {
+      // Serving-metrics reconciliation: one run books exactly one
+      // execute.latency sample, its nanoseconds equal the execute.wall_ns
+      // rate delta (the same integer, booked at the same flush site), and
+      // the model-traffic rates advance by exactly the link-time
+      // footprint. The warm run above already registered the metrics.
+      auto c0 = support::counters_snapshot();
+      auto m0 = support::metrics_snapshot();
+      runner.run(mac);
+      const ExecMetricsDelta d =
+          exec_metrics_window(c0, m0, support::counters_snapshot(),
+                              support::metrics_snapshot());
+      out.metrics_check_ok =
+          d.runs == 1 && d.samples == d.runs && d.sum_ns == d.wall_ns &&
+          (!out.footprint.exact || (d.bytes == out.footprint.total_bytes() &&
+                                    d.flops == out.footprint.flops));
+      if (!out.metrics_check_ok)
+        std::cerr << "  [" << label << " " << out.format
+                  << " serving-metrics MISMATCH: runs=" << d.runs
+                  << " samples=" << d.samples << " sum_ns=" << d.sum_ns
+                  << " wall_ns=" << d.wall_ns << " bytes=" << d.bytes
+                  << "/" << out.footprint.total_bytes() << " flops="
+                  << d.flops << "/" << out.footprint.flops << "]\n";
+    }
     out.linked_s = bench::best_seconds([&] { runner.run(mac); }, budget);
   }
   if (want_linked && threads > 1) {
@@ -392,19 +487,29 @@ EngineCase measure_engines(const std::string& label,
       std::fill(y.begin(), y.end(), 0.0);
       auto h0 = support::histograms_snapshot();
       auto c0 = support::counters_snapshot();
+      auto m0 = support::metrics_snapshot();
       serial.run(mac);
-      const auto serial_counters = exec_delta(c0, support::counters_snapshot());
+      auto c1 = support::counters_snapshot();
+      auto m1 = support::metrics_snapshot();
+      const auto serial_counters = exec_delta(c0, c1);
       const auto serial_fanout = fanout_delta(h0, support::histograms_snapshot());
+      const ExecMetricsDelta serial_metrics =
+          exec_metrics_window(c0, m0, c1, m1);
       Vector y_serial = y;
 
       std::fill(y.begin(), y.end(), 0.0);
       h0 = support::histograms_snapshot();
       c0 = support::counters_snapshot();
+      m0 = support::metrics_snapshot();
       runner.run(mac);
+      c1 = support::counters_snapshot();
+      m1 = support::metrics_snapshot();
       out.thread_check_ok =
-          serial_counters == exec_delta(c0, support::counters_snapshot()) &&
+          serial_counters == exec_delta(c0, c1) &&
           serial_fanout == fanout_delta(h0, support::histograms_snapshot()) &&
-          y == y_serial;
+          y == y_serial &&
+          deterministic_metrics_match(serial_metrics,
+                                      exec_metrics_window(c0, m0, c1, m1));
       if (!out.thread_check_ok)
         std::cerr << "  [" << label << " " << out.format << " threads="
                   << threads << " MISMATCH vs serial linked]\n";
@@ -432,21 +537,30 @@ EngineCase measure_engines(const std::string& label,
         std::fill(y.begin(), y.end(), 0.0);
         auto h0 = support::histograms_snapshot();
         auto c0 = support::counters_snapshot();
+        auto m0 = support::metrics_snapshot();
         serial.run(mac);
-        const auto serial_counters =
-            exec_delta(c0, support::counters_snapshot());
+        auto c1 = support::counters_snapshot();
+        auto m1 = support::metrics_snapshot();
+        const auto serial_counters = exec_delta(c0, c1);
         const auto serial_fanout =
             fanout_delta(h0, support::histograms_snapshot());
+        const ExecMetricsDelta serial_metrics =
+            exec_metrics_window(c0, m0, c1, m1);
         Vector y_serial = y;
 
         std::fill(y.begin(), y.end(), 0.0);
         h0 = support::histograms_snapshot();
         c0 = support::counters_snapshot();
+        m0 = support::metrics_snapshot();
         spec.run();
+        c1 = support::counters_snapshot();
+        m1 = support::metrics_snapshot();
         out.specialized_check_ok =
-            serial_counters == exec_delta(c0, support::counters_snapshot()) &&
+            serial_counters == exec_delta(c0, c1) &&
             serial_fanout == fanout_delta(h0, support::histograms_snapshot()) &&
-            y == y_serial;
+            y == y_serial &&
+            deterministic_metrics_match(serial_metrics,
+                                        exec_metrics_window(c0, m0, c1, m1));
         if (!out.specialized_check_ok)
           std::cerr << "  [" << label << " " << out.format
                     << " specialized MISMATCH vs serial linked]\n";
@@ -604,6 +718,7 @@ int run_engines(const std::string& which, bool small, bool check,
   bool check_ok = true;
   bool thread_check_ok = true;
   bool specialized_check_ok = true;
+  bool metrics_check_ok = true;
   bool any_specialized = false;
   // Threaded scaling on the LARGEST measured CRS case (the acceptance
   // target: >= 2.5x at 4 threads on the full Table-2 sweep).
@@ -670,6 +785,7 @@ int run_engines(const std::string& which, bool small, bool check,
     ratio(c.linked_s, c.kernel_s);
     thread_check_ok = thread_check_ok && c.thread_check_ok;
     specialized_check_ok = specialized_check_ok && c.specialized_check_ok;
+    metrics_check_ok = metrics_check_ok && c.metrics_check_ok;
     any_specialized = any_specialized || c.specialized_s > 0;
   }
   std::cout << table.str()
@@ -727,6 +843,30 @@ int run_engines(const std::string& which, bool small, bool check,
       if (c.have_stats)
         report.add_model_check(c.matrix + "." + c.format,
                                analysis::model_check(c.plan, c.stats));
+      // Roofline: every measured rung positioned against the simulated
+      // machine's peaks (runtime::CostModel), with the link-time
+      // footprint as the per-run traffic/work model. The same bytes for
+      // every rung — they run the same plan on the same data; only the
+      // seconds (and hence achieved bandwidth) differ.
+      const runtime::CostModel cost;
+      auto roof = [&](const std::string& name, double s) {
+        if (s <= 0) return;
+        analysis::RooflineEntry e;
+        e.name = base + "." + name;
+        e.bytes = c.footprint.total_bytes();
+        e.flops = c.footprint.flops;
+        e.seconds = s;
+        e.peak_bytes_per_s = cost.bytes_per_s;
+        e.peak_flops_per_s = cost.flops_per_s;
+        e.exact = c.footprint.exact;
+        report.add_roofline(e);
+      };
+      roof("interpreted", c.interpreted_s);
+      roof("linked", c.linked_s);
+      roof("specialized", c.specialized_s);
+      roof("kernel", c.kernel_s);
+      roof("linked" + tsuf, c.linked_t_s);
+      roof("kernel" + tsuf, c.kernel_t_s);
     }
     report.write(report_path);
   }
@@ -746,7 +886,17 @@ int run_engines(const std::string& which, bool small, bool check,
                    "the serial linked run (outputs/counters/histograms)\n";
       return 1;
     }
+    if (!metrics_check_ok) {
+      std::cerr << "CHECK FAILED: serving metrics did not reconcile "
+                   "(execute.latency samples vs executor.runs, histogram "
+                   "sum vs execute.wall_ns, model bytes/flops vs the "
+                   "link-time footprint)\n";
+      return 1;
+    }
     std::cerr << "check ok: linked faster than interpreted on every case\n";
+    std::cerr << "check ok: serving metrics reconcile (latency samples == "
+                 "runs, hist sum == wall_ns rate, model traffic == "
+                 "footprint)\n";
     if (any_specialized)
       std::cerr << "check ok: specialized kernel bitwise-identical to the "
                    "serial linked engine with reconciling counters/"
@@ -825,41 +975,38 @@ int run_validate_exec_json(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  support::ObsOptions obs;
-  bool small = false;
-  bool check = false;
-  int threads = 0;
-  std::string engine;
+  // Shared flags (observability, --metrics, --engine/--threads/--small/
+  // --check) parse once in bench::Options; this tool's own flags come out
+  // of opts.rest.
+  auto opts = bench::Options::parse(argc, argv);
   std::string exec_json;
   std::string validate_json;
-  for (int i = 1; i < argc; ++i) {
-    if (support::obs_parse_flag(argv[i], obs)) continue;
-    if (std::strncmp(argv[i], "--engine=", 9) == 0) engine = argv[i] + 9;
-    if (std::strcmp(argv[i], "--small") == 0) small = true;
-    if (std::strcmp(argv[i], "--check") == 0) check = true;
-    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
-      if (threads < 1) {
-        std::cerr << "bad --threads value: " << argv[i] + 10 << "\n";
-        return 2;
-      }
-    }
-    if (std::strncmp(argv[i], "--exec-json=", 12) == 0) {
+  for (const std::string& arg : opts.rest) {
+    if (arg.rfind("--exec-json=", 0) == 0) {
       support::warn_deprecated_flag("--exec-json",
                                     "--report=<file> (bernoulli.run.v1)");
-      exec_json = argv[i] + 12;
+      exec_json = arg.substr(12);
     }
-    if (std::strncmp(argv[i], "--validate-exec-json=", 21) == 0)
-      validate_json = argv[i] + 21;
+    if (arg.rfind("--validate-exec-json=", 0) == 0)
+      validate_json = arg.substr(21);
   }
-  if (!validate_json.empty()) return run_validate_exec_json(validate_json);
-  if (!engine.empty() || !exec_json.empty() || threads > 0)
-    return run_engines(engine.empty() ? "all" : engine, small, check,
-                       threads, exec_json, obs.report_path);
-  // Explicit --report=<file> wins over the deprecated --report=json alias
-  // in either flag order; the stdout report only runs when no run-report
-  // file was requested.
-  if (obs.legacy_report_stdout()) return run_report();
-  if (obs.active()) return run_traced(obs);
-  return run_table();
+  int rc;
+  if (!validate_json.empty()) {
+    rc = run_validate_exec_json(validate_json);
+  } else if (!opts.engine.empty() || !exec_json.empty() || opts.threads > 0) {
+    rc = run_engines(opts.engine.empty() ? "all" : opts.engine, opts.small,
+                     opts.check, opts.threads, exec_json,
+                     opts.obs.report_path);
+  } else if (opts.obs.legacy_report_stdout()) {
+    // Explicit --report=<file> wins over the deprecated --report=json
+    // alias in either flag order; the stdout report only runs when no
+    // run-report file was requested.
+    rc = run_report();
+  } else if (opts.obs.active()) {
+    rc = run_traced(opts.obs);
+  } else {
+    rc = run_table();
+  }
+  opts.finish();
+  return rc;
 }

@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
   using namespace bernoulli;
   using spmd::Variant;
 
-  support::ObsOptions obs;
-  for (int i = 1; i < argc; ++i) (void)support::obs_parse_flag(argv[i], obs);
+  auto opts = bench::Options::parse(argc, argv);
+  support::ObsOptions& obs = opts.obs;
 
   std::cout << "=== Table 3: inspector overhead "
             << "(inspector time / one executor iteration) ===\n\n";
@@ -76,5 +76,6 @@ int main(int argc, char** argv) {
     report.set_critical_path(analysis::critical_path_current());
     report.write(obs.report_path);
   }
+  opts.finish();
   return 0;
 }

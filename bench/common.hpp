@@ -9,20 +9,85 @@
 #pragma once
 
 #include <array>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "distrib/distribution.hpp"
 #include "formats/blocksolve.hpp"
 #include "formats/csr.hpp"
 #include "solvers/dist_cg.hpp"
 #include "spmd/matvec.hpp"
+#include "support/metrics.hpp"
 #include "support/timer.hpp"
+#include "support/trace_cli.hpp"
 #include "workloads/bs_order.hpp"
 #include "workloads/grid.hpp"
 
 namespace bernoulli::bench {
+
+/// The flags every bench spells identically, parsed in ONE place so a new
+/// flag (like --metrics) lands in every tool at once:
+///   --trace=<f> --comm-matrix --report=<f>   observability (ObsOptions)
+///   --metrics=<f>   Prometheus text exposition of the serving-metrics
+///                   registry, written by finish() at the end of the run
+///   --engine=<e> --threads=<n> --small --check   engine-bench knobs
+/// Arguments no shared flag claims land in `rest` for tool-specific
+/// parsing (e.g. table2's --exec-json=), so parse() never rejects — except
+/// a malformed --threads=, which exits 2 like any usage error.
+struct Options {
+  support::ObsOptions obs;
+  std::string metrics_path;  // --metrics=<file>; empty = no exposition
+  std::string engine;        // --engine=<name>; empty = tool default
+  int threads = 0;           // --threads=<n>; 0 = serial
+  bool small = false;        // --small
+  bool check = false;        // --check
+  std::vector<std::string> rest;  // unclaimed argv entries, in order
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (support::obs_parse_flag(arg, o.obs)) continue;
+      if (std::strncmp(arg, "--metrics=", 10) == 0) {
+        o.metrics_path = arg + 10;
+      } else if (std::strncmp(arg, "--engine=", 9) == 0) {
+        o.engine = arg + 9;
+      } else if (std::strncmp(arg, "--threads=", 10) == 0) {
+        o.threads = std::atoi(arg + 10);
+        if (o.threads < 1) {
+          std::cerr << "error: " << arg << " (want --threads=<n>, n >= 1)\n";
+          std::exit(2);
+        }
+      } else if (std::strcmp(arg, "--small") == 0) {
+        o.small = true;
+      } else if (std::strcmp(arg, "--check") == 0) {
+        o.check = true;
+      } else {
+        o.rest.emplace_back(arg);
+      }
+    }
+    return o;
+  }
+
+  /// End-of-main epilogue: writes the Prometheus exposition if --metrics
+  /// asked for one. Called by each bench main directly (NOT from
+  /// obs_end(): benches that skip the observability window still honor
+  /// --metrics).
+  void finish() const {
+    if (metrics_path.empty()) return;
+    if (!support::metrics_write_prometheus(metrics_path)) {
+      std::cerr << "error: cannot write --metrics file " << metrics_path
+                << "\n";
+      std::exit(1);
+    }
+    std::cerr << "metrics: " << metrics_path << " (Prometheus text)\n";
+  }
+};
 
 /// Weak-scaling grid dimensions: a 12^3 block of points (8640 unknowns at
 /// 5 dof) per processor — the paper used a 30^3-per-processor problem

@@ -11,6 +11,7 @@
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::analysis {
@@ -44,6 +45,10 @@ void RunReport::add_model_check(const std::string& name,
 
 void RunReport::add_comm_check(const std::string& name, const CommCheck& cc) {
   comm_checks_.emplace_back(name, cc);
+}
+
+void RunReport::add_roofline(const RooflineEntry& entry) {
+  roofline_.push_back(entry);
 }
 
 void RunReport::set_critical_path(const CriticalPathReport& cp) {
@@ -109,6 +114,25 @@ std::string RunReport::json(int indent) const {
   }
   w.end_object();
 
+  w.key("roofline").begin_array();
+  for (const RooflineEntry& e : roofline_) {
+    w.begin_object();
+    w.key("name").value(e.name);
+    w.key("bytes").value(e.bytes);
+    w.key("flops").value(e.flops);
+    w.key("seconds").value(e.seconds);
+    w.key("arithmetic_intensity").value(e.arithmetic_intensity());
+    w.key("achieved_bytes_per_s").value(e.achieved_bytes_per_s());
+    w.key("achieved_flops_per_s").value(e.achieved_flops_per_s());
+    w.key("peak_bytes_per_s").value(e.peak_bytes_per_s);
+    w.key("peak_flops_per_s").value(e.peak_flops_per_s);
+    w.key("roof_flops_per_s").value(e.roof_flops_per_s());
+    w.key("fraction_of_roof").value(e.fraction_of_roof());
+    w.key("exact").value(e.exact);
+    w.end_object();
+  }
+  w.end_array();
+
   {
     std::lock_guard<std::mutex> lk(solves_mu_);
     w.key("solves").begin_array();
@@ -151,6 +175,9 @@ std::string RunReport::json(int indent) const {
   w.key("comm_matrix").raw(support::comm_matrix_json());
   w.key("histograms").raw(support::histograms_json());
   w.key("counters").raw(support::counters_json());
+  // The serving-metrics registry (support/metrics.hpp), embedded as its
+  // own schema so metrics-only consumers can lift the block out verbatim.
+  w.key("metrics_registry").raw(support::metrics_json());
   w.end_object();
 
   std::string out = w.str();
@@ -249,25 +276,120 @@ DiffResult diff_reports(const JsonValue& base, const JsonValue& current,
   return out;
 }
 
-std::string diff_text(const DiffResult& d, double tolerance) {
+std::string diff_text(const DiffResult& d, double tolerance,
+                      bool only_changed) {
   std::ostringstream os;
   char line[240];
   std::snprintf(line, sizeof(line), "%-55s %12s %12s %9s\n", "metric", "base",
                 "current", "change");
   os << line;
+  int suppressed = 0;
   for (const auto& m : d.metrics) {
+    if (only_changed && !m.regressed &&
+        std::fabs(m.rel_change) <= tolerance) {
+      ++suppressed;
+      continue;
+    }
     std::snprintf(line, sizeof(line), "%-55s %12.4g %12.4g %+8.1f%%%s\n",
                   m.name.c_str(), m.base, m.current,
                   100.0 * (m.higher_is_better ? -m.rel_change : m.rel_change),
                   m.regressed ? "  REGRESSED" : "");
     os << line;
   }
+  if (suppressed > 0)
+    os << "(" << suppressed << " metric(s) within tolerance not shown)\n";
   std::snprintf(line, sizeof(line),
                 "%d metrics compared, %d regression(s) at tolerance %.0f%%\n",
                 d.compared, d.regressions, 100.0 * tolerance);
   os << line;
   if (d.compared == 0)
     os << "error: the reports share no comparable metrics\n";
+  return os.str();
+}
+
+// ---- the run ledger ---------------------------------------------------
+
+void ledger_append(const std::string& ledger_path,
+                   const std::string& report_json) {
+  // Validate before writing: a malformed entry would poison every later
+  // trend/regress read of the ledger.
+  support::json_parse(report_json);
+  std::string line;
+  line.reserve(report_json.size());
+  for (char c : report_json)
+    if (c != '\n' && c != '\r') line += c;
+  std::ofstream out(ledger_path, std::ios::binary | std::ios::app);
+  BERNOULLI_CHECK_MSG(out.good(), "cannot open ledger: " << ledger_path);
+  out << line << "\n";
+  BERNOULLI_CHECK_MSG(out.good(), "short write to ledger: " << ledger_path);
+}
+
+std::vector<support::JsonValue> ledger_read(const std::string& ledger_path) {
+  std::ifstream in(ledger_path, std::ios::binary);
+  BERNOULLI_CHECK_MSG(in.good(), "cannot read ledger: " << ledger_path);
+  std::vector<support::JsonValue> entries;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    try {
+      entries.push_back(support::json_parse(line));
+    } catch (const std::exception& e) {
+      BERNOULLI_CHECK_MSG(false, "ledger " << ledger_path << " line "
+                                           << lineno << ": " << e.what());
+    }
+  }
+  return entries;
+}
+
+std::string ledger_trend_text(const std::vector<support::JsonValue>& entries,
+                              const std::string& metric_filter) {
+  std::ostringstream os;
+  os << "ledger: " << entries.size() << " entries\n";
+  if (entries.empty()) return os.str();
+  // Union of matching metric names across entries; a metric absent from an
+  // entry prints "-" so trajectories stay column-aligned.
+  std::vector<std::map<std::string, double>> per_entry;
+  per_entry.reserve(entries.size());
+  std::map<std::string, int> names;  // name -> #entries present
+  for (const auto& doc : entries) {
+    per_entry.push_back(report_metrics(doc));
+    for (const auto& [name, v] : per_entry.back())
+      if (metric_filter.empty() || name.find(metric_filter) != std::string::npos)
+        ++names[name];
+  }
+  if (names.empty()) {
+    os << "no metrics match filter '" << metric_filter << "'\n";
+    return os.str();
+  }
+  for (const auto& [name, present] : names) {
+    os << name << ":";
+    double first = 0.0, last = 0.0;
+    bool have_first = false;
+    for (const auto& m : per_entry) {
+      auto it = m.find(name);
+      if (it == m.end()) {
+        os << " -";
+        continue;
+      }
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), " %.4g", it->second);
+      os << buf;
+      if (!have_first) {
+        first = it->second;
+        have_first = true;
+      }
+      last = it->second;
+    }
+    if (have_first && first != 0.0) {
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "  (%+.1f%% first->last)",
+                    100.0 * (last - first) / std::fabs(first));
+      os << buf;
+    }
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -397,6 +519,33 @@ std::string report_text(const JsonValue& doc) {
          << static_cast<long long>(cc.find("measured_bytes")->as_number())
          << " B"
          << (cc.find("match")->boolean ? " (match)" : " (MISMATCH)") << "\n";
+    }
+
+  if (const JsonValue* roofline = doc.find("roofline"))
+    if (roofline->is_array() && !roofline->items.empty()) {
+      os << "roofline (model peaks: "
+         << roofline->items[0].find("peak_bytes_per_s")->as_number() / 1e9
+         << " GB/s, "
+         << roofline->items[0].find("peak_flops_per_s")->as_number() / 1e9
+         << " GFLOP/s):\n";
+      char line[240];
+      std::snprintf(line, sizeof(line), "  %-34s %12s %10s %10s %10s %7s\n",
+                    "engine", "bytes", "AI", "GB/s", "GFLOP/s", "roof%");
+      os << line;
+      for (const JsonValue& e : roofline->items) {
+        std::snprintf(
+            line, sizeof(line),
+            "  %-34s %12lld %10.3f %10.3f %10.3f %6.1f%%%s\n",
+            e.find("name")->as_string().c_str(),
+            static_cast<long long>(e.find("bytes")->as_number()),
+            e.find("arithmetic_intensity")->as_number(),
+            e.find("achieved_bytes_per_s")->as_number() / 1e9,
+            e.find("achieved_flops_per_s")->as_number() / 1e9,
+            100.0 * e.find("fraction_of_roof")->as_number(),
+            e.find("exact")->boolean ? "" : "  (inexact)");
+        os << line;
+      }
+      os << "\n";
     }
 
   if (const JsonValue* solves = doc.find("solves"))

@@ -27,6 +27,7 @@
 // samples, same trace span totals as a serial run, for any thread count.
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -37,6 +38,7 @@
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
+#include "support/metrics.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -61,6 +63,34 @@ struct LinkedCounters {
 LinkedCounters& linked_counters() {
   static LinkedCounters c;
   return c;
+}
+
+// Serving-era metrics, booked once per run at the same flush site as the
+// executor.* counters so the two ledgers reconcile: latency histogram
+// count == executor.runs delta, histogram sum == execute.wall_ns (the same
+// integer nanoseconds recorded into both). Same names across the
+// interpreter, linked, threaded and specialized engines.
+struct ServeMetrics {
+  support::LatencyHistogram& latency =
+      support::metric_latency("execute.latency");
+  support::MetricRate& wall_ns = support::metric_rate("execute.wall_ns");
+  support::MetricRate& model_bytes =
+      support::metric_rate("execute.model_bytes");
+  support::MetricRate& model_flops =
+      support::metric_rate("execute.model_flops");
+  support::TimeCounter& wall_seconds =
+      support::time_counter("executor.wall_seconds");
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+long long wall_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 index_t bin_search(const index_t* ind, index_t lo, index_t hi, index_t idx) {
@@ -275,7 +305,16 @@ void LinkedRunner::close_frame(std::size_t d, LocalCounters& c,
   }
 }
 
-void LinkedRunner::flush(const LocalCounters& c, RunStats* stats) {
+void LinkedRunner::flush(const LocalCounters& c, RunStats* stats,
+                         long long wall_ns) {
+  ServeMetrics& m = serve_metrics();
+  m.latency.record_ns(wall_ns);
+  m.wall_ns.add(wall_ns);
+  m.wall_seconds.add(static_cast<double>(wall_ns) * 1e-9);
+  if (lp_.footprint.exact) {
+    m.model_bytes.add(lp_.footprint.total_bytes());
+    m.model_flops.add(lp_.footprint.flops);
+  }
   LinkedCounters& ctr = linked_counters();
   ctr.runs.add(1);
   ctr.tuples.add(c.tuples);
@@ -621,6 +660,7 @@ void LinkedRunner::drain_enumerate_leaf(std::size_t d, LocalCounters& c,
 template <class Sink>
 void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
   LocalCounters c;
+  const long long t0 = wall_now_ns();
   const std::size_t L = lp_.levels.size();
   if (stats) {
     stats->tuples = 0;
@@ -629,11 +669,11 @@ void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
   if (L == 0) {
     ++c.tuples;
     sink();
-    flush(c, stats);
+    flush(c, stats, wall_now_ns() - t0);
     return;
   }
   run_span(sink, c, stats, 0, -1);
-  flush(c, stats);
+  flush(c, stats, wall_now_ns() - t0);
 }
 
 template <class Sink>
@@ -757,6 +797,9 @@ void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
   LinkedRunner& r0 = *workers_.front();
   const std::size_t L = r0.lp_.levels.size();
   traced(r0.lp_, stats, [&](RunStats* st) {
+    // One latency sample per run covering the whole fan-out, booked by the
+    // coordinator's single flush — same sample count as a serial run.
+    const long long t0 = wall_now_ns();
     // The outer extent, probed once: every worker's level-0 cursor opens
     // on the same root parent, so worker 0's view of the range is THE
     // range the chunk grid must cover.
@@ -842,7 +885,7 @@ void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
     }
     ++r0.fanout_local_[0][static_cast<std::size_t>(
         support::Log2Histogram::bucket_of(outer_produced))];
-    r0.flush(total, nullptr);
+    r0.flush(total, nullptr, wall_now_ns() - t0);
     if (st) {
       st->tuples = total.tuples;
       st->levels = std::move(merged.levels);

@@ -1,12 +1,14 @@
 #include "compiler/executor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::compiler {
@@ -297,6 +299,7 @@ void execute_interpreted(const Plan& plan, const Query& q,
                          const Action& action, RunStats* stats) {
   q.validate();
   exec_counters().runs.add();
+  const auto wall_t0 = std::chrono::steady_clock::now();
   Interpreter interp(plan, q, action);
   const bool tracing = support::trace_enabled();
   double t0 = 0.0;
@@ -306,6 +309,17 @@ void execute_interpreted(const Plan& plan, const Query& q,
     t0 = support::trace_now_us();
   }
   interp.run();
+  // Serving metrics, one sample per run at the same site as executor.runs
+  // (same names as the linked/specialized engines' flush, so the latency
+  // histogram count reconciles with the runs counter for any engine).
+  const long long wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_t0)
+          .count();
+  support::metric_latency("execute.latency").record_ns(wall_ns);
+  support::metric_rate("execute.wall_ns").add(wall_ns);
+  support::time_counter("executor.wall_seconds")
+      .add(static_cast<double>(wall_ns) * 1e-9);
   RunStats local;
   RunStats* st = (stats || tracing) ? (stats ? stats : &local) : nullptr;
   if (st) {

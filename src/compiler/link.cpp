@@ -88,7 +88,228 @@ LinkedPlan link_plan(const Plan& plan, const Query& q) {
   ParallelLegality leg = plan_parallel_legality(plan, q);
   lp.parallel_ok = leg.ok;
   lp.parallel_note = std::move(leg.note);
+  lp.footprint = derive_footprint(plan, q);
   return lp;
+}
+
+namespace {
+
+// Link-time index range of everything a level can enumerate — the same
+// whole-structure scan the specializing emitter uses for its always-hit
+// probe proofs (emit_standalone.cpp). O(nnz) once at link time, i.e.
+// inspector-phase work. mx < mn means the level enumerates nothing.
+struct IndexRange {
+  index_t mn = 0;
+  index_t mx = -1;
+};
+
+IndexRange scan_index_range(const index_t* a, index_t n) {
+  IndexRange r;
+  if (a == nullptr || n <= 0) return r;
+  r.mn = r.mx = a[0];
+  for (index_t k = 1; k < n; ++k) {
+    r.mn = std::min(r.mn, a[k]);
+    r.mx = std::max(r.mx, a[k]);
+  }
+  return r;
+}
+
+IndexRange enum_index_range(const relation::EnumSpec& es) {
+  using Kind = relation::EnumSpec::Kind;
+  switch (es.kind) {
+    case Kind::kDense: {
+      IndexRange r;
+      if (es.extent > 0) {
+        r.mn = 0;
+        r.mx = es.extent - 1;
+      }
+      return r;
+    }
+    case Kind::kSegmented:
+    case Kind::kList:
+    case Kind::kStrided:
+    case Kind::kOffsets:
+      return scan_index_range(es.ind, es.ind_len);
+    case Kind::kFunction:
+      return scan_index_range(es.map, es.map_len);
+    case Kind::kNone:
+      break;
+  }
+  return {};
+}
+
+}  // namespace
+
+PlanFootprint derive_footprint(const Plan& plan, const Query& q) {
+  PlanFootprint fp;
+  fp.operands.reserve(q.relations.size());
+  for (const auto& rel : q.relations)
+    fp.operands.push_back({rel.view->name(), 0, 0});
+
+  auto inexact = [&](std::string why) {
+    fp = PlanFootprint{};
+    for (const auto& rel : q.relations)
+      fp.operands.push_back({rel.view->name(), 0, 0});
+    fp.note = std::move(why);
+    return fp;
+  };
+
+  constexpr long long szi = static_cast<long long>(sizeof(index_t));
+  constexpr long long szv = static_cast<long long>(sizeof(value_t));
+
+  // Walk the plan levels tracking `produced`, the number of times the next
+  // level's frame opens (= tuples surviving this level). Exactness needs
+  // every enumeration count to be a static function of the specs, which is
+  // the same discipline as the bulk-drain proof: flat enumerate levels,
+  // always-hit arithmetic probes, segment levels invoked once per parent.
+  // (rel, depth) pairs bound by a DRIVER are recorded so segmented /
+  // per-parent-count levels can require once-per-parent coverage (a parent
+  // bound by a probe could repeat or skip segments).
+  std::vector<std::vector<bool>> driver_bound(q.relations.size());
+  for (std::size_t r = 0; r < q.relations.size(); ++r)
+    driver_bound[r].assign(q.relations[r].vars.size(), false);
+
+  long long produced = 1;  // root invocation
+  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+    const PlanLevel& pl = plan.levels[d];
+    const long long parents = produced;  // frames opening this level
+    if (pl.method != JoinMethod::kEnumerate)
+      return inexact("level " + pl.var +
+                     " is a merge join (enumeration count is data-dependent "
+                     "on finger interleaving)");
+    const Access& a = pl.drivers[0];
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    const relation::EnumSpec es = rel.view->level(a.depth).enum_spec();
+    PlanFootprint::Operand& op = fp.operands[static_cast<std::size_t>(a.rel)];
+    const bool root_parent = a.depth == 0;
+    const bool parent_covered =
+        root_parent ||
+        driver_bound[static_cast<std::size_t>(a.rel)]
+                    [static_cast<std::size_t>(a.depth) - 1];
+    long long enumerated = 0;
+    switch (es.kind) {
+      case relation::EnumSpec::Kind::kNone:
+        return inexact(rel.view->name() + " level " + pl.var +
+                       " has no flat enumeration spec");
+      case relation::EnumSpec::Kind::kDense:
+        enumerated = produced * es.extent;
+        break;
+      case relation::EnumSpec::Kind::kList:
+        enumerated = produced * es.extent;
+        op.index_bytes += enumerated * szi;  // ind[p] per element
+        break;
+      case relation::EnumSpec::Kind::kFunction:
+        enumerated = produced;               // the single child
+        op.index_bytes += produced * szi;    // map[parent] per invocation
+        break;
+      case relation::EnumSpec::Kind::kSegmented: {
+        if (root_parent) {
+          if (es.ptr_len < 2)
+            return inexact(rel.view->name() + " segmented level " + pl.var +
+                           " has an empty ptr array");
+          enumerated = produced * (es.ptr[1] - es.ptr[0]);
+        } else {
+          if (!parent_covered || produced != es.ptr_len - 1)
+            return inexact(rel.view->name() + " segmented level " + pl.var +
+                           " is not invoked exactly once per segment");
+          enumerated = es.ptr[es.ptr_len - 1] - es.ptr[0];
+        }
+        op.index_bytes += enumerated * szi;      // ind[p] per element
+        op.index_bytes += 2 * produced * szi;    // segment bounds
+        break;
+      }
+      case relation::EnumSpec::Kind::kStrided:
+      case relation::EnumSpec::Kind::kOffsets: {
+        long long count = 0;
+        if (root_parent) {
+          if (es.len_len < 1)
+            return inexact(rel.view->name() + " level " + pl.var +
+                           " has an empty len array");
+          count = produced * es.len[0];
+        } else {
+          if (!parent_covered || produced != es.len_len)
+            return inexact(rel.view->name() + " level " + pl.var +
+                           " is not invoked exactly once per parent");
+          for (index_t p = 0; p < es.len_len; ++p) count += es.len[p];
+        }
+        enumerated = count;
+        op.index_bytes += produced * szi;    // len[parent] per invocation
+        op.index_bytes += enumerated * szi;  // ind[pos] per element
+        if (es.kind == relation::EnumSpec::Kind::kOffsets)
+          op.index_bytes += enumerated * szi;  // off[k] per element
+        break;
+      }
+    }
+    driver_bound[static_cast<std::size_t>(a.rel)]
+                [static_cast<std::size_t>(a.depth)] = true;
+    for (const Access& pa : pl.probes) {
+      const auto& prel = q.relations[static_cast<std::size_t>(pa.rel)];
+      const relation::IndexLevel& plevel = prel.view->level(pa.depth);
+      const relation::SearchSpec ss = plevel.search_spec();
+      if (prel.writes && plevel.insertable())
+        return inexact(prel.view->name() +
+                       " inserts on miss (fill-in count is data-dependent)");
+      if (ss.kind != relation::SearchSpec::Kind::kIdentity &&
+          ss.kind != relation::SearchSpec::Kind::kAffine)
+        return inexact(prel.view->name() + " probe at " + pl.var +
+                       " is not an always-hit arithmetic search");
+      if (prel.filters) {
+        // A filtering identity/affine probe rejects indices outside
+        // [0, ss.extent) — data-dependent in general, but exact when the
+        // driver's whole index range provably fits the accepting window
+        // (the iteration-space relation I always filters, so CSR/CCS SpMV
+        // depends on this proof).
+        const IndexRange r = enum_index_range(es);
+        if (r.mx >= r.mn && (r.mn < 0 || r.mx >= ss.extent))
+          return inexact(prel.view->name() + " filter at " + pl.var +
+                         " may reject (driver enumerates [" +
+                         std::to_string(r.mn) + ", " + std::to_string(r.mx) +
+                         "], probe accepts [0, " + std::to_string(ss.extent) +
+                         "))");
+      }
+      // Identity/affine probes are pure arithmetic: no index bytes.
+      //
+      // A single frame enumerating a dense range [0, extent) and probing
+      // an identity level of the same extent visits each position exactly
+      // once — the bijection a driver would give. Mark the probed
+      // (rel, depth) covered so a segmented child below it can still prove
+      // once-per-segment (CSR/CCS SpMV drives rows from the iteration
+      // space and identity-probes the matrix's row level).
+      if (parents == 1 && ss.kind == relation::SearchSpec::Kind::kIdentity &&
+          es.kind == relation::EnumSpec::Kind::kDense &&
+          es.extent == ss.extent)
+        driver_bound[static_cast<std::size_t>(pa.rel)]
+                    [static_cast<std::size_t>(pa.depth)] = true;
+    }
+    produced = enumerated;
+  }
+  fp.leaf_tuples = produced;
+
+  // Value traffic and flops for the multiply-accumulate statement: each
+  // read operand with values streams one value per leaf tuple; a written
+  // operand is read-modify-write (2x). The iteration-space relation I has
+  // no values (RelationView::has_value) and contributes nothing.
+  long long writes = 0;
+  long long reads = 0;
+  for (std::size_t r = 0; r < q.relations.size(); ++r) {
+    const auto& rel = q.relations[r];
+    if (!rel.view->has_value()) continue;
+    if (rel.writes) {
+      fp.operands[r].value_bytes = 2 * fp.leaf_tuples * szv;
+      ++writes;
+    } else {
+      fp.operands[r].value_bytes = fp.leaf_tuples * szv;
+      ++reads;
+    }
+  }
+  // Per leaf tuple: one multiply + one add per written target, plus one
+  // extra multiply per factor beyond the first two value operands.
+  fp.flops = 2 * fp.leaf_tuples * writes +
+             std::max(0LL, reads - 2) * fp.leaf_tuples;
+  fp.exact = true;
+  fp.note = "exact: " + std::to_string(plan.levels.size()) + " flat levels, " +
+            std::to_string(fp.leaf_tuples) + " leaf tuples";
+  return fp;
 }
 
 ParallelLegality plan_parallel_legality(const Plan& plan, const Query& q) {

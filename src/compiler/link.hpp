@@ -60,6 +60,44 @@ struct LinkedLevel {
   support::Log2Histogram* fanout = nullptr;  // executor.fanout.level<d>
 };
 
+/// Static data-movement footprint of one plan, derived at link time from
+/// the same flat cursor specs the bulk-drain proof uses: how many index
+/// and value bytes ONE run(LinkedMac) execution touches per operand, and
+/// how many FLOPs it performs, assuming every probe hits (the exactness
+/// conditions below). This is the numerator/denominator pair the roofline
+/// section of a run report needs (arithmetic intensity = flops / bytes).
+///
+/// `exact` is true only when the walk could prove the totals: every level
+/// enumerates a flat EnumSpec, every probe is an always-hit identity or
+/// affine search with no filtering and no fill-in, and segmented /
+/// per-parent-count levels are invoked exactly once per parent segment.
+/// When false, `note` says which condition failed and the totals are 0 —
+/// callers must not report a roofline from an inexact footprint.
+struct PlanFootprint {
+  struct Operand {
+    std::string name;          // RelationView::name()
+    long long index_bytes = 0; // ptr/ind/off/len/map array bytes read
+    long long value_bytes = 0; // value array bytes (written operands: 2x)
+  };
+  std::vector<Operand> operands;  // one per query relation, in order
+  long long leaf_tuples = 0;      // surviving leaf bindings per run
+  long long flops = 0;            // multiply-accumulate flops per run
+  bool exact = false;
+  std::string note;
+
+  long long index_bytes() const {
+    long long total = 0;
+    for (const Operand& o : operands) total += o.index_bytes;
+    return total;
+  }
+  long long value_bytes() const {
+    long long total = 0;
+    for (const Operand& o : operands) total += o.value_bytes;
+    return total;
+  }
+  long long total_bytes() const { return index_bytes() + value_bytes(); }
+};
+
 struct LinkedPlan {
   std::vector<LinkedLevel> levels;
   std::vector<int> leaf_slot;  // per relation: slot of its deepest position
@@ -71,6 +109,10 @@ struct LinkedPlan {
   // parallel_note says why (also surfaced by EXPLAIN).
   bool parallel_ok = false;
   std::string parallel_note;
+  // Static per-run data-movement model (see PlanFootprint). Derived by
+  // link_plan; feeds execute.model_bytes / execute.model_flops metrics and
+  // the roofline section of run reports.
+  PlanFootprint footprint;
 };
 
 /// Validates `q` and lowers the pair. The result borrows both arguments.
@@ -90,6 +132,12 @@ struct ParallelLegality {
 };
 ParallelLegality plan_parallel_legality(const Plan& plan,
                                         const relation::Query& q);
+
+/// Walks the plan's flat cursor specs and derives the static data-movement
+/// footprint link_plan attaches to the LinkedPlan. Exposed for tests (the
+/// differential footprint test cross-checks leaf_tuples and bytes against
+/// measured executor.* counters).
+PlanFootprint derive_footprint(const Plan& plan, const relation::Query& q);
 
 /// The multiply-accumulate statement, lowered: relation slots resolved and
 /// raw value arrays captured where the views expose them (empty spans fall
@@ -188,7 +236,13 @@ class LinkedRunner {
   void close_frame(std::size_t d, LocalCounters& c, RunStats* stats);
   bool next_binding(std::size_t d, LocalCounters& c);
   bool resolve_probes(const LinkedLevel& lv, LocalCounters& c);
-  void flush(const LocalCounters& c, RunStats* stats);
+  // Flushes the per-run local counters into the registries and books the
+  // run's serving metrics (execute.latency / execute.wall_ns and, when the
+  // footprint is exact, execute.model_bytes / execute.model_flops) from
+  // `wall_ns`, the measured wall time of this run. The parallel runner
+  // times the whole fan-out and flushes ONCE through the coordinator, so
+  // serial and threaded runs book the same number of samples.
+  void flush(const LocalCounters& c, RunStats* stats, long long wall_ns);
 
   // --- Bulk leaf-range drain (run(LinkedMac) only) -------------------
   // One mac operand's leaf position, classified against the leaf level:

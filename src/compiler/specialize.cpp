@@ -1,6 +1,7 @@
 #include "compiler/specialize.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -154,6 +156,7 @@ SpecializedKernel::~SpecializedKernel() {
 void SpecializedKernel::run(RunStats* stats) {
   BERNOULLI_CHECK_MSG(fn_ != nullptr,
                       "specialized kernel not loaded: " << note_);
+  const auto wall_t0 = std::chrono::steady_clock::now();
   const bool tracing = support::trace_enabled();
   RunStats local;
   RunStats* st = stats ? stats : (tracing ? &local : nullptr);
@@ -181,6 +184,21 @@ void SpecializedKernel::run(RunStats* stats) {
   // emitter refuses those shapes.
   long long enumerated = 0;
   for (const long long e : lvl_enum_) enumerated += e;
+  // Same serving-metric names and booking discipline as the linked
+  // engine's flush: one latency sample per run, the identical integer
+  // nanoseconds into the histogram and the execute.wall_ns rate.
+  const long long wall_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall_t0)
+          .count();
+  support::metric_latency("execute.latency").record_ns(wall_ns);
+  support::metric_rate("execute.wall_ns").add(wall_ns);
+  support::time_counter("executor.wall_seconds")
+      .add(static_cast<double>(wall_ns) * 1e-9);
+  if (lp_.footprint.exact) {
+    support::metric_rate("execute.model_bytes").add(lp_.footprint.total_bytes());
+    support::metric_rate("execute.model_flops").add(lp_.footprint.flops);
+  }
   support::counter("executor.runs").add(1);
   support::counter("executor.tuples").add(ctr_[0]);
   support::counter("executor.enumerated").add(enumerated);

@@ -1,10 +1,12 @@
 #include "solvers/dist_cg.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "analysis/hooks.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::solvers {
@@ -50,10 +52,23 @@ DistCgResult run_pcg(runtime::Process& p, std::size_t n,
   for (int it = 0; it < opts.max_iterations; ++it) {
     support::TraceSpan iter_span("cg.iteration", "solvers");
     iter_span.arg("it", static_cast<long long>(it));
+    // Serving metrics per solver iteration: wall latency histogram,
+    // iteration rate, and the current residual as a gauge — the admission
+    // stats a KernelServer needs from a long-running solve.
+    const auto iter_t0 = std::chrono::steady_clock::now();
+    support::metric_rate("cg.iterations").add(1);
     result.residual_norm = std::sqrt(gdot(r, r));
     iter_span.arg("residual", result.residual_norm);
+    support::metric_gauge("cg.residual").set(result.residual_norm);
+    const auto book_iter = [&] {
+      support::metric_latency("cg.iteration.latency")
+          .record_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - iter_t0)
+                         .count());
+    };
     if (threshold >= 0 && result.residual_norm <= threshold) {
       result.converged = true;
+      book_iter();
       return result;
     }
     matvec(pv, q);
@@ -69,6 +84,7 @@ DistCgResult run_pcg(runtime::Process& p, std::size_t n,
     if (opts.blas1_charge_per_iteration >= 0)
       p.charge_seconds(opts.blas1_charge_per_iteration);
     result.iterations = it + 1;
+    book_iter();
   }
   result.residual_norm = std::sqrt(gdot(r, r));
   result.converged = threshold >= 0 && result.residual_norm <= threshold;

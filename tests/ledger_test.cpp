@@ -1,0 +1,110 @@
+// The cross-run perf ledger (bench/ledger.jsonl): append-only JSONL of
+// run-report documents, read back oldest-first, trended, and regressed
+// against a committed baseline. The regress semantics here are exactly
+// what `bernoulli_report regress` runs in CI: newest ledger entry vs the
+// baseline, non-zero on any metric worse than tolerance — including a
+// synthetically slowed entry, the acceptance case for the gate.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "support/json_reader.hpp"
+
+namespace bernoulli::analysis {
+namespace {
+
+using support::json_parse;
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(std::string p) : path(std::move(p)) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+std::string run_doc(double seconds, double speedup) {
+  RunReport r("ledger_test");
+  r.metric("exec.case.seconds_linked", seconds);
+  r.metric("exec.case.speedup_linked_over_interpreted", speedup);
+  return r.json();
+}
+
+TEST(Ledger, AppendReadRoundTripsOldestFirst) {
+  TempFile f(::testing::TempDir() + "/ledger_roundtrip.jsonl");
+  ledger_append(f.path, run_doc(2.0, 10.0));
+  ledger_append(f.path, run_doc(1.0, 20.0));
+
+  std::vector<support::JsonValue> entries = ledger_read(f.path);
+  ASSERT_EQ(entries.size(), 2u);
+  DiffResult d = diff_reports(entries[0], entries[1], /*tolerance=*/0.25);
+  ASSERT_EQ(d.compared, 2);
+  // Entry order is oldest->newest: the second entry halved seconds and
+  // doubled speedup, so nothing regressed in that direction.
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(Ledger, AppendValidatesAndStoresOneLinePerEntry) {
+  TempFile f(::testing::TempDir() + "/ledger_oneline.jsonl");
+  EXPECT_THROW(ledger_append(f.path, "{not json"), std::exception);
+  // A failed append must not leave a partial line behind.
+  std::ifstream gone(f.path);
+  EXPECT_TRUE(!gone.good() || gone.peek() == std::ifstream::traits_type::eof());
+
+  ledger_append(f.path, run_doc(1.0, 10.0));  // pretty-printed, multi-line
+  std::ifstream in(f.path);
+  int lines = 0;
+  for (std::string line; std::getline(in, line);) ++lines;
+  EXPECT_EQ(lines, 1);
+}
+
+TEST(Ledger, ReadRejectsCorruptLines) {
+  TempFile f(::testing::TempDir() + "/ledger_corrupt.jsonl");
+  ledger_append(f.path, run_doc(1.0, 10.0));
+  {
+    std::ofstream out(f.path, std::ios::app);
+    out << "{broken\n";
+  }
+  // A corrupt ledger fails the gate rather than silently skipping entries.
+  EXPECT_THROW(ledger_read(f.path), std::exception);
+}
+
+TEST(Ledger, TrendShowsTrajectoryAndRelativeChange) {
+  TempFile f(::testing::TempDir() + "/ledger_trend.jsonl");
+  ledger_append(f.path, run_doc(2.0, 10.0));
+  ledger_append(f.path, run_doc(1.0, 15.0));
+
+  const std::string t = ledger_trend_text(ledger_read(f.path), "speedup");
+  EXPECT_NE(t.find("speedup_linked_over_interpreted"), std::string::npos);
+  EXPECT_NE(t.find("2 entries"), std::string::npos);
+  // Filter applies: the seconds metric is not in the speedup trend.
+  EXPECT_EQ(t.find("seconds_linked"), std::string::npos);
+}
+
+TEST(Ledger, RegressPassesOnIdenticalEntryAndFailsOnSlowedEntry) {
+  const support::JsonValue baseline = json_parse(run_doc(1.0, 16.0));
+
+  // Newest entry identical to the baseline: gate passes.
+  TempFile same(::testing::TempDir() + "/ledger_same.jsonl");
+  ledger_append(same.path, run_doc(1.0, 16.0));
+  DiffResult ok = diff_reports(baseline, ledger_read(same.path).back(),
+                               /*tolerance=*/0.25);
+  EXPECT_GT(ok.compared, 0);
+  EXPECT_TRUE(ok.ok());
+
+  // Newest entry synthetically slowed (2x seconds, halved speedup): both
+  // metrics regress beyond a 25% tolerance and the gate must trip.
+  TempFile slow(::testing::TempDir() + "/ledger_slow.jsonl");
+  ledger_append(slow.path, run_doc(1.0, 16.0));  // older, healthy entry
+  ledger_append(slow.path, run_doc(2.0, 8.0));   // newest = slowed
+  DiffResult bad = diff_reports(baseline, ledger_read(slow.path).back(),
+                                /*tolerance=*/0.25);
+  EXPECT_EQ(bad.compared, 2);
+  EXPECT_EQ(bad.regressions, 2);
+  EXPECT_FALSE(bad.ok());
+}
+
+}  // namespace
+}  // namespace bernoulli::analysis

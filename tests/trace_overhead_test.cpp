@@ -1,0 +1,83 @@
+// Tracer overhead budget: a traced linked run may cost at most a small,
+// fixed amount over an untraced run. The linked engine emits exactly one
+// "execute" span per serial run, so the budget is per-span: best-of-k
+// traced minus best-of-k untraced must stay under a generous ceiling
+// (50us/span — two orders of magnitude above the expected cost, so the
+// test only trips on a real regression such as a lock or an allocation
+// storm on the span path, not on scheduler jitter).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "compiler/link.hpp"
+#include "compiler/loopnest.hpp"
+#include "formats/formats.hpp"
+#include "support/rng.hpp"
+#include "support/trace.hpp"
+
+namespace bernoulli::compiler {
+namespace {
+
+struct Spmv {
+  formats::Csr csr;
+  Vector x, y;
+  Bindings bindings;
+  CompiledKernel kernel;
+};
+
+std::unique_ptr<Spmv> make_spmv() {
+  SplitMix64 rng(43);
+  formats::TripletBuilder b(80, 80);
+  for (index_t k = 0; k < 800; ++k)
+    b.add(rng.next_index(80), rng.next_index(80), rng.next_double(-1, 1));
+  auto s = std::make_unique<Spmv>();
+  s->csr = formats::Csr::from_coo(std::move(b).build());
+  s->x.assign(80, 1.0);
+  s->y.assign(80, 0.0);
+  s->bindings.bind_csr("A", s->csr);
+  s->bindings.bind_dense_vector("X", ConstVectorView(s->x));
+  s->bindings.bind_dense_vector("Y", VectorView(s->y));
+  LoopNest nest{{{"i", 80}, {"j", 80}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  s->kernel = compile(nest, s->bindings);
+  return s;
+}
+
+// Best-of-k wall time of one runner.run(mac), in nanoseconds. The minimum
+// over k runs is the stable statistic: noise only ever adds time.
+long long best_run_ns(LinkedRunner& runner, const LinkedMac& mac, int k) {
+  long long best = -1;
+  for (int i = 0; i < k; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    runner.run(mac);
+    const auto t1 = std::chrono::steady_clock::now();
+    const long long ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();
+    if (best < 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+TEST(TraceOverhead, TracedLinkedRunStaysWithinPerSpanBudget) {
+  auto s = make_spmv();
+  LinkedRunner runner(link_plan(s->kernel.plan(), s->kernel.query()));
+  LinkedMac mac = link_mac(s->kernel.query(), 1, {2, 3});
+
+  constexpr int kRuns = 25;
+  best_run_ns(runner, mac, 5);  // warm caches and the metrics registry
+  const long long untraced = best_run_ns(runner, mac, kRuns);
+
+  support::trace_start();
+  const long long traced = best_run_ns(runner, mac, kRuns);
+  support::trace_stop();
+
+  // One span per serial run; 50'000 ns is the (deliberately lax) ceiling.
+  const long long overhead = traced - untraced;
+  EXPECT_LT(overhead, 50'000)
+      << "tracing added " << overhead << " ns per run (untraced best "
+      << untraced << " ns, traced best " << traced << " ns)";
+}
+
+}  // namespace
+}  // namespace bernoulli::compiler

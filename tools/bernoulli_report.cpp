@@ -1,20 +1,34 @@
-// bernoulli_report: render and diff bernoulli.run.v1 run reports.
+// bernoulli_report: render, diff, and trend bernoulli.run.v1 run reports.
 //
 // Usage:
 //   bernoulli_report <report.json>
 //       Render the report (config, metrics, model checks, comm checks,
-//       solves, critical path) as text.
+//       solves, roofline, critical path) as text.
 //   bernoulli_report --diff <base.json> <new.json>
-//                    [--tolerance=X] [--metrics=<substr>]
+//                    [--tol=X | --tolerance=X] [--metrics=<substr>]
 //       Compare the flat metrics of two reports. Either side may also be a
 //       bernoulli.bench.exec.v1 snapshot (BENCH_exec.json); its cases are
 //       mapped onto the same exec.* metric names the benches emit with
-//       --report. Exits 1 when any metric worsens by more than the
-//       relative tolerance (default 0.25), when the reports share no
-//       metrics, or when an input fails to parse; 2 on usage errors.
+//       --report.
+//   bernoulli_report append <ledger.jsonl> <report.json>
+//       Validate the report and append it to the ledger as one JSONL line.
+//   bernoulli_report trend <ledger.jsonl> <metric-substr>
+//       Print the trajectory of every matching metric across the ledger,
+//       oldest to newest, with the first-to-last relative change.
+//   bernoulli_report regress <ledger.jsonl> <baseline.json>
+//                    [--tol=X | --tolerance=X] [--metrics=<substr>]
+//       Diff the NEWEST ledger entry against the committed baseline — the
+//       CI perf gate. Same semantics as --diff.
 //
-// This is the perf-gate half of the observability loop: CI runs a fresh
-// --report bench and diffs it against the committed trajectory.
+// Exit codes (all modes):
+//   0  success; for --diff/regress, no metric worsened beyond tolerance
+//   1  regression detected, zero common metrics, or an input failed to
+//      read/parse (a broken gate must fail loudly, not skip)
+//   2  usage error (unknown flag, wrong arity, bad tolerance)
+//
+// This is the perf-gate half of the observability loop: CI appends the
+// fresh smoke-run report to a ledger artifact and regresses it against the
+// committed trajectory in BENCH_exec.json.
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -30,7 +44,14 @@ int usage() {
   std::cerr
       << "usage: bernoulli_report <report.json>\n"
          "       bernoulli_report --diff <base.json> <new.json>"
-         " [--tolerance=X] [--metrics=<substr>]\n";
+         " [--tol=X] [--metrics=<substr>]\n"
+         "       bernoulli_report append <ledger.jsonl> <report.json>\n"
+         "       bernoulli_report trend <ledger.jsonl> <metric-substr>\n"
+         "       bernoulli_report regress <ledger.jsonl> <baseline.json>"
+         " [--tol=X] [--metrics=<substr>]\n"
+         "exit codes: 0 ok; 1 regression / no common metrics / read or\n"
+         "parse failure; 2 usage error. --tolerance=X is an alias for\n"
+         "--tol=X (relative, default 0.25).\n";
   return 2;
 }
 
@@ -43,22 +64,45 @@ bool read_file(const std::string& path, std::string* out) {
   return true;
 }
 
+bool parse_doc(const std::string& path, bernoulli::support::JsonValue* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::cerr << "bernoulli_report: cannot read " << path << "\n";
+    return false;
+  }
+  try {
+    *out = bernoulli::support::json_parse(text);
+  } catch (const std::exception& e) {
+    std::cerr << "bernoulli_report: " << path << ": " << e.what() << "\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bernoulli;
 
-  bool diff = false;
+  std::string mode = "render";
   double tolerance = 0.25;
   std::string metric_filter;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--diff") {
-      diff = true;
-    } else if (arg.rfind("--tolerance=", 0) == 0) {
+      mode = "diff";
+    } else if (i == 1 &&
+               (arg == "append" || arg == "trend" || arg == "regress")) {
+      mode = arg;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--tolerance=", 0) == 0 ||
+               arg.rfind("--tol=", 0) == 0) {
+      const std::string v = arg.substr(arg.find('=') + 1);
       try {
-        tolerance = std::stod(arg.substr(12));
+        tolerance = std::stod(v);
       } catch (const std::exception&) {
         std::cerr << "bernoulli_report: bad tolerance '" << arg << "'\n";
         return 2;
@@ -72,31 +116,57 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (diff ? paths.size() != 2 : paths.size() != 1) return usage();
-
-  std::vector<support::JsonValue> docs;
-  for (const std::string& path : paths) {
-    std::string text;
-    if (!read_file(path, &text)) {
-      std::cerr << "bernoulli_report: cannot read " << path << "\n";
-      return 1;
-    }
-    try {
-      docs.push_back(support::json_parse(text));
-    } catch (const std::exception& e) {
-      std::cerr << "bernoulli_report: " << path << ": " << e.what() << "\n";
-      return 1;
-    }
-  }
+  const std::size_t want = mode == "render" ? 1 : 2;
+  if (paths.size() != want) return usage();
 
   try {
-    if (!diff) {
-      std::cout << analysis::report_text(docs[0]);
+    if (mode == "render") {
+      support::JsonValue doc;
+      if (!parse_doc(paths[0], &doc)) return 1;
+      std::cout << analysis::report_text(doc);
       return 0;
     }
-    analysis::DiffResult d =
-        analysis::diff_reports(docs[0], docs[1], tolerance, metric_filter);
-    std::cout << analysis::diff_text(d, tolerance);
+    if (mode == "diff") {
+      support::JsonValue base, current;
+      if (!parse_doc(paths[0], &base) || !parse_doc(paths[1], &current))
+        return 1;
+      analysis::DiffResult d =
+          analysis::diff_reports(base, current, tolerance, metric_filter);
+      std::cout << analysis::diff_text(d, tolerance);
+      return d.ok() ? 0 : 1;
+    }
+    if (mode == "append") {
+      std::string report_json;
+      if (!read_file(paths[1], &report_json)) {
+        std::cerr << "bernoulli_report: cannot read " << paths[1] << "\n";
+        return 1;
+      }
+      analysis::ledger_append(paths[0], report_json);
+      std::cerr << "appended " << paths[1] << " to " << paths[0] << "\n";
+      return 0;
+    }
+    if (mode == "trend") {
+      std::cout << analysis::ledger_trend_text(analysis::ledger_read(paths[0]),
+                                               paths[1]);
+      return 0;
+    }
+    // regress: newest ledger entry vs the committed baseline.
+    const std::vector<support::JsonValue> entries =
+        analysis::ledger_read(paths[0]);
+    if (entries.empty()) {
+      std::cerr << "bernoulli_report: ledger " << paths[0]
+                << " has no entries\n";
+      return 1;
+    }
+    support::JsonValue base;
+    if (!parse_doc(paths[1], &base)) return 1;
+    analysis::DiffResult d = analysis::diff_reports(
+        base, entries.back(), tolerance, metric_filter);
+    std::cout << analysis::diff_text(d, tolerance, /*only_changed=*/true);
+    if (!d.ok())
+      std::cerr << "bernoulli_report: REGRESSION — newest ledger entry "
+                   "worsens vs "
+                << paths[1] << " beyond tol=" << tolerance << "\n";
     return d.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "bernoulli_report: " << e.what() << "\n";
