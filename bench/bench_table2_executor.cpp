@@ -79,7 +79,9 @@
 #include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
 #include "compiler/specialize.hpp"
+#include "formats/bsr.hpp"
 #include "formats/ccs.hpp"
+#include "formats/sell.hpp"
 #include "runtime/machine.hpp"
 #include "support/counters.hpp"
 #include "support/histogram.hpp"
@@ -269,7 +271,7 @@ int run_traced(const support::ObsOptions& obs) {
 
 struct EngineCase {
   std::string matrix;
-  std::string format;  // "csr" | "ccs"
+  std::string format;  // "csr" | "ccs" | "bcsr" | "sell"
   index_t rows = 0;
   index_t nnz = 0;
   // Best-of-k wall seconds for one full SpMV, per engine (negative when
@@ -397,22 +399,42 @@ bool deterministic_metrics_match(const ExecMetricsDelta& a,
          a.flops == b.flops && a.sum_ns == a.wall_ns && b.sum_ns == b.wall_ns;
 }
 
+// One storage binding of a benchmark matrix. Exactly one pointer is set;
+// scalar_nnz is the LOGICAL nonzero count of the matrix, shared across
+// its formats so ns_per_nnz stays comparable (BCSR's block-fill zeros
+// and SELL's padding lanes are storage artifacts, not extra matrix
+// entries — per-entry times for bcsr honestly absorb the fill work).
+struct EngineMatrix {
+  std::string format;  // "csr" | "ccs" | "bcsr" | "sell"
+  const formats::Csr* csr = nullptr;
+  const formats::Ccs* ccs = nullptr;
+  const formats::Bsr* bsr = nullptr;
+  const formats::Sell* sell = nullptr;
+  index_t scalar_nnz = 0;
+};
+
 // Measures one (matrix, format) case. Engines run the same accumulation
 // y += A x on the same buffers; only the execution mechanism differs.
-EngineCase measure_engines(const std::string& label,
-                           const formats::Csr* csr, const formats::Ccs* ccs,
+EngineCase measure_engines(const std::string& label, const EngineMatrix& m,
                            bool want_interpreted, bool want_linked,
                            bool want_kernel, bool want_specialized,
                            int threads, bool check) {
   using namespace bernoulli::compiler;
-  const index_t rows = csr ? csr->rows() : ccs->rows();
-  const index_t cols = csr ? csr->cols() : ccs->cols();
+  const formats::Csr* csr = m.csr;
+  const index_t rows = csr      ? csr->rows()
+                       : m.ccs  ? m.ccs->rows()
+                       : m.bsr  ? m.bsr->rows()
+                                : m.sell->rows();
+  const index_t cols = csr      ? csr->cols()
+                       : m.ccs  ? m.ccs->cols()
+                       : m.bsr  ? m.bsr->cols()
+                                : m.sell->cols();
 
   EngineCase out;
   out.matrix = label;
-  out.format = csr ? "csr" : "ccs";
+  out.format = m.format;
   out.rows = rows;
-  out.nnz = csr ? csr->nnz() : ccs->nnz();
+  out.nnz = m.scalar_nnz;
 
   SplitMix64 rng(42);
   Vector x(static_cast<std::size_t>(cols));
@@ -422,8 +444,12 @@ EngineCase measure_engines(const std::string& label,
   Bindings b;
   if (csr)
     b.bind_csr("A", *csr);
+  else if (m.ccs)
+    b.bind_ccs("A", *m.ccs);
+  else if (m.bsr)
+    b.bind_bsr("A", *m.bsr);
   else
-    b.bind_ccs("A", *ccs);
+    b.bind_sell("A", *m.sell);
   b.bind_dense_vector("X", ConstVectorView(x));
   b.bind_dense_vector("Y", VectorView(y));
   LoopNest nest{{{"i", rows}, {"j", cols}},
@@ -573,9 +599,15 @@ EngineCase measure_engines(const std::string& label,
     if (csr)
       out.kernel_s = bench::best_seconds(
           [&] { formats::spmv_add(*csr, x, y); }, budget);
+    else if (m.ccs)
+      out.kernel_s = bench::best_seconds(
+          [&] { formats::spmv_add(*m.ccs, x, y); }, budget);
+    else if (m.bsr)
+      out.kernel_s = bench::best_seconds(
+          [&] { formats::spmv_add(*m.bsr, x, y); }, budget);
     else
       out.kernel_s = bench::best_seconds(
-          [&] { formats::spmv_add(*ccs, x, y); }, budget);
+          [&] { formats::spmv_add(*m.sell, x, y); }, budget);
   }
   if (want_kernel && threads > 1 && csr) {
     // Row-chunked hand-written CRS kernel on the shared pool: the bound
@@ -606,8 +638,19 @@ EngineCase measure_engines(const std::string& label,
   return out;
 }
 
+// Serial linked seconds of each matrix's CRS case — the baseline the
+// blocked/sliced storage speedup metrics divide against.
+std::map<std::string, double> crs_linked_baseline(
+    const std::vector<EngineCase>& cases) {
+  std::map<std::string, double> base;
+  for (const EngineCase& c : cases)
+    if (c.format == "csr" && c.linked_s > 0) base[c.matrix] = c.linked_s;
+  return base;
+}
+
 void write_exec_json(const std::vector<EngineCase>& cases,
                      const std::string& path, int threads) {
+  const std::map<std::string, double> crs = crs_linked_baseline(cases);
   support::JsonWriter w(2);
   w.begin_object();
   w.key("schema").value("bernoulli.bench.exec.v1");
@@ -649,6 +692,12 @@ void write_exec_json(const std::vector<EngineCase>& cases,
     if (c.linked_s > 0 && c.linked_t_s > 0)
       w.key("speedup_linked_threaded_over_serial")
           .value(c.linked_s / c.linked_t_s);
+    if (auto it = crs.find(c.matrix); it != crs.end() && c.linked_s > 0) {
+      if (c.format == "bcsr")
+        w.key("speedup_bcsr_vs_crs_linked").value(it->second / c.linked_s);
+      if (c.format == "sell")
+        w.key("speedup_sell_vs_crs_linked").value(it->second / c.linked_s);
+    }
     w.end_object();
   }
   w.end_array();
@@ -684,6 +733,29 @@ int run_engines(const std::string& which, bool small, bool check,
   if (threads > 1) std::cout << ", threaded engines at " << threads;
   std::cout << ") ===\n\n";
   std::vector<EngineCase> cases;
+  // Blocked/sliced storage axes on a block-structured Table-2 variant:
+  // the same grid3d problem at 4 dof per point, so BCSR's 4x4 blocks are
+  // the discretization's natural blocks. The CRS case on the same matrix
+  // is the baseline the speedup_bcsr_vs_crs_linked /
+  // speedup_sell_vs_crs_linked ledger metrics divide against. These run
+  // first so the scaling probe below still lands on the largest CRS case.
+  {
+    bench::Problem prob = bench::build_problem(1, /*dof=*/4);
+    const formats::Csr& csr = prob.matrix;
+    formats::Coo coo = csr.to_coo();
+    formats::Bsr bsr = formats::Bsr::from_coo(coo, 4);
+    formats::Sell sell = formats::Sell::from_coo(coo, 8, 32);
+    const std::string label = "grid3d_bs4_P1";
+    const index_t nnz = csr.nnz();
+    for (const EngineMatrix& em :
+         {EngineMatrix{"csr", &csr, nullptr, nullptr, nullptr, nnz},
+          EngineMatrix{"bcsr", nullptr, nullptr, &bsr, nullptr, nnz},
+          EngineMatrix{"sell", nullptr, nullptr, nullptr, &sell, nnz}})
+      cases.push_back(measure_engines(label, em, want_interpreted,
+                                      want_linked, want_kernel,
+                                      want_specialized, threads, check));
+    std::cerr << "  [" << label << " done]\n";
+  }
   // P=1 is in the full sweep too so a --small run (the CI gate) and the
   // committed BENCH_exec.json snapshot share comparable cases.
   for (int P : (small ? std::vector<int>{1} : std::vector<int>{1, 2, 4})) {
@@ -691,12 +763,14 @@ int run_engines(const std::string& which, bool small, bool check,
     const formats::Csr& csr = prob.matrix;
     formats::Ccs ccs = formats::Ccs::from_coo(csr.to_coo());
     std::string label = "grid3d_bs_P" + std::to_string(P);
-    cases.push_back(measure_engines(label, &csr, nullptr, want_interpreted,
-                                    want_linked, want_kernel,
-                                    want_specialized, threads, check));
-    cases.push_back(measure_engines(label, nullptr, &ccs, want_interpreted,
-                                    want_linked, want_kernel,
-                                    want_specialized, threads, check));
+    cases.push_back(measure_engines(
+        label, {"csr", &csr, nullptr, nullptr, nullptr, csr.nnz()},
+        want_interpreted, want_linked, want_kernel, want_specialized,
+        threads, check));
+    cases.push_back(measure_engines(
+        label, {"ccs", nullptr, &ccs, nullptr, nullptr, ccs.nnz()},
+        want_interpreted, want_linked, want_kernel, want_specialized,
+        threads, check));
     std::cerr << "  [" << label << " done]\n";
   }
 
@@ -807,6 +881,7 @@ int run_engines(const std::string& which, bool small, bool check,
 
   if (!json_path.empty()) write_exec_json(cases, json_path, threads);
   if (!report_path.empty()) {
+    const std::map<std::string, double> crs_base = crs_linked_baseline(cases);
     analysis::RunReport report("bench_table2_executor");
     report.config("axis", "engines");
     report.config("engine", which);
@@ -840,6 +915,15 @@ int run_engines(const std::string& which, bool small, bool check,
       if (c.linked_s > 0 && c.linked_t_s > 0)
         report.metric(base + ".speedup_linked_threaded_over_serial",
                       c.linked_s / c.linked_t_s);
+      if (auto it = crs_base.find(c.matrix);
+          it != crs_base.end() && c.linked_s > 0) {
+        if (c.format == "bcsr")
+          report.metric(base + ".speedup_bcsr_vs_crs_linked",
+                        it->second / c.linked_s);
+        if (c.format == "sell")
+          report.metric(base + ".speedup_sell_vs_crs_linked",
+                        it->second / c.linked_s);
+      }
       if (c.have_stats)
         report.add_model_check(c.matrix + "." + c.format,
                                analysis::model_check(c.plan, c.stats));

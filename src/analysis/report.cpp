@@ -238,7 +238,9 @@ std::map<std::string, double> report_metrics(const JsonValue& doc) {
       for (const char* key : {"speedup_linked_over_interpreted",
                               "slowdown_linked_vs_kernel",
                               "slowdown_specialized_vs_kernel",
-                              "speedup_linked_threaded_over_serial"})
+                              "speedup_linked_threaded_over_serial",
+                              "speedup_bcsr_vs_crs_linked",
+                              "speedup_sell_vs_crs_linked"})
         if (const JsonValue* v = c.find(key))
           out[base + "." + key] = v->as_number();
     }

@@ -120,6 +120,19 @@ IndexRange enum_index_range(const relation::EnumSpec& es) {
     case Kind::kStrided:
     case Kind::kOffsets:
       return scan_range(es.ind, es.ind_len);
+    case Kind::kBlocked: {
+      // ind holds block columns; each expands to block_c lanes.
+      IndexRange r = scan_range(es.ind, es.ind_len);
+      if (r.mx >= r.mn) {
+        r.mn = r.mn * es.block_c;
+        r.mx = r.mx * es.block_c + es.block_c - 1;
+      }
+      return r;
+    }
+    case Kind::kSliced:
+      // Whole lane-major array including padding (padding holds column 0,
+      // which only widens the range toward 0 — safe for the proofs).
+      return scan_range(es.ind, es.ind_len);
     case Kind::kFunction:
       return scan_range(es.map, es.map_len);
     case Kind::kNone:
@@ -274,6 +287,50 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
         ++indent;
         line("++" + en + ";");
         line("const int " + p + " = " + off + "[" + k + "] + " + P + ";");
+        line("const int " + v + " = " + ind_a + "[" + p + "];");
+        break;
+      }
+      case EKind::kBlocked: {
+        // One block row per parent row: the block loop walks the stored
+        // blocks, the lane loop has a literal trip count (block_c), which
+        // cc -O2 fully unrolls. The lane body is the loop's compound
+        // statement, so the level's single closing brace closes both.
+        const std::string ptr = pool.int_name(es.ptr);
+        const std::string ind_a = pool.int_name(es.ind);
+        const std::string rs = std::to_string(es.block_r);
+        const std::string cs = std::to_string(es.block_c);
+        const std::string rc = std::to_string(es.block_r * es.block_c);
+        const std::string b = "b" + D;
+        const std::string cc = "cc" + D;
+        line("const int br" + D + " = " + P + " / " + rs + ";");
+        line("const int ro" + D + " = (" + P + " % " + rs + ") * " + cs +
+             ";");
+        line("for (int " + b + " = " + ptr + "[br" + D + "]; " + b + " < " +
+             ptr + "[br" + D + " + 1]; ++" + b + ")");
+        line("for (int " + cc + " = 0; " + cc + " < " + cs + "; ++" + cc +
+             ") {");
+        ++indent;
+        line("++" + en + ";");
+        line("const int " + v + " = " + ind_a + "[" + b + "] * " + cs +
+             " + " + cc + ";");
+        line("const int " + p + " = " + b + " * " + rc + " + ro" + D +
+             " + " + cc + ";");
+        break;
+      }
+      case EKind::kSliced: {
+        // len[]-bounded lane walk: padding slots past a row's length are
+        // never touched, so the emitted kernel books the same counters as
+        // the engines.
+        const std::string ind_a = pool.int_name(es.ind);
+        const std::string off = pool.int_name(es.off);
+        const std::string len = pool.int_name(es.len);
+        line("const int sb" + D + " = " + off + "[" + P + "];");
+        line("for (int " + k + " = 0; " + k + " < " + len + "[" + P +
+             "]; ++" + k + ") {");
+        ++indent;
+        line("++" + en + ";");
+        line("const int " + p + " = sb" + D + " + " + k + " * " +
+             std::to_string(es.stride) + ";");
         line("const int " + v + " = " + ind_a + "[" + p + "];");
         break;
       }

@@ -188,7 +188,13 @@ void LinkedRunner::open_frame(std::size_t d) {
     const LinkedAccess& a = lv.drivers[s];
     const index_t parent =
         a.parent_slot < 0 ? 0 : pos_[static_cast<std::size_t>(a.parent_slot)];
-    a.level->begin_cursor(parent, f.cursors[s], f.bufs[s]);
+    // The descriptor was captured at link time, so non-opaque levels open
+    // with zero virtual calls; opaque levels (spa accumulators, hash
+    // stores) go through the buffered adapter as before.
+    if (a.desc.kind != relation::LevelDescriptor::Kind::kOpaque)
+      relation::descriptor_cursor(a.desc, parent, f.cursors[s]);
+    else
+      a.level->begin_cursor(parent, f.cursors[s], f.bufs[s]);
   }
   if (lv.method == JoinMethod::kMerge) {
     // What the interpreter would materialize for this invocation (and what
@@ -406,6 +412,50 @@ void LinkedRunner::prepare_bulk(const LinkedMac& mac) {
       bulk_acc_ok_ = false;
 }
 
+// Classifies the whole plan for the chunk-wide sliced drain. It engages
+// only for the shape where storage-order windows are provably equivalent
+// to the per-row walk:
+//   - two enumerate levels, one driver each: dense rows over a sliced
+//     (SELL-C-sigma) leaf;
+//   - the leaf qualifies for register-accumulated bulk drains with
+//     exactly two factors, each reading pos (the driver's values) or idx
+//     (a dense operand) directly — no per-row affine/const rebasing;
+//   - every probe at BOTH levels is proved all-hit at link time and none
+//     inserts, so window pre-resolution cannot miss or mutate storage.
+// Everything else keeps the per-row path, which stays the ground truth
+// the window drain must reproduce bitwise.
+void LinkedRunner::prepare_chunk(const LinkedMac& mac) {
+  (void)mac;
+  chunk_ok_ = false;
+  if (!bulk_ok_ || !bulk_acc_ok_) return;
+  if (lp_.levels.size() != 2) return;
+  const LinkedLevel& l0 = lp_.levels[0];
+  const LinkedLevel& l1 = lp_.levels[1];
+  if (l0.method != JoinMethod::kEnumerate ||
+      l1.method != JoinMethod::kEnumerate)
+    return;
+  if (l0.drivers.size() != 1 || l1.drivers.size() != 1) return;
+  if (!l0.probes.empty() && !l0.proved_all_hit) return;
+  if (!l1.probes.empty() && !l1.proved_all_hit) return;
+  for (const LinkedProbe& pr : l0.probes)
+    if (pr.insert_on_miss) return;
+  const relation::LevelDescriptor& d0 = l0.drivers[0].desc;
+  const relation::LevelDescriptor& d1 = l1.drivers[0].desc;
+  if (d0.kind != relation::LevelDescriptor::Kind::kDense) return;
+  if (d1.kind != relation::LevelDescriptor::Kind::kSliced) return;
+  if (d1.chunk <= 0 || d1.sigma <= 0 || d1.sigma % d1.chunk != 0) return;
+  if (bulk_ops_.size() != 2) return;
+  for (const BulkOp& o : bulk_ops_)
+    if (o.src != BulkOp::Src::kDriver && o.src != BulkOp::Src::kIdentity)
+      return;
+  chunk_c_ = d1.chunk;
+  chunk_sigma_ = d1.sigma;
+  chunk_off_ = d1.off;
+  chunk_len_ = d1.len;
+  chunk_ind_ = d1.ind;
+  chunk_ok_ = true;
+}
+
 // The run(LinkedMac) sink. operator() is the per-element multiply-
 // accumulate (unchanged semantics); try_bulk is the hook
 // drain_enumerate_leaf offers a whole leaf invocation to. A local class
@@ -442,12 +492,78 @@ struct LinkedRunner::MacSink {
     relation::Cursor& cur = f.cursors[0];
     if (cur.remaining() <= 0) return false;
 
+    // All-hit window check: identity/affine probes hit iff
+    // 0 <= idx < extent, so range membership of [mn, mx] settles every
+    // element of an invocation.
+    auto probes_hit = [&](index_t mn, index_t mx) {
+      for (const LinkedProbe& pr : lv.probes)
+        if (mn < 0 || mx >= pr.search.extent) return false;
+      return true;
+    };
+
+    // Book the invocation in bulk: every element enumerates, hits every
+    // probe, and produces — identical totals to the per-element path in
+    // any order, because no element misses.
+    auto book = [&](long long n) {
+      f.inv_enumerated += n;
+      f.inv_produced += n;
+      c.tuples += n;
+      c.probe_hits += n * static_cast<long long>(lv.probes.size());
+    };
+
+    // Flatten each operand to pos = base + mp*driver_pos + mi*idx for
+    // this invocation (kConst slots and affine parents are fixed here).
+    auto refresh = [&](BulkOp& o) {
+      switch (o.src) {
+        case BulkOp::Src::kConst:
+          o.base = r.pos_[o.slot];
+          o.mp = 0;
+          o.mi = 0;
+          break;
+        case BulkOp::Src::kDriver:
+          o.base = 0;
+          o.mp = 1;
+          o.mi = 0;
+          break;
+        case BulkOp::Src::kIdentity:
+          o.base = 0;
+          o.mp = 0;
+          o.mi = 1;
+          break;
+        case BulkOp::Src::kAffine:
+          o.base = (o.parent_slot < 0
+                        ? 0
+                        : r.pos_[static_cast<std::size_t>(o.parent_slot)]) *
+                   o.stride;
+          o.mp = 0;
+          o.mi = 1;
+          break;
+      }
+    };
+    auto refresh_ops = [&] {
+      refresh(r.bulk_target_);
+      for (BulkOp& o : r.bulk_ops_) refresh(o);
+    };
+
+    value_t* const td = mac.target_data.data();
+    const value_t scale = mac.scale;
+    const std::size_t nf = r.bulk_ops_.size();
+    auto prod_of = [&](index_t idx, index_t pos) {
+      value_t prod = scale;
+      for (std::size_t i = 0; i < nf; ++i) {
+        const BulkOp& o = r.bulk_ops_[i];
+        prod *= o.data[o.base + o.mp * pos + o.mi * idx];
+      }
+      return prod;
+    };
+
     auto bulk = [&](auto index_of, auto pos_of, bool ascending) -> bool {
       const index_t k0 = cur.cur;
       const index_t k1 = cur.end;
-      if (!lv.probes.empty()) {
-        // All-hit proof: identity/affine probes hit iff 0 <= idx < extent,
-        // so range membership of the min and max settles every element.
+      // proved_all_hit settled the window at link time from the level's
+      // whole enumerable range; only unproved levels pay the per-
+      // invocation min/max scan.
+      if (!lv.probes.empty() && !lv.proved_all_hit) {
         index_t mn, mx;
         if (ascending) {
           mn = index_of(k0);
@@ -460,62 +576,11 @@ struct LinkedRunner::MacSink {
             mx = std::max(mx, v);
           }
         }
-        for (const LinkedProbe& pr : lv.probes)
-          if (mn < 0 || mx >= pr.search.extent) return false;
+        if (!probes_hit(mn, mx)) return false;
       }
 
-      // Book the invocation in bulk: every element enumerates, hits every
-      // probe, and produces — identical totals to the per-element path in
-      // any order, because no element misses.
-      const long long n = k1 - k0;
-      f.inv_enumerated += n;
-      f.inv_produced += n;
-      c.tuples += n;
-      c.probe_hits += n * static_cast<long long>(lv.probes.size());
-
-      // Flatten each operand to pos = base + mp*driver_pos + mi*idx for
-      // this invocation (kConst slots and affine parents are fixed here).
-      auto refresh = [&](BulkOp& o) {
-        switch (o.src) {
-          case BulkOp::Src::kConst:
-            o.base = r.pos_[o.slot];
-            o.mp = 0;
-            o.mi = 0;
-            break;
-          case BulkOp::Src::kDriver:
-            o.base = 0;
-            o.mp = 1;
-            o.mi = 0;
-            break;
-          case BulkOp::Src::kIdentity:
-            o.base = 0;
-            o.mp = 0;
-            o.mi = 1;
-            break;
-          case BulkOp::Src::kAffine:
-            o.base = (o.parent_slot < 0
-                          ? 0
-                          : r.pos_[static_cast<std::size_t>(o.parent_slot)]) *
-                     o.stride;
-            o.mp = 0;
-            o.mi = 1;
-            break;
-        }
-      };
-      refresh(r.bulk_target_);
-      for (BulkOp& o : r.bulk_ops_) refresh(o);
-
-      value_t* const td = mac.target_data.data();
-      const value_t scale = mac.scale;
-      const std::size_t nf = r.bulk_ops_.size();
-      auto prod_of = [&](index_t idx, index_t pos) {
-        value_t prod = scale;
-        for (std::size_t i = 0; i < nf; ++i) {
-          const BulkOp& o = r.bulk_ops_[i];
-          prod *= o.data[o.base + o.mp * pos + o.mi * idx];
-        }
-        return prod;
-      };
+      book(k1 - k0);
+      refresh_ops();
 
       const BulkOp& t = r.bulk_target_;
       if (r.bulk_acc_ok_) {
@@ -584,10 +649,237 @@ struct LinkedRunner::MacSink {
                     [buf](index_t k) { return buf[k].pos; },
                     /*ascending=*/false);
       }
+      case relation::Cursor::Kind::kBlocked: {
+        // Register-blocked micro-kernel: one block-column load and one
+        // position base per r×c block instead of a div/mod per lane. The
+        // lane walk handles an arbitrary k0/k1 (a chunked outer range can
+        // hand us a partial first or last block).
+        const index_t* ind = cur.ind;
+        const index_t ebase = cur.base;
+        const index_t c0 = cur.stride;  // block width (lanes per block)
+        const index_t bsz = cur.bsz;
+        const index_t rofs = cur.rofs;
+        const index_t k0 = cur.cur;
+        const index_t k1 = cur.end;
+        if (!lv.probes.empty() && !lv.proved_all_hit) {
+          // Conservative lane window from the block columns this range
+          // touches: every lane of block b lies in [ind[b]*c, ind[b]*c+c).
+          const index_t b0 = ebase + k0 / c0;
+          const index_t bN = ebase + (k1 - 1) / c0;
+          index_t mnb = ind[b0];
+          index_t mxb = ind[b0];
+          for (index_t b = b0 + 1; b <= bN; ++b) {
+            mnb = std::min(mnb, ind[b]);
+            mxb = std::max(mxb, ind[b]);
+          }
+          if (!probes_hit(mnb * c0, mxb * c0 + c0 - 1)) return false;
+        }
+        book(k1 - k0);
+        refresh_ops();
+        const BulkOp& t = r.bulk_target_;
+        if (r.bulk_acc_ok_ && nf == 2) {
+          const BulkOp o0 = r.bulk_ops_[0];
+          const BulkOp o1 = r.bulk_ops_[1];
+          value_t acc = td[t.base];
+          index_t k = k0;
+          while (k < k1) {
+            const index_t b = ebase + k / c0;
+            const index_t cc0 = k % c0;
+            const index_t cc1 = std::min<index_t>(c0, cc0 + (k1 - k));
+            const index_t jb = ind[b] * c0;   // first lane index of block
+            const index_t pb = b * bsz + rofs;  // this row's value base
+            for (index_t cc = cc0; cc < cc1; ++cc) {
+              const index_t idx = jb + cc;
+              const index_t pos = pb + cc;
+              value_t prod = scale;
+              prod *= o0.data[o0.base + o0.mp * pos + o0.mi * idx];
+              prod *= o1.data[o1.base + o1.mp * pos + o1.mi * idx];
+              acc += prod;
+            }
+            k += cc1 - cc0;
+          }
+          td[t.base] = acc;
+        } else {
+          index_t k = k0;
+          while (k < k1) {
+            const index_t b = ebase + k / c0;
+            const index_t cc0 = k % c0;
+            const index_t cc1 = std::min<index_t>(c0, cc0 + (k1 - k));
+            const index_t jb = ind[b] * c0;
+            const index_t pb = b * bsz + rofs;
+            for (index_t cc = cc0; cc < cc1; ++cc) {
+              const index_t idx = jb + cc;
+              const index_t pos = pb + cc;
+              td[t.base + t.mp * pos + t.mi * idx] += prod_of(idx, pos);
+            }
+            k += cc1 - cc0;
+          }
+        }
+        cur.cur = k1;
+        return true;
+      }
       case relation::Cursor::Kind::kSingleton:
         return false;  // one element: the per-element path is already tight
     }
     return false;
+  }
+
+  // Chunk-wide sliced drain: run_span offers the open level-0 frame
+  // whenever the engine sits at the outer level. Consumes whole sigma-
+  // aligned windows of outer rows, draining each storage chunk with ONE
+  // unit-stride pass over its padded lane-interleaved storage instead of
+  // a lane-strided walk per row. Padded lanes are never touched: within a
+  // chunk the lanes are stored longest-first, so lanes retire as a suffix
+  // while k ascends. Each lane accumulates its row in ascending k into a
+  // private register — bitwise-identical stores to the per-row drains —
+  // and rows are pre-resolved per window, so every counter, fan-out
+  // sample and per-level stat books exactly what the per-row path books,
+  // merely reordered across rows (all order-invariant totals). Rows it
+  // does not consume — an unaligned thread-chunk prefix, the tail, a
+  // window whose chunk shape does not verify — are left untouched for
+  // the per-row path.
+  void try_chunk(LocalCounters& c, RunStats* st) const {
+    if (!r.chunk_ok_ || !bulk_drain_enabled()) return;
+    Frame& f0 = r.frames_[0];
+    relation::Cursor& cur = f0.cursors[0];
+    const index_t cw = r.chunk_c_;
+    const index_t sigma = r.chunk_sigma_;
+    if (cur.cur % sigma != 0 || cur.end - cur.cur < sigma) return;
+    const index_t* off = r.chunk_off_;
+    const index_t* len = r.chunk_len_;
+    const index_t* ind = r.chunk_ind_;
+    const LinkedLevel& lv0 = r.lp_.levels[0];
+    const LinkedLevel& lv1 = r.lp_.levels[1];
+    const std::size_t pos0 =
+        static_cast<std::size_t>(lv0.drivers[0].pos_slot);
+    const std::size_t var0 = static_cast<std::size_t>(lv0.var_slot);
+    const std::size_t pslot =
+        static_cast<std::size_t>(lv1.drivers[0].parent_slot);
+    const long long nprobes1 = static_cast<long long>(lv1.probes.size());
+    value_t* const td = mac.target_data.data();
+    const value_t scale = mac.scale;
+    // Factor forms are parent-independent here (prepare_chunk rejected
+    // kConst/kAffine), so flatten once: pos-sourced (driver values) or
+    // idx-sourced (dense operand).
+    auto flat = [](const BulkOp& o) {
+      BulkOp f = o;
+      f.base = 0;
+      f.mp = o.src == BulkOp::Src::kDriver ? 1 : 0;
+      f.mi = o.src == BulkOp::Src::kIdentity ? 1 : 0;
+      return f;
+    };
+    const BulkOp o0 = flat(r.bulk_ops_[0]);
+    const BulkOp o1 = flat(r.bulk_ops_[1]);
+
+    auto& ord = r.chunk_ord_;
+    auto& rbase = r.chunk_base_;
+    auto& rlen = r.chunk_lens_;
+    auto& tpos = r.chunk_tpos_;
+    auto& acc = r.chunk_acc_;
+    const std::size_t S = static_cast<std::size_t>(sigma);
+    ord.resize(S);
+    rbase.resize(S);
+    rlen.resize(S);
+    tpos.resize(S);
+    acc.resize(static_cast<std::size_t>(cw));
+
+    while (cur.cur % sigma == 0 && cur.end - cur.cur >= sigma) {
+      const index_t w0 = cur.cur;
+      // Pre-resolve the window's rows before booking any frame state: a
+      // filtered row or an unverifiable chunk shape restores the counter
+      // snapshot and leaves the whole window to the per-row path.
+      const LocalCounters saved = c;
+      bool ok = true;
+      for (index_t s = 0; s < sigma; ++s) {
+        const index_t row = w0 + s;
+        r.vars_[var0] = row;
+        r.pos_[pos0] = cur.base + row;
+        if (!r.resolve_probes(lv0, c)) {
+          ok = false;
+          break;
+        }
+        const index_t prow = r.pos_[pslot];
+        const std::size_t us = static_cast<std::size_t>(s);
+        ord[us] = s;
+        rbase[us] = off[prow];
+        rlen[us] = len[prow];
+        tpos[us] = r.pos_[tslot];
+      }
+      // Storage order: ascending per-row base recovers (chunk, lane).
+      // Insertion sort — sigma is small.
+      for (index_t a = 1; ok && a < sigma; ++a) {
+        const index_t v = ord[static_cast<std::size_t>(a)];
+        index_t b = a;
+        for (; b > 0 && rbase[static_cast<std::size_t>(
+                            ord[static_cast<std::size_t>(b - 1)])] >
+                            rbase[static_cast<std::size_t>(v)];
+             --b)
+          ord[static_cast<std::size_t>(b)] =
+              ord[static_cast<std::size_t>(b - 1)];
+        ord[static_cast<std::size_t>(b)] = v;
+      }
+      // Verify the shape this drain assumes: each storage-order group of
+      // cw rows shares one chunk (lane bases contiguous) and lane lengths
+      // never increase, so padded lanes retire as a suffix.
+      auto slot = [&](index_t j) {
+        return static_cast<std::size_t>(ord[static_cast<std::size_t>(j)]);
+      };
+      for (index_t j = 0; ok && j < sigma; j += cw) {
+        const index_t cb = rbase[slot(j)];
+        for (index_t lane = 0; lane < cw; ++lane) {
+          if (rbase[slot(j + lane)] != cb + lane ||
+              (lane > 0 &&
+               rlen[slot(j + lane)] > rlen[slot(j + lane - 1)])) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        c = saved;
+        return;
+      }
+
+      // Book the window: per row, exactly what next_binding plus a
+      // per-row bulk drain book (probe hits already counted above).
+      f0.inv_enumerated += sigma;
+      f0.inv_produced += sigma;
+      for (std::size_t us = 0; us < S; ++us) {
+        const long long n = rlen[us];
+        c.tuples += n;
+        c.enumerated += n;
+        c.probe_hits += n * nprobes1;
+        ++r.fanout_local_[1][static_cast<std::size_t>(
+            support::Log2Histogram::bucket_of(n))];
+        if (st) {
+          st->levels[1].enumerated += n;
+          st->levels[1].produced += n;
+        }
+      }
+      // One unit-stride pass per chunk over its padded storage.
+      for (index_t j = 0; j < sigma; j += cw) {
+        const index_t cb = rbase[slot(j)];
+        for (index_t lane = 0; lane < cw; ++lane)
+          acc[static_cast<std::size_t>(lane)] = td[tpos[slot(j + lane)]];
+        const index_t kmax = rlen[slot(j)];
+        index_t active = cw;
+        for (index_t k = 0; k < kmax; ++k) {
+          while (active > 0 && rlen[slot(j + active - 1)] <= k) --active;
+          const index_t p = cb + k * cw;
+          for (index_t lane = 0; lane < active; ++lane) {
+            const index_t pp = p + lane;
+            const index_t idx = ind[pp];
+            value_t prod = scale;
+            prod *= o0.data[o0.mp * pp + o0.mi * idx];
+            prod *= o1.data[o1.mp * pp + o1.mi * idx];
+            acc[static_cast<std::size_t>(lane)] += prod;
+          }
+        }
+        for (index_t lane = 0; lane < cw; ++lane)
+          td[tpos[slot(j + lane)]] = acc[static_cast<std::size_t>(lane)];
+      }
+      cur.cur += sigma;
+    }
   }
 };
 
@@ -697,6 +989,12 @@ void LinkedRunner::run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
     cur.end = hi;
   }
   while (true) {
+    // At the outer level, offer any whole sliced windows to the chunk-
+    // wide drain first (no-op unless prepare_chunk engaged and the
+    // cursor sits on a window boundary with a full window left).
+    if constexpr (requires { sink.try_chunk(c, stats); }) {
+      if (d == 0) sink.try_chunk(c, stats);
+    }
     if (d == leaf && lp_.levels[d].method == JoinMethod::kEnumerate) {
       drain_enumerate_leaf(d, c, sink);
       close_frame(d, c, stats);
@@ -765,6 +1063,7 @@ void LinkedRunner::run(const LinkedMac& mac, RunStats* stats) {
   const std::size_t tslot =
       static_cast<std::size_t>(lp_.leaf_slot[mac.target_slot]);
   prepare_bulk(mac);
+  prepare_chunk(mac);
   traced(lp_, stats, [&](RunStats* st) {
     run_impl(MacSink{*this, mac, tslot}, st);
   });
@@ -812,10 +1111,15 @@ void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
       extent = cur.remaining();
     }
     // Chunk grid: fixed size, independent of which worker runs what, a
-    // few chunks per worker so uneven rows still balance.
-    const index_t chunk =
+    // few chunks per worker so uneven rows still balance. Blocked levels
+    // round the chunk up to a whole number of block rows so one thread
+    // owns each block row's ptr/ind/vals segment (chunk_align = 1
+    // otherwise).
+    index_t chunk =
         std::max<index_t>(1, (extent + threads_ * 4 - 1) /
                                  std::max(1, threads_ * 4));
+    const index_t align = r0.lp_.chunk_align;
+    if (align > 1) chunk = ((chunk + align - 1) / align) * align;
 
     struct WorkerState {
       LinkedRunner::LocalCounters c;
@@ -927,6 +1231,7 @@ void ParallelRunner::run(const LinkedMac& mac, RunStats* stats) {
         const std::size_t tslot =
             static_cast<std::size_t>(r.lp_.leaf_slot[mac.target_slot]);
         r.prepare_bulk(mac);
+        r.prepare_chunk(mac);
         return LinkedRunner::MacSink{r, mac, tslot};
       },
       stats);

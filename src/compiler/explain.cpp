@@ -118,6 +118,15 @@ std::string explain(const Plan& plan, const Query& q) {
   const SpecializeLegality spec = plan_specialize_legality(plan, q);
   os << "specialize: " << (spec.ok ? "" : "linked fallback — ") << spec.note
      << "\n";
+  // Per-level storage descriptors of the driving access methods — the
+  // shapes the cursor lowering switches on (blocked 4x4, sliced C=8 ...).
+  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+    const Access& a = plan.levels[d].drivers[0];
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    os << "level " << d << ": "
+       << relation::descriptor_text(rel.view->level(a.depth).describe())
+       << "\n";
+  }
   return os.str();
 }
 
@@ -152,6 +161,14 @@ std::string explain_json(const Plan& plan, const Query& q, int indent) {
   w.key("ok").value(spec.ok);
   w.key("note").value(spec.note);
   w.end_object();
+  w.key("descriptors").begin_array();
+  for (const auto& level : plan.levels) {
+    const Access& a = level.drivers[0];
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    w.value(
+        relation::descriptor_text(rel.view->level(a.depth).describe()));
+  }
+  w.end_array();
   w.end_object();
   return w.str();
 }

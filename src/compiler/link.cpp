@@ -1,6 +1,7 @@
 #include "compiler/link.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <string>
 
 #include "support/error.hpp"
@@ -17,82 +18,6 @@ int find_var_slot(const Query& q, const std::string& v) {
   BERNOULLI_CHECK_MSG(it != q.vars.end(), "unbound variable " << v);
   return static_cast<int>(it - q.vars.begin());
 }
-
-}  // namespace
-
-LinkedPlan link_plan(const Plan& plan, const Query& q) {
-  q.validate();
-
-  LinkedPlan lp;
-  lp.plan = &plan;
-  lp.query = &q;
-
-  // Flat position-slot layout: one slot per (relation, depth), relations
-  // laid out consecutively. Replaces the interpreter's vector-of-vectors.
-  std::vector<int> pos_ofs(q.relations.size(), 0);
-  int slots = 0;
-  for (std::size_t r = 0; r < q.relations.size(); ++r) {
-    pos_ofs[r] = slots;
-    slots += static_cast<int>(q.relations[r].vars.size());
-  }
-  lp.pos_slots = slots;
-  lp.leaf_slot.resize(q.relations.size());
-  for (std::size_t r = 0; r < q.relations.size(); ++r)
-    lp.leaf_slot[r] =
-        pos_ofs[r] + static_cast<int>(q.relations[r].vars.size()) - 1;
-
-  auto lower_access = [&](const Access& a) {
-    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
-    BERNOULLI_CHECK(a.depth >= 0 &&
-                    a.depth < static_cast<index_t>(rel.vars.size()));
-    LinkedAccess la;
-    la.level = &rel.view->level(a.depth);
-    la.rel = a.rel;
-    la.depth = a.depth;
-    la.pos_slot =
-        pos_ofs[static_cast<std::size_t>(a.rel)] + static_cast<int>(a.depth);
-    la.parent_slot = a.depth == 0 ? -1 : la.pos_slot - 1;
-    return la;
-  };
-
-  lp.levels.reserve(plan.levels.size());
-  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
-    const PlanLevel& pl = plan.levels[d];
-    LinkedLevel ll;
-    ll.method = pl.method;
-    ll.var_slot = find_var_slot(q, pl.var);
-    BERNOULLI_CHECK_MSG(!pl.drivers.empty(),
-                        "plan level " << pl.var << " has no drivers");
-    if (pl.method == JoinMethod::kEnumerate)
-      BERNOULLI_CHECK(pl.drivers.size() == 1);
-    for (const Access& a : pl.drivers) ll.drivers.push_back(lower_access(a));
-    for (const Access& a : pl.probes) {
-      const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
-      LinkedProbe pr;
-      pr.access = lower_access(a);
-      pr.search = pr.access.level->search_spec();
-      pr.var_slot =
-          find_var_slot(q, rel.vars[static_cast<std::size_t>(a.depth)]);
-      pr.filters = rel.filters;
-      pr.insert_on_miss = rel.writes && pr.access.level->insertable();
-      // Insertable levels grow their arrays mid-run, so a flat spec
-      // captured now could dangle after the first fill-in. Probe those
-      // through the virtual method, which always sees current storage.
-      if (pr.insert_on_miss) pr.search = relation::SearchSpec{};
-      ll.probes.push_back(pr);
-    }
-    ll.fanout =
-        &support::histogram("executor.fanout.level" + std::to_string(d));
-    lp.levels.push_back(std::move(ll));
-  }
-  ParallelLegality leg = plan_parallel_legality(plan, q);
-  lp.parallel_ok = leg.ok;
-  lp.parallel_note = std::move(leg.note);
-  lp.footprint = derive_footprint(plan, q);
-  return lp;
-}
-
-namespace {
 
 // Link-time index range of everything a level can enumerate — the same
 // whole-structure scan the specializing emitter uses for its always-hit
@@ -130,6 +55,21 @@ IndexRange enum_index_range(const relation::EnumSpec& es) {
     case Kind::kStrided:
     case Kind::kOffsets:
       return scan_index_range(es.ind, es.ind_len);
+    case Kind::kBlocked: {
+      // ind holds block columns; each expands to lanes
+      // [ind[b]*c, ind[b]*c + c - 1].
+      IndexRange r = scan_index_range(es.ind, es.ind_len);
+      if (r.mx >= r.mn) {
+        r.mn = r.mn * es.block_c;
+        r.mx = r.mx * es.block_c + es.block_c - 1;
+      }
+      return r;
+    }
+    case Kind::kSliced:
+      // Scans the whole lane-major array including padding slots; padding
+      // holds column 0, which can only widen the range toward 0 — a safe
+      // over-approximation for the in-window proofs below.
+      return scan_index_range(es.ind, es.ind_len);
     case Kind::kFunction:
       return scan_index_range(es.map, es.map_len);
     case Kind::kNone:
@@ -138,7 +78,125 @@ IndexRange enum_index_range(const relation::EnumSpec& es) {
   return {};
 }
 
+// Link-time always-hit proof for one enumerate level: every probe lowers
+// to pure arithmetic (identity/affine), never inserts, and the driver's
+// whole enumerable index range provably lands inside every probe's
+// accepting window. The bulk leaf drain then skips its per-invocation
+// min/max scan of the cursor range.
+bool prove_all_hit(const LinkedLevel& ll) {
+  if (ll.method != JoinMethod::kEnumerate || ll.drivers.size() != 1)
+    return false;
+  const relation::EnumSpec es = ll.drivers[0].level->enum_spec();
+  if (es.kind == relation::EnumSpec::Kind::kNone) return false;
+  const IndexRange r = enum_index_range(es);
+  for (const LinkedProbe& pr : ll.probes) {
+    if (pr.insert_on_miss) return false;
+    if (pr.search.kind != relation::SearchSpec::Kind::kIdentity &&
+        pr.search.kind != relation::SearchSpec::Kind::kAffine)
+      return false;
+    if (r.mx >= r.mn && (r.mn < 0 || r.mx >= pr.search.extent)) return false;
+  }
+  return true;
+}
+
 }  // namespace
+
+LinkedPlan link_plan(const Plan& plan, const Query& q) {
+  q.validate();
+
+  LinkedPlan lp;
+  lp.plan = &plan;
+  lp.query = &q;
+
+  // Flat position-slot layout: one slot per (relation, depth), relations
+  // laid out consecutively. Replaces the interpreter's vector-of-vectors.
+  std::vector<int> pos_ofs(q.relations.size(), 0);
+  int slots = 0;
+  for (std::size_t r = 0; r < q.relations.size(); ++r) {
+    pos_ofs[r] = slots;
+    slots += static_cast<int>(q.relations[r].vars.size());
+  }
+  lp.pos_slots = slots;
+  lp.leaf_slot.resize(q.relations.size());
+  for (std::size_t r = 0; r < q.relations.size(); ++r)
+    lp.leaf_slot[r] =
+        pos_ofs[r] + static_cast<int>(q.relations[r].vars.size()) - 1;
+
+  auto lower_access = [&](const Access& a) {
+    const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+    BERNOULLI_CHECK(a.depth >= 0 &&
+                    a.depth < static_cast<index_t>(rel.vars.size()));
+    LinkedAccess la;
+    la.level = &rel.view->level(a.depth);
+    la.desc = la.level->describe();
+    la.rel = a.rel;
+    la.depth = a.depth;
+    la.pos_slot =
+        pos_ofs[static_cast<std::size_t>(a.rel)] + static_cast<int>(a.depth);
+    la.parent_slot = a.depth == 0 ? -1 : la.pos_slot - 1;
+    return la;
+  };
+
+  lp.levels.reserve(plan.levels.size());
+  for (std::size_t d = 0; d < plan.levels.size(); ++d) {
+    const PlanLevel& pl = plan.levels[d];
+    LinkedLevel ll;
+    ll.method = pl.method;
+    ll.var_slot = find_var_slot(q, pl.var);
+    BERNOULLI_CHECK_MSG(!pl.drivers.empty(),
+                        "plan level " << pl.var << " has no drivers");
+    if (pl.method == JoinMethod::kEnumerate)
+      BERNOULLI_CHECK(pl.drivers.size() == 1);
+    for (const Access& a : pl.drivers) ll.drivers.push_back(lower_access(a));
+    for (const Access& a : pl.probes) {
+      const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+      LinkedProbe pr;
+      pr.access = lower_access(a);
+      pr.search = pr.access.level->search_spec();
+      pr.var_slot =
+          find_var_slot(q, rel.vars[static_cast<std::size_t>(a.depth)]);
+      pr.filters = rel.filters;
+      pr.insert_on_miss = rel.writes && pr.access.level->insertable();
+      // Insertable levels grow their arrays mid-run, so a flat spec
+      // captured now could dangle after the first fill-in. Probe those
+      // through the virtual method, which always sees current storage.
+      if (pr.insert_on_miss) pr.search = relation::SearchSpec{};
+      ll.probes.push_back(pr);
+    }
+    ll.fanout =
+        &support::histogram("executor.fanout.level" + std::to_string(d));
+    ll.proved_all_hit = prove_all_hit(ll);
+    lp.levels.push_back(std::move(ll));
+  }
+  // Blocked levels group block_r consecutive parent bindings into one
+  // block row; when such a level hangs directly off the outer variable,
+  // thread chunks are rounded up to block_r so no block row's rows split
+  // across threads (shared ptr/ind/vals segments stay thread-local).
+  // Sliced levels likewise align chunks to the sorting window sigma so
+  // every thread chunk starts on a window boundary and the chunk-wide
+  // sliced drain (exec_linked.cpp) engages under threading exactly as it
+  // does serially.
+  if (!plan.levels.empty()) {
+    for (const LinkedLevel& ll : lp.levels)
+      for (const LinkedAccess& a : ll.drivers) {
+        if (a.depth == 0) continue;
+        const auto& rel = q.relations[static_cast<std::size_t>(a.rel)];
+        if (rel.vars[static_cast<std::size_t>(a.depth) - 1] !=
+            plan.levels[0].var)
+          continue;
+        if (a.desc.kind == relation::LevelDescriptor::Kind::kBlocked)
+          lp.chunk_align = std::max(lp.chunk_align, a.desc.block_r);
+        else if (a.desc.kind == relation::LevelDescriptor::Kind::kSliced &&
+                 a.desc.sigma > 0)
+          lp.chunk_align = std::lcm(lp.chunk_align, a.desc.sigma);
+      }
+  }
+  ParallelLegality leg = plan_parallel_legality(plan, q);
+  lp.parallel_ok = leg.ok;
+  lp.parallel_note = std::move(leg.note);
+  lp.footprint = derive_footprint(plan, q);
+  return lp;
+}
 
 PlanFootprint derive_footprint(const Plan& plan, const Query& q) {
   PlanFootprint fp;
@@ -237,6 +295,54 @@ PlanFootprint derive_footprint(const Plan& plan, const Query& q) {
         op.index_bytes += enumerated * szi;  // ind[pos] per element
         if (es.kind == relation::EnumSpec::Kind::kOffsets)
           op.index_bytes += enumerated * szi;  // off[k] per element
+        break;
+      }
+      case relation::EnumSpec::Kind::kBlocked: {
+        // Block rows group block_r parents; each parent row re-walks its
+        // block row's (ptr[br+1]-ptr[br]) blocks, c lanes per block. Fill
+        // zeros inside stored blocks ARE enumerated, so no padding here.
+        if (es.ptr_len < 2)
+          return inexact(rel.view->name() + " blocked level " + pl.var +
+                         " has an empty block ptr array");
+        if (root_parent) {
+          enumerated =
+              produced * (es.ptr[1] - es.ptr[0]) * es.block_c;
+        } else {
+          if (!parent_covered ||
+              produced != static_cast<long long>(es.block_r) *
+                              (es.ptr_len - 1))
+            return inexact(rel.view->name() + " blocked level " + pl.var +
+                           " is not invoked once per row of every block row");
+          enumerated = static_cast<long long>(es.ptr[es.ptr_len - 1] -
+                                              es.ptr[0]) *
+                       es.block_r * es.block_c;
+        }
+        op.index_bytes += 2 * produced * szi;    // block-row bounds
+        op.index_bytes += enumerated * szi;      // ind[b] per lane visit
+        break;
+      }
+      case relation::EnumSpec::Kind::kSliced: {
+        // Chunk-sliced (SELL-C-σ): each parent row walks len[parent]
+        // lane-strided slots starting at off[parent]. Padding lanes past a
+        // row's length are stored but never enumerated — booked as
+        // padding_bytes, not traffic.
+        long long count = 0;
+        if (root_parent) {
+          if (es.len_len < 1)
+            return inexact(rel.view->name() + " sliced level " + pl.var +
+                           " has an empty len array");
+          count = produced * es.len[0];
+        } else {
+          if (!parent_covered || produced != es.len_len)
+            return inexact(rel.view->name() + " sliced level " + pl.var +
+                           " is not invoked exactly once per row");
+          for (index_t p = 0; p < es.len_len; ++p) count += es.len[p];
+          fp.padding_bytes += (es.ind_len - count) * (szi + szv);
+        }
+        enumerated = count;
+        op.index_bytes += produced * szi;    // len[parent] per invocation
+        op.index_bytes += produced * szi;    // off[parent] per invocation
+        op.index_bytes += enumerated * szi;  // ind[pos] per element
         break;
       }
     }

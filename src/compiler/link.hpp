@@ -40,6 +40,10 @@ struct LinkedAccess {
   index_t depth = 0;  // hierarchy depth (diagnostics)
   int pos_slot = 0;   // flat position-array slot this access writes
   int parent_slot = -1;  // slot holding the parent position; -1 = root (0)
+  // Level descriptor captured at link time. Non-opaque descriptors let the
+  // runner open cursors by switching on the kind directly — zero virtual
+  // calls per frame open (opaque levels fall back to the buffered adapter).
+  relation::LevelDescriptor desc;
 };
 
 /// A probe access: the driver fields plus the lowered search method and
@@ -58,6 +62,11 @@ struct LinkedLevel {
   std::vector<LinkedAccess> drivers;  // 1 for enumerate, 2+ for merge
   std::vector<LinkedProbe> probes;
   support::Log2Histogram* fanout = nullptr;  // executor.fanout.level<d>
+  // Link-time always-hit proof: every probe at this level is an identity /
+  // affine search with no insert-on-miss, and the driver's whole index
+  // range provably lands inside every probe's accepting window. When true
+  // the bulk leaf drain skips its per-invocation min/max range scan.
+  bool proved_all_hit = false;
 };
 
 /// Static data-movement footprint of one plan, derived at link time from
@@ -82,6 +91,9 @@ struct PlanFootprint {
   std::vector<Operand> operands;  // one per query relation, in order
   long long leaf_tuples = 0;      // surviving leaf bindings per run
   long long flops = 0;            // multiply-accumulate flops per run
+  // Slack bytes a padded layout (SELL-C-σ lanes) stores but never
+  // enumerates: storage overhead, excluded from index/value traffic.
+  long long padding_bytes = 0;
   bool exact = false;
   std::string note;
 
@@ -109,6 +121,13 @@ struct LinkedPlan {
   // parallel_note says why (also surfaced by EXPLAIN).
   bool parallel_ok = false;
   std::string parallel_note;
+  // Thread-chunk alignment for the outer variable: when the plan walks a
+  // blocked level whose block rows group `chunk_align` consecutive outer
+  // bindings, chunk boundaries must fall on multiples of it so no block
+  // row straddles two threads; when it walks a sliced level, chunks align
+  // to the sorting window sigma so whole windows stay thread-local and
+  // the chunk-wide sliced drain can engage. 1 = no constraint.
+  index_t chunk_align = 1;
   // Static per-run data-movement model (see PlanFootprint). Derived by
   // link_plan; feeds execute.model_bytes / execute.model_flops metrics and
   // the roofline section of run reports.
@@ -268,6 +287,10 @@ class LinkedRunner {
   struct MacSink;
   // Classifies the mac against the leaf level and fills bulk_* members.
   void prepare_bulk(const LinkedMac& mac);
+  // Classifies the whole plan for the chunk-wide sliced drain (a two-
+  // level dense-rows x sliced-leaf mac with proved all-hit probes and a
+  // register-cacheable target) and fills chunk_* members.
+  void prepare_chunk(const LinkedMac& mac);
 
   LinkedPlan lp_;
   std::vector<index_t> vars_;
@@ -284,6 +307,26 @@ class LinkedRunner {
   BulkOp bulk_target_;
   bool bulk_ok_ = false;      // leaf level + operands admit bulk drains
   bool bulk_acc_ok_ = false;  // target constant and alias-free: cache it
+  // --- Chunk-wide sliced drain (run(LinkedMac) only) -----------------
+  // When a two-level plan enumerates dense rows over a sliced (SELL-C-σ)
+  // leaf, whole σ-row windows drain in storage order as per-chunk
+  // unit-stride lane passes (padded lanes retire as a suffix of the
+  // descending-length lane order), instead of one lane-strided walk per
+  // row. Per-row accumulation order is unchanged — one private register
+  // per lane, ascending k — so results, counters, fan-out histograms and
+  // per-level stats are identical to the per-row path.
+  bool chunk_ok_ = false;
+  index_t chunk_c_ = 0;      // lanes per chunk (SELL C)
+  index_t chunk_sigma_ = 0;  // sorting window (a multiple of C)
+  const index_t* chunk_off_ = nullptr;  // per-row storage base
+  const index_t* chunk_len_ = nullptr;  // per-row live length
+  const index_t* chunk_ind_ = nullptr;  // lane-interleaved column ids
+  // Window scratch (slot = row - window start), reused across windows.
+  std::vector<index_t> chunk_ord_;   // window slots in storage order
+  std::vector<index_t> chunk_base_;  // per-slot storage base
+  std::vector<index_t> chunk_lens_;  // per-slot live length
+  std::vector<index_t> chunk_tpos_;  // per-slot target position
+  std::vector<value_t> chunk_acc_;   // per-lane accumulators
   // Per-level local fan-out buckets, flushed to the registry histograms
   // once per run (kBuckets wide, see support/histogram.hpp).
   std::vector<std::vector<long long>> fanout_local_;

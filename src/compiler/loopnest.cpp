@@ -4,7 +4,9 @@
 
 #include "compiler/explain.hpp"
 #include "relation/array_views.hpp"
+#include "relation/bsr_view.hpp"
 #include "relation/ell_view.hpp"
+#include "relation/sell_view.hpp"
 #include "relation/sparse_vector_view.hpp"
 #include "support/error.hpp"
 
@@ -31,6 +33,16 @@ void Bindings::bind_coo(const std::string& name, const formats::Coo& m) {
 
 void Bindings::bind_ell(const std::string& name, const formats::Ell& m) {
   owned_.push_back(std::make_unique<relation::EllView>(name, m));
+  entries_[name] = {owned_.back().get(), {0, 1}, /*sparse=*/true};
+}
+
+void Bindings::bind_bsr(const std::string& name, const formats::Bsr& m) {
+  owned_.push_back(std::make_unique<relation::BsrView>(name, m));
+  entries_[name] = {owned_.back().get(), {0, 1}, /*sparse=*/true};
+}
+
+void Bindings::bind_sell(const std::string& name, const formats::Sell& m) {
+  owned_.push_back(std::make_unique<relation::SellView>(name, m));
   entries_[name] = {owned_.back().get(), {0, 1}, /*sparse=*/true};
 }
 

@@ -18,11 +18,13 @@
 #include "compiler/executor.hpp"
 #include "compiler/link.hpp"
 #include "compiler/planner.hpp"
+#include "formats/bsr.hpp"
 #include "formats/ccs.hpp"
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
 #include "formats/dense.hpp"
 #include "formats/ell.hpp"
+#include "formats/sell.hpp"
 #include "formats/sparse_vector.hpp"
 
 namespace bernoulli::compiler {
@@ -69,6 +71,8 @@ class Bindings {
   void bind_ccs(const std::string& name, const formats::Ccs& m);
   void bind_coo(const std::string& name, const formats::Coo& m);
   void bind_ell(const std::string& name, const formats::Ell& m);
+  void bind_bsr(const std::string& name, const formats::Bsr& m);
+  void bind_sell(const std::string& name, const formats::Sell& m);
   void bind_dense_matrix(const std::string& name, formats::Dense& m);
   void bind_dense_vector(const std::string& name, VectorView v);
   void bind_dense_vector(const std::string& name, ConstVectorView v);

@@ -16,17 +16,32 @@ std::string kind_name(Kind k) {
     case Kind::kDia: return "Diagonal";
     case Kind::kEll: return "ITPACK";
     case Kind::kJds: return "JDiag";
+    case Kind::kBsr: return "BCSR";
+    case Kind::kSell: return "SELL-C-s";
   }
   return "?";
 }
 
 std::span<const Kind> sparse_kinds() {
-  static constexpr std::array<Kind, 7> kinds = {
+  static constexpr std::array<Kind, 9> kinds = {
       Kind::kDia, Kind::kCoo, Kind::kCsr,  Kind::kCcs,
-      Kind::kCccs, Kind::kEll, Kind::kJds,
+      Kind::kCccs, Kind::kEll, Kind::kJds, Kind::kBsr, Kind::kSell,
   };
   return kinds;
 }
+
+namespace {
+
+// Block size for sweeps that only hand us a matrix: the largest small
+// power of two dividing both dimensions (block 1 degenerates to CSR with
+// per-block metadata, still valid).
+index_t default_block(const Coo& a) {
+  for (index_t b : {4, 2})
+    if (a.rows() % b == 0 && a.cols() % b == 0) return b;
+  return 1;
+}
+
+}  // namespace
 
 AnyFormat::AnyFormat(Kind kind, const Coo& a) : kind_(kind) {
   switch (kind) {
@@ -38,6 +53,8 @@ AnyFormat::AnyFormat(Kind kind, const Coo& a) : kind_(kind) {
     case Kind::kDia: m_ = Dia::from_coo(a); break;
     case Kind::kEll: m_ = Ell::from_coo(a); break;
     case Kind::kJds: m_ = Jds::from_coo(a); break;
+    case Kind::kBsr: m_ = Bsr::from_coo(a, default_block(a)); break;
+    case Kind::kSell: m_ = Sell::from_coo(a, /*chunk=*/8, /*sigma=*/32); break;
   }
 }
 
@@ -95,6 +112,13 @@ std::size_t AnyFormat::storage_bytes() const {
                      sizeof(index_t);
         } else if constexpr (std::is_same_v<T, Ell>) {
           return m.vals().size() * (sizeof(value_t) + sizeof(index_t));
+        } else if constexpr (std::is_same_v<T, Bsr>) {
+          return m.vals().size() * sizeof(value_t) +
+                 (m.browptr().size() + m.bcolind().size()) * sizeof(index_t);
+        } else if constexpr (std::is_same_v<T, Sell>) {
+          return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +
+                 (m.cptr().size() + m.rowbase().size() + m.rowlen().size()) *
+                     sizeof(index_t);
         } else {
           static_assert(std::is_same_v<T, Jds>);
           return m.vals().size() * (sizeof(value_t) + sizeof(index_t)) +

@@ -5,6 +5,7 @@
 #include <string>
 #include <variant>
 
+#include "formats/bsr.hpp"
 #include "formats/ccs.hpp"
 #include "formats/coo.hpp"
 #include "formats/csr.hpp"
@@ -12,6 +13,7 @@
 #include "formats/dia.hpp"
 #include "formats/ell.hpp"
 #include "formats/jds.hpp"
+#include "formats/sell.hpp"
 
 namespace bernoulli::formats {
 
@@ -24,6 +26,8 @@ enum class Kind {
   kDia,
   kEll,
   kJds,
+  kBsr,
+  kSell,
 };
 
 /// Short human-readable name matching the paper's Table 1 column headers
@@ -60,7 +64,7 @@ class AnyFormat {
 
  private:
   Kind kind_;
-  std::variant<Dense, Coo, Csr, Ccs, Cccs, Dia, Ell, Jds> m_;
+  std::variant<Dense, Coo, Csr, Ccs, Cccs, Dia, Ell, Jds, Bsr, Sell> m_;
 };
 
 }  // namespace bernoulli::formats

@@ -1,0 +1,77 @@
+// Sliced ELLPACK (SELL-C-sigma) storage — an extension beyond the paper's
+// format set, from the SIMD literature: rows are gathered into chunks of
+// C lanes, each chunk padded only to the length of its LONGEST member
+// row, and rows are pre-sorted by length (descending, stable) inside
+// windows of sigma rows so chunk-mates have similar lengths and padding
+// stays small. C matches the vector width; sigma trades reordering
+// locality against padding (sigma = rows is JDS-like, sigma = C is
+// nearly CSR order).
+//
+// Layout: chunk ch covers sorted positions [ch*C, (ch+1)*C); CPTR[ch] is
+// its value offset; entry k of the row at sorted position p lives at
+// CPTR[p/C] + k*C + p%C — lane-major, so advancing k is unit stride
+// across the C lanes of a chunk. Per ORIGINAL row i, ROWBASE[i] is its
+// lane's first slot and ROWLEN[i] its entry count; padding slots beyond
+// ROWLEN hold column 0 / value 0.0 and are never enumerated.
+#pragma once
+
+#include <vector>
+
+#include "formats/coo.hpp"
+
+namespace bernoulli::formats {
+
+class Sell {
+ public:
+  Sell() = default;
+  Sell(index_t rows, index_t cols, index_t chunk, index_t sigma,
+       std::vector<index_t> cptr, std::vector<index_t> colind,
+       std::vector<value_t> vals, std::vector<index_t> rowbase,
+       std::vector<index_t> rowlen);
+
+  /// Packs any matrix; `sigma` must be a positive multiple of `chunk`.
+  /// A partial last chunk stores length-0 lanes for the missing rows.
+  /// Entries of each row keep their ascending-column CSR order.
+  static Sell from_coo(const Coo& a, index_t chunk, index_t sigma);
+
+  /// Padding slots are skipped on the way out (they are outside every
+  /// row's ROWLEN), so any matrix round-trips exactly.
+  Coo to_coo() const;
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t chunk() const { return chunk_; }
+  index_t sigma() const { return sigma_; }
+  index_t num_chunks() const {
+    return static_cast<index_t>(cptr_.size()) - 1;
+  }
+  index_t nnz() const { return nnz_; }
+  /// Allocated slots including padding lanes.
+  index_t stored() const { return static_cast<index_t>(vals_.size()); }
+
+  std::span<const index_t> cptr() const { return cptr_; }
+  std::span<const index_t> colind() const { return colind_; }
+  std::span<const value_t> vals() const { return vals_; }
+  std::span<const index_t> rowbase() const { return rowbase_; }
+  std::span<const index_t> rowlen() const { return rowlen_; }
+
+  value_t at(index_t i, index_t j) const;
+  void validate() const;
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t chunk_ = 1;
+  index_t sigma_ = 1;
+  index_t nnz_ = 0;
+  std::vector<index_t> cptr_;     // num_chunks()+1 value offsets
+  std::vector<index_t> colind_;   // lane-major slots, padding = 0
+  std::vector<value_t> vals_;     // same shape, padding = 0.0
+  std::vector<index_t> rowbase_;  // per ORIGINAL row: first slot
+  std::vector<index_t> rowlen_;   // per ORIGINAL row: entry count
+};
+
+void spmv(const Sell& a, ConstVectorView x, VectorView y);
+void spmv_add(const Sell& a, ConstVectorView x, VectorView y);
+
+}  // namespace bernoulli::formats

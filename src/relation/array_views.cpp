@@ -29,25 +29,12 @@ class DenseIntervalLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(extent_); }
 
-  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kDenseRange;
-    c.end = extent_;
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kIdentity;
-    s.extent = extent_;
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kDense;
-    e.extent = extent_;
-    e.stride = 0;  // pos = k for every parent
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kDense;
+    d.extent = extent_;
+    d.stride = 0;  // pos = k for every parent
+    return d;
   }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,
@@ -100,30 +87,14 @@ class CompressedLevel final : public IndexLevel {
 
   double expected_size() const override { return expected_; }
 
-  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kIndArray;
-    c.ind = ind_.data();
-    c.cur = ptr_[static_cast<std::size_t>(parent)];
-    c.end = ptr_[static_cast<std::size_t>(parent) + 1];
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kSegmentBinary;
-    s.ptr = ptr_.data();
-    s.ind = ind_.data();
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kSegmented;
-    e.ptr = ptr_.data();
-    e.ind = ind_.data();
-    e.ptr_len = static_cast<index_t>(ptr_.size());
-    e.ind_len = static_cast<index_t>(ind_.size());
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kCompressed;
+    d.ptr = ptr_.data();
+    d.ptr_len = static_cast<index_t>(ptr_.size());
+    d.ind = ind_.data();
+    d.ind_len = static_cast<index_t>(ind_.size());
+    return d;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
@@ -175,28 +146,12 @@ class SortedListLevel final : public IndexLevel {
     return static_cast<double>(list_.size());
   }
 
-  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kIndArray;
-    c.ind = list_.data();
-    c.end = static_cast<index_t>(list_.size());
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kListBinary;
-    s.ind = list_.data();
-    s.extent = static_cast<index_t>(list_.size());
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kList;
-    e.ind = list_.data();
-    e.extent = static_cast<index_t>(list_.size());
-    e.ind_len = e.extent;
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kList;
+    d.ind = list_.data();
+    d.ind_len = static_cast<index_t>(list_.size());
+    return d;
   }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,
@@ -240,27 +195,12 @@ class FunctionLevel final : public IndexLevel {
 
   double expected_size() const override { return 1.0; }
 
-  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kSingleton;
-    c.end = 1;
-    c.s_idx = map_[static_cast<std::size_t>(parent)];
-    c.s_pos = parent;
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kFunction;
-    s.map = map_.data();
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kFunction;
-    e.map = map_.data();
-    e.map_len = static_cast<index_t>(map_.size());
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kSingleton;
+    d.map = map_.data();
+    d.map_len = static_cast<index_t>(map_.size());
+    return d;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
@@ -302,27 +242,12 @@ class DenseMatrixInnerLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(cols_); }
 
-  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kDenseRange;
-    c.base = parent * cols_;
-    c.end = cols_;
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kAffine;
-    s.extent = cols_;
-    s.stride = cols_;
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kDense;
-    e.extent = cols_;
-    e.stride = cols_;  // pos = parent*cols + k
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kDense;
+    d.extent = cols_;
+    d.stride = cols_;  // pos = parent*cols + k
+    return d;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

@@ -19,6 +19,7 @@
 // time. kVirtual falls back to IndexLevel::search per probe.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "support/types.hpp"
@@ -44,6 +45,9 @@ struct Cursor {
     kStrided,     // pos = base + cur*stride,  idx = ind[pos]
     kOffsets,     // pos = off[cur] + base,    idx = ind[pos]
     kSingleton,   // the single pair (s_idx, s_pos)
+    kBlocked,     // BCSR scalar walk: block b = base + cur/stride holds
+                  // lane cc = cur%stride; idx = ind[b]*stride + cc,
+                  // pos = b*bsz + rofs + cc (rofs = row-in-block * cols)
     kBuffered,    // idx = buf[cur].idx,  pos = buf[cur].pos
   };
 
@@ -52,11 +56,13 @@ struct Cursor {
   index_t end = 0;
   index_t base = 0;
   index_t stride = 1;
-  const index_t* ind = nullptr;   // kIndArray / kStrided / kOffsets
+  const index_t* ind = nullptr;   // kIndArray / kStrided / kOffsets / kBlocked
   const index_t* off = nullptr;   // kOffsets
   const IndexPos* buf = nullptr;  // kBuffered
   index_t s_idx = 0;              // kSingleton
   index_t s_pos = 0;
+  index_t rofs = 0;               // kBlocked: (parent % r) * c
+  index_t bsz = 0;                // kBlocked: r * c values per block
 
   bool valid() const { return cur < end; }
   void advance() { ++cur; }
@@ -72,6 +78,8 @@ struct Cursor {
       case Kind::kStrided: return ind[base + cur * stride];
       case Kind::kOffsets: return ind[off[cur] + base];
       case Kind::kSingleton: return s_idx;
+      case Kind::kBlocked:
+        return ind[base + cur / stride] * stride + cur % stride;
       case Kind::kBuffered: return buf[cur].idx;
     }
     return -1;
@@ -84,6 +92,8 @@ struct Cursor {
       case Kind::kStrided: return base + cur * stride;
       case Kind::kOffsets: return off[cur] + base;
       case Kind::kSingleton: return s_pos;
+      case Kind::kBlocked:
+        return (base + cur / stride) * bsz + rofs + cur % stride;
       case Kind::kBuffered: return buf[cur].pos;
     }
     return -1;
@@ -111,16 +121,26 @@ struct EnumSpec {
                  //                        idx = ind[pos]         (ELLPACK)
     kOffsets,    // k in [0, len[parent]): pos = off[k] + parent,
                  //                        idx = ind[pos]         (JDS)
+    kBlocked,    // b in [ptr[parent/r], ptr[parent/r+1]), cc in [0, c):
+                 //   idx = ind[b]*c + cc,
+                 //   pos = b*r*c + (parent%r)*c + cc          (BCSR)
+    kSliced,     // k in [0, len[parent]): pos = off[parent] + k*stride,
+                 //   idx = ind[pos]                           (SELL-C-σ)
   };
 
   Kind kind = Kind::kNone;
   index_t extent = 0;  // kDense / kList loop bound
   index_t stride = 0;  // kDense pos stride (0: pos = k) / kStrided stride
-  const index_t* ptr = nullptr;  // kSegmented
+                       // kSliced chunk width C
+  const index_t* ptr = nullptr;  // kSegmented / kBlocked
   const index_t* ind = nullptr;  // kSegmented / kList / kStrided / kOffsets
-  const index_t* off = nullptr;  // kOffsets
-  const index_t* len = nullptr;  // kStrided / kOffsets per-parent count
+                                 // kBlocked / kSliced
+  const index_t* off = nullptr;  // kOffsets / kSliced per-parent base
+  const index_t* len = nullptr;  // kStrided / kOffsets / kSliced per-parent
+                                 // count
   const index_t* map = nullptr;  // kFunction
+  index_t block_r = 0;           // kBlocked row dim r
+  index_t block_c = 0;           // kBlocked col dim c
   // Element counts of the backing arrays (for baking and for specialize-
   // time min/max scans over every index the structure can enumerate).
   index_t ind_len = 0;
@@ -150,5 +170,60 @@ struct SearchSpec {
   const index_t* ind = nullptr;   // kSegmentBinary / kListBinary
   const index_t* map = nullptr;   // kFunction
 };
+
+/// One record that captures EVERYTHING the linked engine needs to know
+/// about a level: its storage shape plus the raw arrays backing it. A
+/// level describes itself ONCE (IndexLevel::describe); the cursor, the
+/// search spec and the enum spec are all derived mechanically from the
+/// descriptor by the lowering functions below, so adding a format means
+/// writing one describe() — not a cursor backend, a search lowering and
+/// an emitter case by hand. kOpaque means the level has no flat shape
+/// (stateful or growable storage): cursors fall back to the buffered
+/// enumerate adapter and probes stay virtual.
+struct LevelDescriptor {
+  enum class Kind : unsigned char {
+    kOpaque,      // no flat description — virtual fallbacks
+    kDense,       // contiguous [0, extent); pos = parent*stride + k
+    kCompressed,  // CSR-style segments: ptr bounds into ind
+    kList,        // one flat sorted/unsorted ind array (sparse vector)
+    kSingleton,   // exactly one child: idx = map[parent], pos = parent
+    kStrided,     // lane-major ELLPACK: pos = parent + k*stride
+    kOffsets,     // diagonal-major JDS: pos = off[k] + parent
+    kBlocked,     // BCSR blocked(r, c): ptr/ind over r x c value blocks
+    kSliced,      // SELL-C-sigma sliced(C, sigma): per-row base + k*C
+  };
+
+  Kind kind = Kind::kOpaque;
+  index_t extent = 0;  // kDense / kList / kSingleton domain size
+  index_t stride = 0;  // kDense pos multiplier / kStrided lane stride /
+                       // kSliced chunk width C
+  bool sorted = true;  // enumeration yields ascending indices
+  const index_t* ptr = nullptr;  index_t ptr_len = 0;  // kCompressed/kBlocked
+  const index_t* ind = nullptr;  index_t ind_len = 0;  // all sparse kinds
+  const index_t* off = nullptr;  index_t off_len = 0;  // kOffsets / kSliced
+  const index_t* len = nullptr;  index_t len_len = 0;  // per-parent counts
+  const index_t* map = nullptr;  index_t map_len = 0;  // kSingleton
+  index_t block_r = 0;  // kBlocked
+  index_t block_c = 0;  // kBlocked
+  index_t chunk = 0;    // kSliced C
+  index_t sigma = 0;    // kSliced sorting-window sigma
+};
+
+/// Fills `c` with the cursor over the children of `parent`, derived from
+/// the descriptor. Must not be called on kOpaque descriptors.
+void descriptor_cursor(const LevelDescriptor& d, index_t parent, Cursor& c);
+
+/// The flat search method the descriptor supports (kVirtual when the kind
+/// has no arithmetic/binary search form — blocked and sliced levels only
+/// ever drive).
+SearchSpec descriptor_search(const LevelDescriptor& d);
+
+/// The flat enumeration rule for the specializing code generator (kNone
+/// only for kOpaque).
+EnumSpec descriptor_enum(const LevelDescriptor& d);
+
+/// Human-readable one-liner for EXPLAIN footers: "dense 64", "compressed",
+/// "blocked 4x4", "sliced C=8 sigma=32", ...
+std::string descriptor_text(const LevelDescriptor& d);
 
 }  // namespace bernoulli::relation

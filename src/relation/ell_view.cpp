@@ -25,25 +25,11 @@ class EllRowLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(rows_); }
 
-  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kDenseRange;
-    c.end = rows_;
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kIdentity;
-    s.extent = rows_;
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kDense;
-    e.extent = rows_;
-    e.stride = 0;
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kDense;
+    d.extent = rows_;
+    return d;
   }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,
@@ -94,27 +80,18 @@ class EllColLevel final : public IndexLevel {
   }
 
   // ELL entries of row i live at column-major slots k*rows + i: a strided
-  // cursor over COLIND with base = parent, stride = rows.
-  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kStrided;
-    c.ind = m_.colind().data();
-    c.base = parent;
-    c.stride = m_.rows();
-    c.end = m_.rownnz()[static_cast<std::size_t>(parent)];
-  }
-
-  // The padding slots beyond rownnz hold column 0 (from_coo zero-fills),
-  // so whole-array index scans over COLIND stay within [0, cols).
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kStrided;
-    e.ind = m_.colind().data();
-    e.len = m_.rownnz().data();
-    e.stride = m_.rows();
-    e.ind_len = static_cast<index_t>(m_.colind().size());
-    e.len_len = static_cast<index_t>(m_.rownnz().size());
-    return e;
+  // walk over COLIND with base = parent, stride = rows. The padding slots
+  // beyond rownnz hold column 0 (from_coo zero-fills), so whole-array
+  // index scans over COLIND stay within [0, cols).
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kStrided;
+    d.ind = m_.colind().data();
+    d.ind_len = static_cast<index_t>(m_.colind().size());
+    d.len = m_.rownnz().data();
+    d.len_len = static_cast<index_t>(m_.rownnz().size());
+    d.stride = m_.rows();
+    return d;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

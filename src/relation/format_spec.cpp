@@ -30,6 +30,12 @@ class GDenseLevel final : public IndexLevel {
     return index >= 0 && index < extent_ ? index : -1;
   }
   double expected_size() const override { return static_cast<double>(extent_); }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kDense;
+    d.extent = extent_;
+    return d;
+  }
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + idx + " = 0; " + idx + " < " +
@@ -83,6 +89,16 @@ class GCompressedLevel final : public IndexLevel {
                                  static_cast<double>(ptr_.size() - 1)
                            : 0.0;
   }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kCompressed;
+    d.sorted = sorted_;
+    d.ptr = ptr_.data();
+    d.ptr_len = static_cast<index_t>(ptr_.size());
+    d.ind = ind_.data();
+    d.ind_len = static_cast<index_t>(ind_.size());
+    return d;
+  }
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = " + ptr_name_ + "[" + parent + "]; " +
@@ -131,6 +147,14 @@ class GListLevel final : public IndexLevel {
   double expected_size() const override {
     return static_cast<double>(list_.size());
   }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kList;
+    d.sorted = sorted_;
+    d.ind = list_.data();
+    d.ind_len = static_cast<index_t>(list_.size());
+    return d;
+  }
   std::string emit_enumerate(const std::string&, const std::string& idx,
                              const std::string& pos) const override {
     return "for (int " + pos + " = 0; " + pos + " < " +
@@ -166,6 +190,13 @@ class GFunctionLevel final : public IndexLevel {
     return map_[static_cast<std::size_t>(parent)] == index ? parent : -1;
   }
   double expected_size() const override { return 1.0; }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kSingleton;
+    d.map = map_.data();
+    d.map_len = static_cast<index_t>(map_.size());
+    return d;
+  }
   std::string emit_enumerate(const std::string& parent, const std::string& idx,
                              const std::string& pos) const override {
     return "{ const int " + idx + " = " + name_ + "[" + parent +
@@ -180,6 +211,200 @@ class GFunctionLevel final : public IndexLevel {
  private:
   std::span<const index_t> map_;
   std::string name_;
+};
+
+// blocked(r=R, c=C, ptr=P, ind=I): BCSR block rows. The parent is a
+// SCALAR row index i; block row i/R owns blocks P[i/R] .. P[i/R + 1]);
+// block b stores an R x C dense tile at value offset b*R*C, so row i's
+// lane of block b contributes C children: idx = I[b]*C + cc at
+// pos = b*R*C + (i%R)*C + cc. Fill zeros inside a stored tile ARE
+// enumerated — that is the format's bargain for register-blocked drains.
+class GBlockedLevel final : public IndexLevel {
+ public:
+  GBlockedLevel(std::span<const index_t> ptr, std::span<const index_t> ind,
+                index_t r, index_t c, bool sorted, std::string ptr_name,
+                std::string ind_name)
+      : ptr_(ptr),
+        ind_(ind),
+        r_(r),
+        c_(c),
+        sorted_(sorted),
+        ptr_name_(std::move(ptr_name)),
+        ind_name_(std::move(ind_name)) {}
+
+  LevelProperties properties() const override {
+    return {sorted_, false, sorted_ ? SearchCost::kLog : SearchCost::kLinear};
+  }
+  void enumerate(index_t parent, const EnumFn& fn) const override {
+    const index_t br = parent / r_;
+    const index_t rofs = (parent % r_) * c_;
+    const index_t bsz = r_ * c_;
+    const index_t end = ptr_[static_cast<std::size_t>(br) + 1];
+    for (index_t b = ptr_[static_cast<std::size_t>(br)]; b < end; ++b) {
+      const index_t jb = ind_[static_cast<std::size_t>(b)] * c_;
+      const index_t pb = b * bsz + rofs;
+      for (index_t cc = 0; cc < c_; ++cc)
+        if (!fn(jb + cc, pb + cc)) return;
+    }
+  }
+  index_t search(index_t parent, index_t index) const override {
+    if (index < 0) return -1;
+    const index_t br = parent / r_;
+    const index_t jb = index / c_;
+    const index_t cc = index % c_;
+    const index_t lo = ptr_[static_cast<std::size_t>(br)];
+    const index_t hi = ptr_[static_cast<std::size_t>(br) + 1];
+    auto hit = [&](index_t b) {
+      return b * r_ * c_ + (parent % r_) * c_ + cc;
+    };
+    if (sorted_) {
+      const index_t* it =
+          std::lower_bound(ind_.data() + lo, ind_.data() + hi, jb);
+      if (it != ind_.data() + hi && *it == jb)
+        return hit(static_cast<index_t>(it - ind_.data()));
+      return -1;
+    }
+    for (index_t b = lo; b < hi; ++b)
+      if (ind_[static_cast<std::size_t>(b)] == jb) return hit(b);
+    return -1;
+  }
+  double expected_size() const override {
+    return ptr_.size() > 1 ? static_cast<double>(ind_.size()) * c_ /
+                                 static_cast<double>(ptr_.size() - 1)
+                           : 0.0;
+  }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kBlocked;
+    d.sorted = sorted_;
+    d.ptr = ptr_.data();
+    d.ptr_len = static_cast<index_t>(ptr_.size());
+    d.ind = ind_.data();
+    d.ind_len = static_cast<index_t>(ind_.size());
+    d.block_r = r_;
+    d.block_c = c_;
+    return d;
+  }
+  std::string emit_enumerate(const std::string& parent, const std::string& idx,
+                             const std::string& pos) const override {
+    const std::string r = std::to_string(r_), c = std::to_string(c_);
+    const std::string rc = std::to_string(r_ * c_);
+    return "for (int b = " + ptr_name_ + "[" + parent + " / " + r + "]; b < " +
+           ptr_name_ + "[" + parent + " / " + r + " + 1]; ++b) for (int cc = " +
+           "0; cc < " + c + "; ++cc) { const int " + pos + " = b * " + rc +
+           " + (" + parent + " % " + r + ") * " + c + " + cc; const int " +
+           idx + " = " + ind_name_ + "[b] * " + c + " + cc;";
+  }
+  std::string emit_search(const std::string& parent, const std::string& idx,
+                          const std::string& pos) const override {
+    const char* fn = sorted_ ? "binsearch" : "scan";
+    return "const int b_ = " + std::string(fn) + "(" + ind_name_ + ", " +
+           ptr_name_ + "[" + parent + " / " + std::to_string(r_) + "], " +
+           ptr_name_ + "[" + parent + " / " + std::to_string(r_) + " + 1], " +
+           idx + " / " + std::to_string(c_) + "); if (b_ < 0) continue; " +
+           "const int " + pos + " = b_ * " + std::to_string(r_ * c_) + " + (" +
+           parent + " % " + std::to_string(r_) + ") * " + std::to_string(c_) +
+           " + " + idx + " % " + std::to_string(c_) + ";";
+  }
+
+ private:
+  std::span<const index_t> ptr_;
+  std::span<const index_t> ind_;
+  index_t r_;
+  index_t c_;
+  bool sorted_;
+  std::string ptr_name_;
+  std::string ind_name_;
+};
+
+// sliced(chunk=C, sigma=S, base=B, len=L, ind=I): SELL-C-sigma. Rows are
+// gathered into chunks of C lanes (sorted by length inside sigma-row
+// windows); entry k of row i sits at pos = B[i] + k*C for k in
+// [0, L[i]). Padding lanes beyond L[i] are never enumerated, so slack
+// cannot perturb outputs or counters.
+class GSlicedLevel final : public IndexLevel {
+ public:
+  GSlicedLevel(std::span<const index_t> base, std::span<const index_t> len,
+               std::span<const index_t> ind, index_t chunk, index_t sigma,
+               bool sorted, std::string base_name, std::string len_name,
+               std::string ind_name)
+      : base_(base),
+        len_(len),
+        ind_(ind),
+        chunk_(chunk),
+        sigma_(sigma),
+        sorted_(sorted),
+        base_name_(std::move(base_name)),
+        len_name_(std::move(len_name)),
+        ind_name_(std::move(ind_name)) {
+    long long total = 0;
+    for (index_t l : len_) total += l;
+    avg_ = len_.empty() ? 0.0
+                        : static_cast<double>(total) /
+                              static_cast<double>(len_.size());
+  }
+
+  LevelProperties properties() const override {
+    return {sorted_, false, SearchCost::kLinear};
+  }
+  void enumerate(index_t parent, const EnumFn& fn) const override {
+    const index_t b = base_[static_cast<std::size_t>(parent)];
+    const index_t n = len_[static_cast<std::size_t>(parent)];
+    for (index_t k = 0; k < n; ++k) {
+      const index_t pos = b + k * chunk_;
+      if (!fn(ind_[static_cast<std::size_t>(pos)], pos)) return;
+    }
+  }
+  index_t search(index_t parent, index_t index) const override {
+    const index_t b = base_[static_cast<std::size_t>(parent)];
+    const index_t n = len_[static_cast<std::size_t>(parent)];
+    for (index_t k = 0; k < n; ++k) {
+      const index_t pos = b + k * chunk_;
+      if (ind_[static_cast<std::size_t>(pos)] == index) return pos;
+    }
+    return -1;
+  }
+  double expected_size() const override { return avg_; }
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kSliced;
+    d.sorted = sorted_;
+    d.ind = ind_.data();
+    d.ind_len = static_cast<index_t>(ind_.size());
+    d.off = base_.data();
+    d.off_len = static_cast<index_t>(base_.size());
+    d.len = len_.data();
+    d.len_len = static_cast<index_t>(len_.size());
+    d.chunk = chunk_;
+    d.sigma = sigma_;
+    return d;
+  }
+  std::string emit_enumerate(const std::string& parent, const std::string& idx,
+                             const std::string& pos) const override {
+    return "for (int k = 0; k < " + len_name_ + "[" + parent +
+           "]; ++k) { const int " + pos + " = " + base_name_ + "[" + parent +
+           "] + k * " + std::to_string(chunk_) + "; const int " + idx +
+           " = " + ind_name_ + "[" + pos + "];";
+  }
+  std::string emit_search(const std::string& parent, const std::string& idx,
+                          const std::string& pos) const override {
+    return "const int " + pos + " = sell_scan(" + ind_name_ + ", " +
+           base_name_ + "[" + parent + "], " + len_name_ + "[" + parent +
+           "], " + std::to_string(chunk_) + ", " + idx + "); if (" + pos +
+           " < 0) continue;";
+  }
+
+ private:
+  std::span<const index_t> base_;
+  std::span<const index_t> len_;
+  std::span<const index_t> ind_;
+  index_t chunk_;
+  index_t sigma_;
+  bool sorted_;
+  double avg_;
+  std::string base_name_;
+  std::string len_name_;
+  std::string ind_name_;
 };
 
 // ---------------------------------------------------------------- parser
@@ -271,6 +496,25 @@ std::span<const index_t> lookup_index(const FormatArrays& arrays,
   return it->second;
 }
 
+index_t parse_number(const Token& t, const char* what) {
+  try {
+    return static_cast<index_t>(std::stol(t.text));
+  } catch (...) {
+    BERNOULLI_CHECK_MSG(false, "format spec line " << t.line << ": " << what
+                                                   << " needs a number");
+  }
+  return 0;
+}
+
+// One `key=value` pair of a parenthesized parameter list, with the `,`
+// separator before every pair but the first.
+Token parse_kv(Parser& p, const char* key, bool first) {
+  if (!first) p.expect(",");
+  p.expect(key);
+  p.expect("=");
+  return p.next();
+}
+
 }  // namespace
 
 GenericFormatView::~GenericFormatView() = default;
@@ -334,6 +578,70 @@ GenericFormatView::GenericFormatView(const std::string& spec,
       p.expect(")");
       levels_.push_back(std::make_unique<GFunctionLevel>(
           lookup_index(arrays, map.text, map.line), map.text));
+    } else if (kind.text == "blocked") {
+      p.expect("(");
+      Token rt = parse_kv(p, "r", /*first=*/true);
+      Token ct = parse_kv(p, "c", /*first=*/false);
+      Token ptr = parse_kv(p, "ptr", /*first=*/false);
+      Token ind = parse_kv(p, "ind", /*first=*/false);
+      p.expect(")");
+      bool sorted = parse_sortedness(p);
+      const index_t r = parse_number(rt, "blocked() r");
+      const index_t c = parse_number(ct, "blocked() c");
+      BERNOULLI_CHECK_MSG(r > 0 && c > 0,
+                          "format spec line "
+                              << rt.line
+                              << ": blocked() needs positive block dims, got r="
+                              << r << " c=" << c);
+      auto ptr_span = lookup_index(arrays, ptr.text, ptr.line);
+      auto ind_span = lookup_index(arrays, ind.text, ind.line);
+      BERNOULLI_CHECK_MSG(!ptr_span.empty(), "format spec line "
+                                                 << ptr.line
+                                                 << ": empty ptr array");
+      if (!levels_.empty()) {
+        // The scalar-row parent level must tile exactly into block rows.
+        const LevelDescriptor pd = levels_.back()->describe();
+        const index_t rows = r * static_cast<index_t>(ptr_span.size() - 1);
+        BERNOULLI_CHECK_MSG(
+            pd.kind != LevelDescriptor::Kind::kDense || pd.extent == rows,
+            "format spec line " << rt.line << ": blocked(r=" << r
+                                << ") covers " << rows << " rows but parent "
+                                << "level is dense(" << pd.extent << ")");
+      }
+      levels_.push_back(std::make_unique<GBlockedLevel>(
+          ptr_span, ind_span, r, c, sorted, ptr.text, ind.text));
+    } else if (kind.text == "sliced") {
+      p.expect("(");
+      Token chunk_t = parse_kv(p, "chunk", /*first=*/true);
+      Token sigma_t = parse_kv(p, "sigma", /*first=*/false);
+      Token base = parse_kv(p, "base", /*first=*/false);
+      Token len = parse_kv(p, "len", /*first=*/false);
+      Token ind = parse_kv(p, "ind", /*first=*/false);
+      p.expect(")");
+      bool sorted = parse_sortedness(p);
+      const index_t chunk = parse_number(chunk_t, "sliced() chunk");
+      const index_t sigma = parse_number(sigma_t, "sliced() sigma");
+      BERNOULLI_CHECK_MSG(chunk > 0, "format spec line "
+                                         << chunk_t.line
+                                         << ": sliced() needs a positive "
+                                         << "chunk, got " << chunk);
+      BERNOULLI_CHECK_MSG(sigma > 0 && sigma % chunk == 0,
+                          "format spec line "
+                              << sigma_t.line << ": sliced() sigma must be a "
+                              << "positive multiple of chunk, got sigma="
+                              << sigma << " chunk=" << chunk);
+      auto base_span = lookup_index(arrays, base.text, base.line);
+      auto len_span = lookup_index(arrays, len.text, len.line);
+      auto ind_span = lookup_index(arrays, ind.text, ind.line);
+      BERNOULLI_CHECK_MSG(base_span.size() == len_span.size(),
+                          "format spec line "
+                              << base.line << ": sliced() base and len must "
+                              << "have one entry per row (|" << base.text
+                              << "|=" << base_span.size() << ", |" << len.text
+                              << "|=" << len_span.size() << ")");
+      levels_.push_back(std::make_unique<GSlicedLevel>(
+          base_span, len_span, ind_span, chunk, sigma, sorted, base.text,
+          len.text, ind.text));
     } else {
       BERNOULLI_CHECK_MSG(false, "format spec line "
                                      << kind.line << ": unknown level kind '"

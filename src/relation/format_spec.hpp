@@ -17,8 +17,20 @@
 //   compressed(ptr=P, ind=I)      — segment I[P[parent] .. P[parent+1])
 //   list(ind=I)                   — root-level sorted index list
 //   function(map=M)               — single child M[parent] (permutations)
-// Modifiers: `sorted` / `unsorted` (compressed and list levels; unsorted
-// levels get linear search and are excluded from merge joins).
+//   blocked(r=R, c=C, ptr=P, ind=I)
+//                                 — BCSR: block row parent/R owns blocks
+//                                   P[parent/R] .. P[parent/R + 1]); block
+//                                   b is an R x C value tile at offset
+//                                   b*R*C, so row parent sees children
+//                                   idx = I[b]*C + cc at
+//                                   pos = b*R*C + (parent%R)*C + cc
+//   sliced(chunk=C, sigma=S, base=B, len=L, ind=I)
+//                                 — SELL-C-σ: entry k of row parent sits
+//                                   at pos = B[parent] + k*C for
+//                                   k in [0, L[parent]); padding lanes
+//                                   are never enumerated
+// Modifiers: `sorted` / `unsorted` (sparse levels; unsorted levels get
+// linear search and are excluded from merge joins).
 //
 // The resulting view plugs into Bindings::bind_view and from there into
 // the ordinary compile/plan/run/emit pipeline — the whole point: the
@@ -57,6 +69,11 @@ class GenericFormatView final : public RelationView {
   bool has_value() const override { return !value_array_.empty(); }
   value_t value_at(index_t pos) const override;
   std::string value_expr(const std::string& pos) const override;
+
+  /// The user's value array is flat and address-stable for the view's
+  /// lifetime, so the linked engine's bulk drains and the specializer can
+  /// address it directly.
+  std::span<const value_t> value_array() const override { return values_; }
 
   /// Loop-variable name declared for each level, in hierarchy order
   /// ("level i: ..." declares "i"). Useful for building Bindings

@@ -25,25 +25,11 @@ class JdsRowLevel final : public IndexLevel {
 
   double expected_size() const override { return static_cast<double>(rows_); }
 
-  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kDenseRange;
-    c.end = rows_;
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kIdentity;
-    s.extent = rows_;
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kDense;
-    e.extent = rows_;
-    e.stride = 0;
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kDense;
+    d.extent = rows_;
+    return d;
   }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,
@@ -97,27 +83,18 @@ class JdsColLevel final : public IndexLevel {
     return m_.rows() > 0 ? static_cast<double>(m_.nnz()) / m_.rows() : 0.0;
   }
 
-  // The k-th entry of permuted row i' sits at jdptr[k] + i': an offset-list
-  // cursor over COLIND with off = jdptr, base = parent.
-  void begin_cursor(index_t parent, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kOffsets;
-    c.ind = m_.colind().data();
-    c.off = m_.jdptr().data();
-    c.base = parent;
-    c.end = rowlen_[static_cast<std::size_t>(parent)];
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kOffsets;
-    e.ind = m_.colind().data();
-    e.off = m_.jdptr().data();
-    e.len = rowlen_.data();
-    e.ind_len = static_cast<index_t>(m_.colind().size());
-    e.off_len = static_cast<index_t>(m_.jdptr().size());
-    e.len_len = static_cast<index_t>(rowlen_.size());
-    return e;
+  // The k-th entry of permuted row i' sits at jdptr[k] + i': an offset-
+  // list walk over COLIND with off = jdptr, base = parent.
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kOffsets;
+    d.ind = m_.colind().data();
+    d.ind_len = static_cast<index_t>(m_.colind().size());
+    d.off = m_.jdptr().data();
+    d.off_len = static_cast<index_t>(m_.jdptr().size());
+    d.len = rowlen_.data();
+    d.len_len = static_cast<index_t>(rowlen_.size());
+    return d;
   }
 
   std::string emit_enumerate(const std::string& parent, const std::string& idx,

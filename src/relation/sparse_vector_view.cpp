@@ -33,28 +33,12 @@ class SparseVectorLevel final : public IndexLevel {
     return static_cast<double>(ind_.size());
   }
 
-  void begin_cursor(index_t, Cursor& c, CursorBuffer&) const override {
-    c = Cursor{};
-    c.kind = Cursor::Kind::kIndArray;
-    c.ind = ind_.data();
-    c.end = static_cast<index_t>(ind_.size());
-  }
-
-  SearchSpec search_spec() const override {
-    SearchSpec s;
-    s.kind = SearchSpec::Kind::kListBinary;
-    s.ind = ind_.data();
-    s.extent = static_cast<index_t>(ind_.size());
-    return s;
-  }
-
-  EnumSpec enum_spec() const override {
-    EnumSpec e;
-    e.kind = EnumSpec::Kind::kList;
-    e.ind = ind_.data();
-    e.extent = static_cast<index_t>(ind_.size());
-    e.ind_len = e.extent;
-    return e;
+  LevelDescriptor describe() const override {
+    LevelDescriptor d;
+    d.kind = LevelDescriptor::Kind::kList;
+    d.ind = ind_.data();
+    d.ind_len = static_cast<index_t>(ind_.size());
+    return d;
   }
 
   std::string emit_enumerate(const std::string&, const std::string& idx,

@@ -11,6 +11,11 @@ index_t IndexLevel::insert(index_t, index_t) {
 
 void IndexLevel::begin_cursor(index_t parent, Cursor& c,
                               CursorBuffer& scratch) const {
+  const LevelDescriptor d = describe();
+  if (d.kind != LevelDescriptor::Kind::kOpaque) {
+    descriptor_cursor(d, parent, c);
+    return;
+  }
   scratch.clear();
   enumerate(parent, [&](index_t idx, index_t pos) {
     scratch.push_back({idx, pos});

@@ -63,27 +63,32 @@ class IndexLevel {
   virtual double expected_size() const = 0;
 
   // --- Linked-executor hooks (relation/cursor.hpp) -------------------
-  // One virtual call per LEVEL INVOCATION instead of one per element:
-  // begin_cursor fills a flat pull cursor over the children of `parent`,
-  // search_spec describes the search method as a flat record resolved at
-  // link time. The defaults adapt enumerate()/search() — correct for any
-  // format; the bundled hot formats override with native flat shapes.
+  // A level declares its storage shape ONCE via describe(); the cursor,
+  // search and enumeration lowerings all derive from that descriptor in
+  // relation/descriptor.cpp, so a new format is one describe() — not a
+  // cursor backend, a search lowering and an emitter case by hand.
+  // kOpaque (the default) keeps the fully-virtual fallbacks: cursors
+  // materialize enumerate() into a buffer, probes go through search().
 
-  /// Fills `c` with a cursor over the children of `parent`. The default
-  /// adapter materializes enumerate() into `scratch` (cleared first) and
-  /// returns a kBuffered cursor over it; `scratch` must outlive the
-  /// cursor's use and is otherwise untouched by native overrides.
-  virtual void begin_cursor(index_t parent, Cursor& c,
-                            CursorBuffer& scratch) const;
+  /// Flat storage descriptor, valid for every parent. Default: kOpaque
+  /// (no flat shape — stateful or growable storage).
+  virtual LevelDescriptor describe() const { return {}; }
 
-  /// Flat search descriptor, valid for every parent. Default: kVirtual
-  /// (probe through IndexLevel::search).
-  virtual SearchSpec search_spec() const { return {}; }
+  /// Fills `c` with a cursor over the children of `parent`, derived from
+  /// describe(). For kOpaque levels the adapter materializes enumerate()
+  /// into `scratch` (cleared first) and returns a kBuffered cursor over
+  /// it; `scratch` must outlive the cursor's use and is untouched on the
+  /// descriptor path.
+  void begin_cursor(index_t parent, Cursor& c, CursorBuffer& scratch) const;
 
-  /// Flat enumeration descriptor, valid for every parent — what the
-  /// specializing code generator compiles into a C loop. Default: kNone
-  /// (no flat shape; specialization falls back to the linked engine).
-  virtual EnumSpec enum_spec() const { return {}; }
+  /// Flat search descriptor derived from describe(). kVirtual (probe
+  /// through IndexLevel::search) for kOpaque and drive-only shapes.
+  SearchSpec search_spec() const { return descriptor_search(describe()); }
+
+  /// Flat enumeration descriptor derived from describe() — what the
+  /// specializing code generator compiles into a C loop. kNone for
+  /// kOpaque levels (specialization falls back to the linked engine).
+  EnumSpec enum_spec() const { return descriptor_enum(describe()); }
 
   // --- Codegen hooks -------------------------------------------------
   // The compiler's emitter materializes a plan as C-like source; each

@@ -13,6 +13,7 @@
 #include "compiler/explain.hpp"
 #include "compiler/link.hpp"
 #include "compiler/loopnest.hpp"
+#include "compiler/specialize.hpp"
 #include "formats/formats.hpp"
 #include "relation/array_views.hpp"
 #include "relation/hash_index.hpp"
@@ -105,7 +106,16 @@ void expect_same_work(const EngineRun& interp, const EngineRun& linked) {
 
 // ---- Format sweep: every storage binding of the sweep test ----------
 
-enum class Storage { kCsr, kCcs, kCoo, kEll, kDenseMatrix, kCsrHashed };
+enum class Storage {
+  kCsr,
+  kCcs,
+  kCoo,
+  kEll,
+  kBsr,
+  kSell,
+  kDenseMatrix,
+  kCsrHashed
+};
 
 std::string storage_name(Storage s) {
   switch (s) {
@@ -113,10 +123,20 @@ std::string storage_name(Storage s) {
     case Storage::kCcs: return "ccs";
     case Storage::kCoo: return "coo";
     case Storage::kEll: return "ell";
+    case Storage::kBsr: return "bsr";
+    case Storage::kSell: return "sell";
     case Storage::kDenseMatrix: return "dense";
     case Storage::kCsrHashed: return "csr_hashed";
   }
   return "?";
+}
+
+// Largest square block size from {4, 2} tiling both dimensions; BCSR
+// test shapes that divide neither fall back to 1x1 blocks.
+index_t block_for(index_t rows, index_t cols) {
+  for (index_t r : {4, 2})
+    if (rows % r == 0 && cols % r == 0) return r;
+  return 1;
 }
 
 struct Case {
@@ -141,6 +161,8 @@ TEST_P(LinkedSweep, MatchesInterpreterExactly) {
   formats::Csr csr = formats::Csr::from_coo(coo);
   formats::Ccs ccs = formats::Ccs::from_coo(coo);
   formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, block_for(c.rows, c.cols));
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
   formats::Dense dm = formats::Dense::from_coo(coo);
   relation::CsrView csr_base("A", csr);
   relation::HashIndexedView hashed(csr_base, 1);
@@ -151,6 +173,8 @@ TEST_P(LinkedSweep, MatchesInterpreterExactly) {
     case Storage::kCcs: b.bind_ccs("A", ccs); break;
     case Storage::kCoo: b.bind_coo("A", coo); break;
     case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kBsr: b.bind_bsr("A", bsr); break;
+    case Storage::kSell: b.bind_sell("A", sell); break;
     case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
     case Storage::kCsrHashed:
       b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
@@ -189,8 +213,8 @@ std::vector<Case> make_cases() {
   std::vector<Case> cases;
   std::uint64_t seed = 900;
   for (Storage s : {Storage::kCsr, Storage::kCcs, Storage::kCoo,
-                    Storage::kEll, Storage::kDenseMatrix,
-                    Storage::kCsrHashed}) {
+                    Storage::kEll, Storage::kBsr, Storage::kSell,
+                    Storage::kDenseMatrix, Storage::kCsrHashed}) {
     cases.push_back({s, 1, 1, 1, seed++});
     cases.push_back({s, 10, 14, 40, seed++});
     cases.push_back({s, 14, 10, 40, seed++});
@@ -400,6 +424,8 @@ TEST_P(ParallelSweep, MatchesInterpreterForAllThreadCounts) {
   formats::Csr csr = formats::Csr::from_coo(coo);
   formats::Ccs ccs = formats::Ccs::from_coo(coo);
   formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, block_for(c.rows, c.cols));
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
   formats::Dense dm = formats::Dense::from_coo(coo);
   relation::CsrView csr_base("A", csr);
   relation::HashIndexedView hashed(csr_base, 1);
@@ -410,6 +436,8 @@ TEST_P(ParallelSweep, MatchesInterpreterForAllThreadCounts) {
     case Storage::kCcs: b.bind_ccs("A", ccs); break;
     case Storage::kCoo: b.bind_coo("A", coo); break;
     case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kBsr: b.bind_bsr("A", bsr); break;
+    case Storage::kSell: b.bind_sell("A", sell); break;
     case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
     case Storage::kCsrHashed:
       b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
@@ -492,6 +520,8 @@ TEST_P(BulkDrainSweep, BulkPathIndistinguishableFromPerTuple) {
   formats::Csr csr = formats::Csr::from_coo(coo);
   formats::Ccs ccs = formats::Ccs::from_coo(coo);
   formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, block_for(c.rows, c.cols));
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
   formats::Dense dm = formats::Dense::from_coo(coo);
   relation::CsrView csr_base("A", csr);
   relation::HashIndexedView hashed(csr_base, 1);
@@ -502,6 +532,8 @@ TEST_P(BulkDrainSweep, BulkPathIndistinguishableFromPerTuple) {
     case Storage::kCcs: b.bind_ccs("A", ccs); break;
     case Storage::kCoo: b.bind_coo("A", coo); break;
     case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kBsr: b.bind_bsr("A", bsr); break;
+    case Storage::kSell: b.bind_sell("A", sell); break;
     case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
     case Storage::kCsrHashed:
       b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
@@ -546,6 +578,198 @@ INSTANTIATE_TEST_SUITE_P(AllStorages, BulkDrainSweep,
                               << "x" << c.cols << "_nnz" << c.nnz;
                            return os.str();
                          });
+
+// ---- BCSR and SELL-C-sigma vs the CRS reference, every rung ---------
+
+// The acceptance contract for the blocked/sliced level kinds: the same
+// matvec through BCSR or SELL storage must reproduce the CRS reference
+// bitwise at every rung of the engine ladder — interpreted, linked
+// (bulk drains on, the default), linked + threads, and specialized
+// (dlopen) whenever a toolchain is available. Beyond bitwise outputs
+// the SELL case also pins the observables to CRS's: SELL enumerates
+// exactly nnz entries on ANY matrix (padding lanes sit beyond every
+// row's ROWLEN and are never enumerated), so its executor.* counter
+// deltas, fan-out histogram deltas and per-level stats are equal to the
+// CRS run's, not merely internally consistent. BCSR is bitwise-equal to
+// CRS only when no block-fill zeros exist (ascending block columns then
+// enumerate the very same (j, value) sequence), so its matrix here is
+// block-dense by construction.
+
+struct RungRef {
+  Vector y;                                             // bitwise reference
+  EngineRun linked;                                     // serial linked run
+  std::map<std::string, std::vector<long long>> fanout; // its fan-out delta
+};
+
+// Compiles the canonical i,j matvec over `b` and drives it through all
+// four rungs, asserting every rung reproduces `y_ref` bitwise (when
+// y_ref is null the serial linked run defines the reference). Returns
+// the serial linked observables for cross-format comparison.
+RungRef drive_all_rungs(Bindings& b, index_t rows, index_t cols, Vector& y,
+                        const Vector* y_ref, const std::string& label) {
+  LoopNest nest{{{"i", rows}, {"j", cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  // Serial linked rung (bulk drains on) — the rung whose observables we
+  // hand back, and the in-test reference when none was supplied.
+  std::fill(y.begin(), y.end(), 0.0);
+  auto hb = support::histograms_snapshot();
+  RungRef ref;
+  ref.linked = run_linked_mac(k.plan(), k.query(), target, factors);
+  ref.fanout = fanout_delta(hb, support::histograms_snapshot());
+  ref.y = y;
+  const Vector& want = y_ref ? *y_ref : ref.y;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], want[i]) << label << " linked row " << i;
+
+  // Interpreted rung: bitwise outputs and identical work accounting.
+  std::fill(y.begin(), y.end(), 0.0);
+  EngineRun ir =
+      run_interpreted(k.plan(), k.query(),
+                      multiply_accumulate(k.query(), target, factors));
+  expect_same_work(ir, ref.linked);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], want[i]) << label << " interpreted row " << i;
+
+  // Threaded rung (exercises the block-aligned chunk grid for BCSR).
+  for (int threads : {2, 4}) {
+    std::fill(y.begin(), y.end(), 0.0);
+    auto hb_t = support::histograms_snapshot();
+    auto cb_t = support::counters_snapshot();
+    ParallelRunner runner(link_plan(k.plan(), k.query()), threads);
+    EngineRun pr;
+    runner.run(link_mac(k.query(), target, factors), &pr.stats);
+    pr.deltas = exec_delta(cb_t, support::counters_snapshot());
+    expect_same_work(ref.linked, pr);
+    EXPECT_EQ(ref.fanout, fanout_delta(hb_t, support::histograms_snapshot()))
+        << label << " threads=" << threads;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], want[i])
+          << label << " threads=" << threads << " row " << i;
+  }
+
+  // Specialized rung — emitted C through the system toolchain. Skipping
+  // silently (rather than GTEST_SKIP) keeps the other rungs' assertions
+  // meaningful on toolchain-less machines.
+  LinkedPlan lp = link_plan(k.plan(), k.query());
+  LinkedMac mac = link_mac(k.query(), target, factors);
+  SpecializedKernel spec(lp, mac);
+  if (spec.ok()) {
+    std::fill(y.begin(), y.end(), 0.0);
+    auto hb_s = support::histograms_snapshot();
+    auto cb_s = support::counters_snapshot();
+    EngineRun sr;
+    spec.run(&sr.stats);
+    sr.deltas = exec_delta(cb_s, support::counters_snapshot());
+    expect_same_work(ref.linked, sr);
+    EXPECT_EQ(ref.fanout, fanout_delta(hb_s, support::histograms_snapshot()))
+        << label << " specialized";
+    for (std::size_t i = 0; i < y.size(); ++i)
+      EXPECT_EQ(y[i], want[i]) << label << " specialized row " << i;
+  }
+  return ref;
+}
+
+TEST(BlockedSliced, SellMatchesCsrOnSkewedRowsAcrossAllRungs) {
+  // Skewed row lengths: every 8th row is long, the rest short, so C=4
+  // chunks mix lengths and SELL must pad heavily. Column step 5 is
+  // coprime to cols, so each row's entries are distinct (no duplicate
+  // merging changing the lengths).
+  const index_t rows = 20, cols = 24;
+  SplitMix64 rng(77);
+  TripletBuilder tb(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    const index_t len = (i % 8 == 0) ? 20 : 1 + i % 4;
+    for (index_t k = 0; k < len; ++k)
+      tb.add(i, (i + k * 5) % cols, rng.next_double(-1, 1));
+  }
+  Coo coo = std::move(tb).build();
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
+  ASSERT_GT(sell.stored(), sell.nnz()) << "case must exercise padding";
+
+  Vector x(static_cast<std::size_t>(cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(rows), 0.0);
+
+  Bindings bc;
+  bc.bind_csr("A", csr);
+  bc.bind_dense_vector("X", ConstVectorView(x));
+  bc.bind_dense_vector("Y", VectorView(y));
+  RungRef csr_ref = drive_all_rungs(bc, rows, cols, y, nullptr, "csr");
+
+  Bindings bs;
+  bs.bind_sell("A", sell);
+  bs.bind_dense_vector("X", ConstVectorView(x));
+  bs.bind_dense_vector("Y", VectorView(y));
+  RungRef sell_ref = drive_all_rungs(bs, rows, cols, y, &csr_ref.y, "sell");
+
+  // Padding never books: SELL's observables equal CRS's exactly.
+  EXPECT_EQ(csr_ref.linked.deltas, sell_ref.linked.deltas);
+  EXPECT_EQ(csr_ref.fanout, sell_ref.fanout);
+  EXPECT_EQ(csr_ref.linked.stats.tuples, sell_ref.linked.stats.tuples);
+  ASSERT_EQ(csr_ref.linked.stats.levels.size(),
+            sell_ref.linked.stats.levels.size());
+  for (std::size_t d = 0; d < csr_ref.linked.stats.levels.size(); ++d) {
+    EXPECT_EQ(csr_ref.linked.stats.levels[d].enumerated,
+              sell_ref.linked.stats.levels[d].enumerated) << "level " << d;
+    EXPECT_EQ(csr_ref.linked.stats.levels[d].produced,
+              sell_ref.linked.stats.levels[d].produced) << "level " << d;
+  }
+}
+
+TEST(BlockedSliced, BcsrMatchesCsrOnBlockDenseAcrossAllRungs) {
+  // Block-dense 16x16 with 4x4 blocks: every stored block is full, so
+  // BCSR introduces no fill zeros and enumerates the same (j, value)
+  // sequence as CSR — the bitwise-equality precondition.
+  const index_t n = 16, blk = 4;
+  const index_t bpos[][2] = {{0, 0}, {0, 2}, {1, 1}, {1, 3},
+                             {2, 0}, {2, 2}, {3, 1}, {3, 3}};
+  SplitMix64 rng(91);
+  TripletBuilder tb(n, n);
+  for (const auto& bp : bpos)
+    for (index_t r = 0; r < blk; ++r)
+      for (index_t c = 0; c < blk; ++c)
+        tb.add(bp[0] * blk + r, bp[1] * blk + c,
+               (rng.next_double(0.0, 1.0) + 0.0625) *
+                   ((r + c) % 2 ? -1.0 : 1.0));
+  Coo coo = std::move(tb).build();
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, blk);
+  ASSERT_EQ(bsr.stored(), csr.nnz()) << "matrix must be block-dense";
+
+  Vector x(static_cast<std::size_t>(n));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(n), 0.0);
+
+  Bindings bc;
+  bc.bind_csr("A", csr);
+  bc.bind_dense_vector("X", ConstVectorView(x));
+  bc.bind_dense_vector("Y", VectorView(y));
+  RungRef csr_ref = drive_all_rungs(bc, n, n, y, nullptr, "csr");
+
+  Bindings bb;
+  bb.bind_bsr("A", bsr);
+  bb.bind_dense_vector("X", ConstVectorView(x));
+  bb.bind_dense_vector("Y", VectorView(y));
+  RungRef bsr_ref = drive_all_rungs(bb, n, n, y, &csr_ref.y, "bsr");
+
+  // No fill, so even the work accounting matches scalar CRS.
+  EXPECT_EQ(csr_ref.linked.deltas, bsr_ref.linked.deltas);
+  EXPECT_EQ(csr_ref.fanout, bsr_ref.fanout);
+  EXPECT_EQ(csr_ref.linked.stats.tuples, bsr_ref.linked.stats.tuples);
+
+  // The threaded rung above ran on a block-aligned chunk grid.
+  LoopNest nest{{{"i", n}, {"j", n}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, bb);
+  EXPECT_EQ(link_plan(k.plan(), k.query()).chunk_align, blk);
+}
 
 // A row-major matvec plan must actually fan out, and the merge-join test
 // above (merge at the INNER level) stays legal — only an outer merge is

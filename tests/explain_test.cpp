@@ -151,7 +151,9 @@ TEST(Explain, GoldenCsrMatvecText) {
       "parallel: outer level i chunked across threads (disjoint output "
       "rows)\n"
       "specialize: every level enumerates a flat shape and every probe "
-      "lowers to inline checks or binary searches\n";
+      "lowers to inline checks or binary searches\n"
+      "level 0: dense 3\n"
+      "level 1: compressed\n";
   EXPECT_EQ(k.explain(), golden);
 
   std::string j = k.explain_json();
@@ -159,8 +161,46 @@ TEST(Explain, GoldenCsrMatvecText) {
   EXPECT_NE(j.find("\"schema\":\"bernoulli.explain.v1\""), std::string::npos);
   EXPECT_NE(j.find("\"total_cost\":24"), std::string::npos);
   EXPECT_NE(j.find("\"method\":\"enumerate\""), std::string::npos);
+  EXPECT_NE(j.find("\"descriptors\":[\"dense 3\",\"compressed\"]"),
+            std::string::npos);
   // Pretty-printed form must parse too.
   EXPECT_TRUE(valid_json(k.explain_json(2)));
+}
+
+TEST(Explain, DescriptorFooterNamesBlockedAndSlicedLevels) {
+  // An 8x8 block-dense matrix: 4x4 BCSR stores two block rows; SELL-C-s
+  // slices the same matrix into chunks of 4 sorted within sigma=8 windows.
+  TripletBuilder tb(8, 8);
+  for (index_t bi : {0, 4})
+    for (index_t r = 0; r < 4; ++r)
+      for (index_t c = 0; c < 4; ++c)
+        tb.add(bi + r, bi + c, 1.0 + bi + r + c);
+  Coo coo = std::move(tb).build();
+  Vector x(8, 1.0), y(8, 0.0);
+  {
+    formats::Bsr bsr = formats::Bsr::from_coo(coo, 4);
+    Bindings b;
+    b.bind_bsr("A", bsr);
+    b.bind_dense_vector("X", ConstVectorView(x));
+    b.bind_dense_vector("Y", VectorView(y));
+    auto k = compile(matvec_nest(8, 8), b);
+    const std::string text = k.explain();
+    EXPECT_NE(text.find("level 1: blocked 4x4\n"), std::string::npos) << text;
+    EXPECT_NE(k.explain_json().find("\"blocked 4x4\""), std::string::npos);
+  }
+  {
+    formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
+    Bindings b;
+    b.bind_sell("A", sell);
+    b.bind_dense_vector("X", ConstVectorView(x));
+    b.bind_dense_vector("Y", VectorView(y));
+    auto k = compile(matvec_nest(8, 8), b);
+    const std::string text = k.explain();
+    EXPECT_NE(text.find("level 1: sliced C=4 sigma=8\n"), std::string::npos)
+        << text;
+    EXPECT_NE(k.explain_json().find("\"sliced C=4 sigma=8\""),
+              std::string::npos);
+  }
 }
 
 TEST(Explain, MergeJoinRendered) {

@@ -227,6 +227,87 @@ TEST(Footprint, RejectingFilterIsInexactAndBooksNoModelTraffic) {
   EXPECT_EQ(latency_delta(m0, m1, "execute.latency").count, 1);
 }
 
+TEST(Footprint, BcsrSpmvFootprintIsExactIncludingFillZeros) {
+  // Random 24x24 blocked at 4x4: most stored blocks carry fill zeros.
+  // The blocked level enumerates whole blocks, so the exact leaf count is
+  // stored() (= num_blocks * 16), NOT coo nnz — fill is real traffic and
+  // real flops, which is the format's bargain, and padding_bytes stays 0.
+  Coo coo = random_matrix(24, 24, 120, 41);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, 4);
+  ASSERT_GT(bsr.stored(), bsr.to_coo().nnz());
+  Vector x(24, 1.0), y(24, 0.0);
+  Bindings b;
+  b.bind_bsr("A", bsr);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", 24}, {"j", 24}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  LinkedPlan lp = link_plan(k.plan(), k.query());
+  const PlanFootprint fp = lp.footprint;
+  ASSERT_TRUE(fp.exact) << fp.note;
+  const long long stored = bsr.stored();
+  EXPECT_EQ(fp.leaf_tuples, stored);
+  EXPECT_EQ(fp.flops, 2 * stored);
+  EXPECT_EQ(fp.padding_bytes, 0);
+
+  LinkedRunner runner(std::move(lp));
+  RunStats stats;
+  runner.run(link_mac(k.query(), 1, {2, 3}), &stats);
+  EXPECT_EQ(stats.tuples, fp.leaf_tuples);
+}
+
+TEST(Footprint, SellSpmvFootprintIsExactWithPaddingSeparate) {
+  // Skewed row lengths force heavy SELL padding. Padding lanes are never
+  // enumerated: the exact leaf count is nnz, the pad slack is booked as
+  // padding_bytes (storage overhead), and total_bytes() — what one run
+  // books as execute.model_bytes — excludes it.
+  const index_t rows = 20, cols = 24;
+  SplitMix64 rng(52);
+  TripletBuilder tb(rows, cols);
+  for (index_t i = 0; i < rows; ++i) {
+    const index_t len = (i % 8 == 0) ? 20 : 1 + i % 4;
+    for (index_t k = 0; k < len; ++k)
+      tb.add(i, (i + k * 5) % cols, rng.next_double(-1, 1));
+  }
+  Coo coo = std::move(tb).build();
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
+  ASSERT_GT(sell.stored(), sell.nnz());
+
+  Vector x(static_cast<std::size_t>(cols), 1.0);
+  Vector y(static_cast<std::size_t>(rows), 0.0);
+  Bindings b;
+  b.bind_sell("A", sell);
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+  LoopNest nest{{{"i", rows}, {"j", cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+
+  LinkedPlan lp = link_plan(k.plan(), k.query());
+  const PlanFootprint fp = lp.footprint;
+  ASSERT_TRUE(fp.exact) << fp.note;
+  const long long nnz = sell.nnz();
+  constexpr long long szi = static_cast<long long>(sizeof(index_t));
+  constexpr long long szv = static_cast<long long>(sizeof(value_t));
+  EXPECT_EQ(fp.leaf_tuples, nnz);
+  EXPECT_EQ(fp.flops, 2 * nnz);
+  EXPECT_EQ(fp.padding_bytes, (sell.stored() - nnz) * (szi + szv));
+  EXPECT_EQ(fp.total_bytes(), fp.index_bytes() + fp.value_bytes());
+
+  LinkedMac mac = link_mac(k.query(), 1, {2, 3});
+  LinkedRunner runner(std::move(lp));
+  RunStats stats;
+  runner.run(mac, &stats);  // registers metrics; window starts clean
+  EXPECT_EQ(stats.tuples, nnz);
+  auto m0 = support::metrics_snapshot();
+  runner.run(mac);
+  auto m1 = support::metrics_snapshot();
+  EXPECT_EQ(rate_delta(m0, m1, "execute.model_bytes"), fp.total_bytes());
+  EXPECT_EQ(rate_delta(m0, m1, "execute.model_flops"), fp.flops);
+}
+
 INSTANTIATE_TEST_SUITE_P(Formats, FootprintFmt,
                          ::testing::Values(Fmt::kCsr, Fmt::kCcs),
                          [](const ::testing::TestParamInfo<Fmt>& i) {

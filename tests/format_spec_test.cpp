@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include "compiler/loopnest.hpp"
+#include "formats/bsr.hpp"
 #include "formats/csr.hpp"
+#include "formats/sell.hpp"
 #include "relation/array_views.hpp"
 #include "relation/format_spec.hpp"
 #include "support/error.hpp"
@@ -121,6 +123,132 @@ TEST(FormatSpec, ListAndFunctionLevels) {
       "format P { level i: dense(3); level ip: function(map=MAP); }", arrays);
   EXPECT_EQ(fn_view.level(1).search(0, 1), 0);
   EXPECT_EQ(fn_view.level(1).search(0, 0), -1);
+}
+
+TEST(FormatSpec, ParsesBlockedLevelAndSearchesThroughBlocks) {
+  // 8x8 with full 4x4 blocks at block (0,0) and (1,1): every in-block
+  // probe must land on the block-row-major value slot, every out-of-block
+  // probe must miss.
+  TripletBuilder tb(8, 8);
+  for (index_t r = 0; r < 4; ++r)
+    for (index_t c = 0; c < 4; ++c) {
+      tb.add(r, c, 1.0 + r * 4 + c);
+      tb.add(4 + r, 4 + c, -(1.0 + r * 4 + c));
+    }
+  Coo coo = std::move(tb).build();
+  formats::Bsr m = formats::Bsr::from_coo(coo, 4);
+
+  FormatArrays arrays;
+  arrays.index_arrays["BROWPTR"] = {m.browptr().begin(), m.browptr().end()};
+  arrays.index_arrays["BCOLIND"] = {m.bcolind().begin(), m.bcolind().end()};
+  arrays.value_arrays["BVALS"] = {m.vals().begin(), m.vals().end()};
+  GenericFormatView v(
+      "format A { level i: dense(8); "
+      "level j: blocked(r=4, c=4, ptr=BROWPTR, ind=BCOLIND) sorted; "
+      "value BVALS; }",
+      arrays);
+
+  EXPECT_EQ(v.arity(), 2);
+  EXPECT_EQ(descriptor_text(v.level(1).describe()), "blocked 4x4");
+  for (index_t i = 0; i < 8; ++i)
+    for (index_t j = 0; j < 8; ++j) {
+      const index_t pos = v.level(1).search(i, j);
+      if ((i < 4) == (j < 4)) {
+        ASSERT_GE(pos, 0) << i << "," << j;
+        EXPECT_EQ(m.vals()[static_cast<std::size_t>(pos)], m.at(i, j))
+            << i << "," << j;
+      } else {
+        EXPECT_EQ(pos, -1) << i << "," << j;
+      }
+    }
+}
+
+TEST(FormatSpec, ParsesSlicedLevelAndMatchesCsrSearch) {
+  Coo coo = sample(10, 30, 5);
+  formats::Sell m = formats::Sell::from_coo(coo, 4, 8);
+  formats::Csr csr = formats::Csr::from_coo(coo);
+
+  FormatArrays arrays;
+  arrays.index_arrays["ROWBASE"] = {m.rowbase().begin(), m.rowbase().end()};
+  arrays.index_arrays["ROWLEN"] = {m.rowlen().begin(), m.rowlen().end()};
+  arrays.index_arrays["SIND"] = {m.colind().begin(), m.colind().end()};
+  arrays.value_arrays["SVALS"] = {m.vals().begin(), m.vals().end()};
+  GenericFormatView v(
+      "format S { level i: dense(10); "
+      "level j: sliced(chunk=4, sigma=8, base=ROWBASE, len=ROWLEN, ind=SIND) "
+      "sorted; value SVALS; }",
+      arrays);
+
+  EXPECT_EQ(descriptor_text(v.level(1).describe()), "sliced C=4 sigma=8");
+  // Same hits and misses as CSR, with the hit's lane slot holding the
+  // same value — padding lanes are unreachable through search.
+  CsrView builtin("S", csr);
+  for (index_t i = 0; i < 10; ++i)
+    for (index_t j = 0; j < 10; ++j) {
+      const index_t pos = v.level(1).search(i, j);
+      const index_t ref = builtin.level(1).search(i, j);
+      if (ref < 0) {
+        EXPECT_EQ(pos, -1) << i << "," << j;
+      } else {
+        ASSERT_GE(pos, 0) << i << "," << j;
+        EXPECT_EQ(m.vals()[static_cast<std::size_t>(pos)],
+                  csr.vals()[static_cast<std::size_t>(ref)])
+            << i << "," << j;
+      }
+    }
+}
+
+TEST(FormatSpec, BlockedAndSlicedErrorsAreAnchored) {
+  FormatArrays arrays;
+  arrays.index_arrays["PTR"] = {0, 1};
+  arrays.index_arrays["IND"] = {0};
+  arrays.index_arrays["BASE"] = {0, 1};
+  arrays.index_arrays["LEN"] = {1, 1};
+  arrays.index_arrays["LEN3"] = {1, 1, 1};
+
+  auto expect_error = [&](const std::string& spec, const char* line,
+                          const char* needle) {
+    try {
+      GenericFormatView v(spec, arrays);
+      FAIL() << "expected throw mentioning: " << needle;
+    } catch (const Error& e) {
+      EXPECT_NE(std::string(e.what()).find(line), std::string::npos)
+          << e.what();
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  // Zero/negative block dims, anchored to the offending line.
+  expect_error(
+      "format X {\n  level i: dense(4);\n"
+      "  level j: blocked(r=0, c=4, ptr=PTR, ind=IND);\n}",
+      "line 3", "positive block dims");
+  // Block tiling must cover the dense parent exactly.
+  expect_error(
+      "format X {\n  level i: dense(5);\n"
+      "  level j: blocked(r=4, c=4, ptr=PTR, ind=IND);\n}",
+      "line 3", "covers 4 rows but parent level is dense(5)");
+  // Unknown array names are echoed back.
+  expect_error(
+      "format X {\n  level i: dense(4);\n"
+      "  level j: blocked(r=4, c=4, ptr=NOPE, ind=IND);\n}",
+      "line 3", "NOPE");
+  // chunk must be positive.
+  expect_error(
+      "format X {\n  level i: dense(2);\n"
+      "  level j: sliced(chunk=0, sigma=8, base=BASE, len=LEN, ind=IND);\n}",
+      "line 3", "positive chunk");
+  // sigma must tile into whole chunks.
+  expect_error(
+      "format X {\n  level i: dense(2);\n"
+      "  level j: sliced(chunk=4, sigma=6, base=BASE, len=LEN, ind=IND);\n}",
+      "line 3", "sigma must be a positive multiple of chunk, got sigma=6");
+  // base and len must agree on the row count.
+  expect_error(
+      "format X {\n  level i: dense(2);\n"
+      "  level j: sliced(chunk=4, sigma=8, base=BASE, len=LEN3, ind=IND);\n}",
+      "line 3", "base and len must have one entry per row");
 }
 
 TEST(FormatSpec, ErrorsAreAnchored) {

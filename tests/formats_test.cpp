@@ -3,6 +3,7 @@
 // reference on lookups, (3) produce the dense-reference SpMV result.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 
 #include "formats/formats.hpp"
@@ -273,7 +274,13 @@ INSTANTIATE_TEST_SUITE_P(AllFormats, FormatSweep,
                          [](const ::testing::TestParamInfo<SweepCase>& info) {
                            std::ostringstream os;
                            os << info.param;
-                           return os.str();
+                           // gtest parameterized names must be [A-Za-z0-9_]
+                           // ("SELL-C-s" has dashes).
+                           std::string s = os.str();
+                           for (char& ch : s)
+                             if (!std::isalnum(static_cast<unsigned char>(ch)))
+                               ch = '_';
+                           return s;
                          });
 
 TEST(AnyFormat, StorageBytesOrdering) {
