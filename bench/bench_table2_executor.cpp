@@ -73,6 +73,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analysis/attribution.hpp"
 #include "analysis/critical_path.hpp"
 #include "analysis/report.hpp"
 #include "common.hpp"
@@ -86,6 +87,7 @@
 #include "support/counters.hpp"
 #include "support/histogram.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/json_reader.hpp"
 #include "support/json_writer.hpp"
 #include "support/rng.hpp"
@@ -301,6 +303,10 @@ struct EngineCase {
   // serial linked run (latency samples == runs, hist sum == wall_ns rate,
   // model bytes/flops == footprint).
   bool metrics_check_ok = true;
+  // Under --check with --profile: the per-level self times the profiler
+  // committed for one serial linked run sum to that run's execute.wall_ns
+  // within the documented tolerance (docs/OBSERVABILITY.md).
+  bool profile_check_ok = true;
   // Link-time data-movement footprint of the SpMV plan (exact for these
   // flat CSR/CCS cases); feeds the report's roofline section and the
   // --check model-traffic reconciliation.
@@ -483,6 +489,7 @@ EngineCase measure_engines(const std::string& label, const EngineMatrix& m,
       // footprint. The warm run above already registered the metrics.
       auto c0 = support::counters_snapshot();
       auto m0 = support::metrics_snapshot();
+      const support::ProfileSnapshot p0 = support::profile_snapshot();
       runner.run(mac);
       const ExecMetricsDelta d =
           exec_metrics_window(c0, m0, support::counters_snapshot(),
@@ -498,6 +505,23 @@ EngineCase measure_engines(const std::string& label, const EngineMatrix& m,
                   << " wall_ns=" << d.wall_ns << " bytes=" << d.bytes
                   << "/" << out.footprint.total_bytes() << " flops="
                   << d.flops << "/" << out.footprint.flops << "]\n";
+      if (support::profiling_enabled()) {
+        // Profile reconciliation against the same one-run window: the
+        // per-level self times the flush committed must sum to the run's
+        // execute.wall_ns within the documented tolerance — the estimate
+        // is sampled + extrapolated, so the bound is [25%, 150%] of wall
+        // (the estimator clamps each run's total at 100% of its own
+        // wall; the upper slack only absorbs snapshot boundary noise).
+        const support::ProfileSnapshot p1 = support::profile_snapshot();
+        const long long self = p1.total_self_ns() - p0.total_self_ns();
+        out.profile_check_ok = self > 0 &&
+                               2 * self <= 3 * d.wall_ns &&
+                               4 * self >= d.wall_ns;
+        if (!out.profile_check_ok)
+          std::cerr << "  [" << label << " " << out.format
+                    << " profile reconciliation MISMATCH: level self sum "
+                    << self << " ns vs wall " << d.wall_ns << " ns]\n";
+      }
     }
     out.linked_s = bench::best_seconds([&] { runner.run(mac); }, budget);
   }
@@ -793,6 +817,7 @@ int run_engines(const std::string& which, bool small, bool check,
   bool thread_check_ok = true;
   bool specialized_check_ok = true;
   bool metrics_check_ok = true;
+  bool profile_check_ok = true;
   bool any_specialized = false;
   // Threaded scaling on the LARGEST measured CRS case (the acceptance
   // target: >= 2.5x at 4 threads on the full Table-2 sweep).
@@ -860,6 +885,7 @@ int run_engines(const std::string& which, bool small, bool check,
     thread_check_ok = thread_check_ok && c.thread_check_ok;
     specialized_check_ok = specialized_check_ok && c.specialized_check_ok;
     metrics_check_ok = metrics_check_ok && c.metrics_check_ok;
+    profile_check_ok = profile_check_ok && c.profile_check_ok;
     any_specialized = any_specialized || c.specialized_s > 0;
   }
   std::cout << table.str()
@@ -952,6 +978,15 @@ int run_engines(const std::string& which, bool small, bool check,
       roof("linked" + tsuf, c.linked_t_s);
       roof("kernel" + tsuf, c.kernel_t_s);
     }
+    // Under --profile: the flattened per-level attribution joins the
+    // diffable metric surface, so `bernoulli_report regress` can point at
+    // the level whose self-time moved when an exec.* gate trips.
+    if (support::profiling_enabled()) {
+      const support::JsonValue prof =
+          support::json_parse(support::profile_json());
+      for (const auto& [name, v] : analysis::profile_flat_metrics(prof))
+        report.metric(name, v);
+    }
     report.write(report_path);
   }
   if (check) {
@@ -977,10 +1012,19 @@ int run_engines(const std::string& which, bool small, bool check,
                    "link-time footprint)\n";
       return 1;
     }
+    if (!profile_check_ok) {
+      std::cerr << "CHECK FAILED: profile level self-times do not "
+                   "reconcile with execute.wall_ns (per-level attribution "
+                   "outside the documented tolerance)\n";
+      return 1;
+    }
     std::cerr << "check ok: linked faster than interpreted on every case\n";
     std::cerr << "check ok: serving metrics reconcile (latency samples == "
                  "runs, hist sum == wall_ns rate, model traffic == "
                  "footprint)\n";
+    if (support::profiling_enabled())
+      std::cerr << "check ok: per-level profile self-times sum to "
+                   "execute.wall_ns within tolerance on every case\n";
     if (any_specialized)
       std::cerr << "check ok: specialized kernel bitwise-identical to the "
                    "serial linked engine with reconciling counters/"

@@ -11,6 +11,7 @@
 #include <array>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -23,6 +24,7 @@
 #include "solvers/dist_cg.hpp"
 #include "spmd/matvec.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/timer.hpp"
 #include "support/trace_cli.hpp"
 #include "workloads/bs_order.hpp"
@@ -35,6 +37,9 @@ namespace bernoulli::bench {
 ///   --trace=<f> --comm-matrix --report=<f>   observability (ObsOptions)
 ///   --metrics=<f>   Prometheus text exposition of the serving-metrics
 ///                   registry, written by finish() at the end of the run
+///   --profile=<f>   enables per-level time attribution for the whole run
+///                   and writes collapsed-stack flamegraph lines
+///                   (support/profile.hpp) from finish()
 ///   --engine=<e> --threads=<n> --small --check   engine-bench knobs
 /// Arguments no shared flag claims land in `rest` for tool-specific
 /// parsing (e.g. table2's --exec-json=), so parse() never rejects — except
@@ -42,6 +47,7 @@ namespace bernoulli::bench {
 struct Options {
   support::ObsOptions obs;
   std::string metrics_path;  // --metrics=<file>; empty = no exposition
+  std::string profile_path;  // --profile=<file>; empty = profiling off
   std::string engine;        // --engine=<name>; empty = tool default
   int threads = 0;           // --threads=<n>; 0 = serial
   bool small = false;        // --small
@@ -55,6 +61,9 @@ struct Options {
       if (support::obs_parse_flag(arg, o.obs)) continue;
       if (std::strncmp(arg, "--metrics=", 10) == 0) {
         o.metrics_path = arg + 10;
+      } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+        o.profile_path = arg + 10;
+        support::set_profiling(true);
       } else if (std::strncmp(arg, "--engine=", 9) == 0) {
         o.engine = arg + 9;
       } else if (std::strncmp(arg, "--threads=", 10) == 0) {
@@ -79,6 +88,16 @@ struct Options {
   /// obs_end(): benches that skip the observability window still honor
   /// --metrics).
   void finish() const {
+    if (!profile_path.empty()) {
+      std::ofstream out(profile_path);
+      out << support::profile_collapsed();
+      if (!out) {
+        std::cerr << "error: cannot write --profile file " << profile_path
+                  << "\n";
+        std::exit(1);
+      }
+      std::cerr << "profile: " << profile_path << " (collapsed stacks)\n";
+    }
     if (metrics_path.empty()) return;
     if (!support::metrics_write_prometheus(metrics_path)) {
       std::cerr << "error: cannot write --metrics file " << metrics_path
@@ -177,7 +196,10 @@ inline VariantTiming measure_variant(const Problem& prob, int nprocs,
         dl[k] = diag[static_cast<std::size_t>(mine[k])];
       }
       p.barrier();
-      spmd::DistSpmv dist = spmd::build_dist_spmv(p, a, prob.rows, variant);
+      spmd::DistSpmv dist = [&] {
+        support::ProfilePhaseScope prof(support::kProfPhaseInspector);
+        return spmd::build_dist_spmv(p, a, prob.rows, variant);
+      }();
       insp_bytes[static_cast<std::size_t>(p.rank())] = p.stats().bytes;
       double t1 = p.virtual_time();
       solvers::CgOptions opts;
@@ -258,7 +280,10 @@ inline VariantTiming measure_variant_calibrated(const Problem& prob,
     std::vector<long long> ibytes(static_cast<std::size_t>(nprocs), 0);
     auto reports = machine.run([&](runtime::Process& p) {
       p.barrier();
-      spmd::DistSpmv d = spmd::build_dist_spmv(p, a, prob.rows, variant);
+      spmd::DistSpmv d = [&] {
+        support::ProfilePhaseScope prof(support::kProfPhaseInspector);
+        return spmd::build_dist_spmv(p, a, prob.rows, variant);
+      }();
       insp[static_cast<std::size_t>(p.rank())] = d.inspector_vtime;
       ibytes[static_cast<std::size_t>(p.rank())] = p.stats().bytes;
       if (rep == 0)

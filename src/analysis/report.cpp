@@ -7,11 +7,13 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/attribution.hpp"
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::analysis {
@@ -178,6 +180,10 @@ std::string RunReport::json(int indent) const {
   // The serving-metrics registry (support/metrics.hpp), embedded as its
   // own schema so metrics-only consumers can lift the block out verbatim.
   w.key("metrics_registry").raw(support::metrics_json());
+  // Per-level time attribution (support/profile.hpp): a
+  // bernoulli.profile.v1 block when the run profiled, "{}" otherwise —
+  // the block `bernoulli_report profile` renders and diffs.
+  w.key("profile_registry").raw(support::profile_json());
   w.end_object();
 
   std::string out = w.str();
@@ -568,6 +574,9 @@ std::string report_text(const JsonValue& doc) {
 
   if (const JsonValue* cp = doc.find("critical_path"))
     if (cp->is_object()) render_critical_path(os, *cp);
+
+  if (const JsonValue* prof = doc.find("profile_registry"))
+    if (profile_block_nonempty(*prof)) os << "\n" << profile_table_text(*prof);
   return os.str();
 }
 

@@ -28,7 +28,10 @@
 //    "solves": [<SolveRecord>...],
 //    "critical_path": <critical_path_json> | null,
 //    "comm_matrix": {...}, "histograms": {...}, "counters": {...},
-//    "metrics_registry": <bernoulli.metrics.v1>}
+//    "metrics_registry": <bernoulli.metrics.v1>,
+//    "profile_registry": <bernoulli.profile.v1> | {}}  // per-level time
+//                        // attribution (support/profile.hpp); {} when the
+//                        // run never enabled profiling
 //
 // The run LEDGER (bench/ledger.jsonl) makes runs accumulate: one report
 // document per line (JSON forbids raw newlines in strings, so stripping

@@ -5,6 +5,7 @@
 
 #include "support/error.hpp"
 #include "support/histogram.hpp"
+#include "support/profile.hpp"
 
 namespace bernoulli::compiler {
 
@@ -202,6 +203,20 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
     specs.push_back(es);
   }
 
+  // Drain-kind attribution per level for the host's profile commit: the
+  // leaf loop is the moral equivalent of a linked-engine bulk drain
+  // (blocked/sliced for those storages), everything above is per-tuple.
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    int kind = support::kProfTuple;
+    if (d + 1 == specs.size()) {
+      using EKind = relation::EnumSpec::Kind;
+      kind = specs[d].kind == EKind::kBlocked  ? support::kProfBlocked
+             : specs[d].kind == EKind::kSliced ? support::kProfSliced
+                                               : support::kProfBulk;
+    }
+    out.level_kinds.push_back(kind);
+  }
+
   ArgPool pool;
   std::ostringstream body;
   bool need_binsearch = false;
@@ -226,6 +241,17 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
          rel_name(lv.drivers[0].rel) + " */");
     ++indent;
     line("long long " + en + " = 0, " + prn + " = 0;");
+    // Per-level time attribution (the lvl_ns ABI slots, docs/CODEGEN.md):
+    // level 0 brackets the whole kernel exactly; deeper levels bracket
+    // whole invocations, sampled on the outer enumeration counter so the
+    // probes' `continue` paths cannot skip a close.
+    if (d == 0) {
+      line("const int pon0 = prof;");
+    } else {
+      line("const int pon" + D + " = prof && en0 % " +
+           std::to_string(support::kProfileSampleEvery) + " == 1;");
+    }
+    line("const long long pns" + D + " = pon" + D + " ? now_ns() : 0;");
     using EKind = relation::EnumSpec::Kind;
     switch (es.kind) {
       case EKind::kDense:
@@ -436,6 +462,10 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
     const std::string D = std::to_string(d);
     --indent;
     line("}");
+    line("if (pon" + D + ") { lvl_ns[" + std::to_string(3 * d) +
+         "] += now_ns() - pns" + D + "; ++lvl_ns[" +
+         std::to_string(3 * d + 1) + "]; lvl_ns[" +
+         std::to_string(3 * d + 2) + "] += prn" + D + "; }");
     line("lvl_enum[" + D + "] += en" + D + ";");
     line("lvl_prod[" + D + "] += prn" + D + ";");
     line("++fanout[" + D + " * " +
@@ -452,7 +482,13 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
   std::ostringstream os;
   os << "/* kernel specialized at runtime from a linked plan; arrays are\n"
      << " * passed by the host, counters replicate the linked engine's\n"
-     << " * bookkeeping (see compiler/specialize.hpp) */\n\n"
+     << " * bookkeeping (see compiler/specialize.hpp) */\n"
+     << "#include <time.h>\n\n"
+     << "static long long now_ns(void) {\n"
+     << "  struct timespec ts;\n"
+     << "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+     << "  return (long long)ts.tv_sec * 1000000000LL + ts.tv_nsec;\n"
+     << "}\n\n"
      << "static int bucket_of(long long v) {\n"
      << "  if (v <= 0) return 0;\n"
      << "  int k = 1;\n"
@@ -473,8 +509,8 @@ LinkedEmission emit_linked_c(const LinkedPlan& lp, const LinkedMac& mac,
   os << "int " << symbol
      << "(const int** ia, const double** da, double** wa,\n"
      << "    long long* ctr, long long* lvl_enum, long long* lvl_prod,\n"
-     << "    long long* fanout) {\n"
-     << "  (void)ia; (void)da; (void)wa;\n";
+     << "    long long* fanout, long long* lvl_ns, int prof) {\n"
+     << "  (void)ia; (void)da; (void)wa; (void)lvl_ns; (void)prof;\n";
   for (std::size_t i = 0; i < pool.ints.size(); ++i)
     os << "  const int* const I" << i << " = ia[" << i << "];\n";
   for (std::size_t i = 0; i < pool.consts.size(); ++i)

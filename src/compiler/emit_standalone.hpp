@@ -48,7 +48,7 @@ std::string emit_standalone_c(const std::string& kernel_code,
 ///
 ///   int SYMBOL(const int** ia, const double** da, double** wa,
 ///              long long* ctr, long long* lvl_enum, long long* lvl_prod,
-///              long long* fanout);
+///              long long* fanout, long long* lvl_ns, int prof);
 ///
 /// and returns 0 on success or 1 when a non-filtering probe misses (the
 /// condition the engines treat as a checked runtime error). ctr receives
@@ -57,6 +57,14 @@ std::string emit_standalone_c(const std::string& kernel_code,
 /// buckets, one histogram sample per level invocation — exactly the
 /// observability the linked engine books, so the host can flush identical
 /// executor.* deltas.
+///
+/// lvl_ns is the per-level time-attribution block (docs/CODEGEN.md): 3
+/// slots per level {raw_ns, samples, work}, written only when `prof` is
+/// nonzero. Level 0 books one exact whole-kernel bracket; deeper levels
+/// book whole invocations sampled every kProfileSampleEvery-th outer
+/// binding. The host (compiler/specialize.cpp) compensates, extrapolates
+/// and commits the same `bernoulli.profile.v1` shape the other engines
+/// flush, using `level_kinds` for the drain-kind attribution.
 struct LinkedEmission {
   bool ok = false;
   std::string note;    // why emission was refused (ok == false)
@@ -66,6 +74,7 @@ struct LinkedEmission {
   std::vector<const value_t*> const_args;  // da[]
   std::vector<value_t*> out_args;          // wa[]
   std::size_t num_levels = 0;
+  std::vector<int> level_kinds;  // support::kProf* drain kind per level
 };
 
 /// Emits C for the pair, or refuses with a note when the plan uses a shape

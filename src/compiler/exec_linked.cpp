@@ -39,6 +39,7 @@
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -340,6 +341,12 @@ void LinkedRunner::flush(const LocalCounters& c, RunStats* stats,
     }
   }
   if (stats) stats->tuples = c.tuples;
+  // Per-level time attribution rides the same once-per-run flush; the
+  // scratch is zero unless profiling was enabled during the run.
+  if (prof_.any()) {
+    support::profile_flush(prof_, wall_ns);
+    prof_.reset(0);
+  }
 }
 
 // Classifies the mac operands against the leaf level so try_bulk (below)
@@ -783,6 +790,23 @@ struct LinkedRunner::MacSink {
     tpos.resize(S);
     acc.resize(static_cast<std::size_t>(cw));
 
+    // Sliced drains book ONE exact interval per invocation (covering every
+    // window it consumes) — no sampling needed: two stamps amortize over
+    // sigma rows of work. Outer rows consumed here also count as level-0
+    // work so per-level work totals match the per-row path.
+    const bool prof = support::profiling_enabled();
+    const long long prof_t0 = prof ? support::profile_now_ns() : 0;
+    const long long prof_w0 = prof ? c.tuples : 0;
+    long long prof_rows = 0;
+    const auto prof_book = [&] {
+      if (!prof || prof_rows == 0) return;
+      const long long w = c.tuples - prof_w0;
+      r.prof_.add_work(0, support::kProfTuple, prof_rows);
+      r.prof_.add_work(1, support::kProfSliced, w);
+      r.prof_.book_ns(1, support::kProfSliced,
+                      support::profile_now_ns() - prof_t0, w);
+    };
+
     while (cur.cur % sigma == 0 && cur.end - cur.cur >= sigma) {
       const index_t w0 = cur.cur;
       // Pre-resolve the window's rows before booking any frame state: a
@@ -837,6 +861,7 @@ struct LinkedRunner::MacSink {
       }
       if (!ok) {
         c = saved;
+        prof_book();
         return;
       }
 
@@ -879,15 +904,36 @@ struct LinkedRunner::MacSink {
           td[tpos[slot(j + lane)]] = acc[static_cast<std::size_t>(lane)];
       }
       cur.cur += sigma;
+      prof_rows += sigma;
     }
+    prof_book();
   }
 };
 
 template <class Sink>
 void LinkedRunner::drain_enumerate_leaf(std::size_t d, LocalCounters& c,
-                                        Sink&& sink) {
+                                        Sink&& sink, bool prof_time) {
+  // Drain-kind attribution: the whole invocation books one work count (and,
+  // inside a sampled bracket, one timestamp pair — never per tuple) under
+  // the kind that actually drained it.
+  const bool profiling = support::profiling_enabled();
+  const long long prof_w0 = profiling ? c.tuples : 0;
+  const long long prof_t0 = prof_time ? support::profile_now_ns() : 0;
   if constexpr (requires { sink.try_bulk(d, c); }) {
-    if (sink.try_bulk(d, c)) return;
+    const bool blocked =
+        frames_[d].cursors[0].kind == relation::Cursor::Kind::kBlocked;
+    if (sink.try_bulk(d, c)) {
+      if (profiling) {
+        const int kind =
+            blocked ? support::kProfBlocked : support::kProfBulk;
+        const long long w = c.tuples - prof_w0;
+        prof_.add_work(static_cast<int>(d), kind, w);
+        if (prof_time)
+          prof_.book_ns(static_cast<int>(d), kind,
+                        support::profile_now_ns() - prof_t0, w);
+      }
+      return;
+    }
   }
   Frame& f = frames_[d];
   const LinkedLevel& lv = lp_.levels[d];
@@ -947,6 +993,12 @@ void LinkedRunner::drain_enumerate_leaf(std::size_t d, LocalCounters& c,
       break;
   }
   f.inv_produced += produced;
+  if (profiling) {
+    prof_.add_work(static_cast<int>(d), support::kProfTuple, produced);
+    if (prof_time)
+      prof_.book_ns(static_cast<int>(d), support::kProfTuple,
+                    support::profile_now_ns() - prof_t0, produced);
+  }
 }
 
 template <class Sink>
@@ -954,6 +1006,9 @@ void LinkedRunner::run_impl(Sink&& sink, RunStats* stats) {
   LocalCounters c;
   const long long t0 = wall_now_ns();
   const std::size_t L = lp_.levels.size();
+  if (support::profiling_enabled())
+    prof_.levels = static_cast<int>(
+        std::min<std::size_t>(L, support::kProfileMaxLevels));
   if (stats) {
     stats->tuples = 0;
     stats->levels.assign(L, LevelRunStats{});
@@ -988,6 +1043,21 @@ void LinkedRunner::run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
     cur.cur = lo;
     cur.end = hi;
   }
+  // Sampled switch-clock (support/profile.hpp): every kProfileSampleEvery-th
+  // outer binding opens a timing bracket; inside a bracket, one timestamp
+  // per level TRANSITION books the elapsed segment to the level the engine
+  // was executing (self time; book_ns also feeds every enclosing level's
+  // inclusive slot). Leaf drains bracket the whole invocation. Work counts
+  // are always on while profiling so the flush can extrapolate sampled
+  // nanoseconds by the exact work ratio.
+  const bool prof_on = support::profiling_enabled();
+  bool prof_bracket = false;
+  long long prof_last = 0;
+  const auto prof_kind_of = [this](std::size_t lvl) {
+    return lp_.levels[lvl].method == JoinMethod::kMerge
+               ? support::kProfMerge
+               : support::kProfTuple;
+  };
   while (true) {
     // At the outer level, offer any whole sliced windows to the chunk-
     // wide drain first (no-op unless prepare_chunk engaged and the
@@ -996,11 +1066,46 @@ void LinkedRunner::run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
       if (d == 0) sink.try_chunk(c, stats);
     }
     if (d == leaf && lp_.levels[d].method == JoinMethod::kEnumerate) {
-      drain_enumerate_leaf(d, c, sink);
+      if (prof_bracket) {
+        // Segment since the last transition: this level's frame setup.
+        const long long t = support::profile_now_ns();
+        prof_.book_ns(static_cast<int>(d), prof_kind_of(d), t - prof_last,
+                      0);
+      }
+      // A single-level plan drains the whole run in one invocation —
+      // bracket it exactly rather than sampling.
+      drain_enumerate_leaf(d, c, sink,
+                           prof_bracket || (prof_on && leaf == 0));
+      if (prof_bracket) prof_last = support::profile_now_ns();
       close_frame(d, c, stats);
       if (d == 0) break;
       --d;
     } else if (next_binding(d, c)) {
+      if (prof_on) {
+        prof_.add_work(static_cast<int>(d), prof_kind_of(d), 1);
+        if (d == 0) {
+          // Outer-binding boundary: close the open bracket (the trailing
+          // segment covers this binding's enumeration) and open a new one
+          // every kProfileSampleEvery-th binding.
+          if (prof_bracket) {
+            const long long t = support::profile_now_ns();
+            prof_.book_ns(0, prof_kind_of(0), t - prof_last, 1);
+            prof_bracket = false;
+          }
+          if (prof_outer_++ % support::kProfileSampleEvery == 0) {
+            prof_bracket = true;
+            prof_last = support::profile_now_ns();
+          }
+        } else if (prof_bracket && d != leaf) {
+          // Descending: the segment was level-d enumeration + probes.
+          const long long t = support::profile_now_ns();
+          prof_.book_ns(static_cast<int>(d), prof_kind_of(d),
+                        t - prof_last, 1);
+          prof_last = t;
+        }
+        // Per-tuple leaf bindings take no stamp; their time books at the
+        // frame close below.
+      }
       if (d == leaf) {
         ++c.tuples;
         sink();
@@ -1009,6 +1114,13 @@ void LinkedRunner::run_span(Sink&& sink, LocalCounters& c, RunStats* stats,
         open_frame(d);
       }
     } else {
+      if (prof_bracket) {
+        const long long t = support::profile_now_ns();
+        prof_.book_ns(static_cast<int>(d), prof_kind_of(d), t - prof_last,
+                      0);
+        prof_last = t;
+        if (d == 0) prof_bracket = false;
+      }
       close_frame(d, c, stats);
       if (d == 0) break;
       --d;
@@ -1137,6 +1249,9 @@ void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
           WorkerState& ws = states[static_cast<std::size_t>(slot)];
           ws.stats.levels.assign(L, LevelRunStats{});
           r.chunk_outer_produced_ = &ws.outer_produced;
+          if (support::profiling_enabled())
+            r.prof_.levels = static_cast<int>(
+                std::min<std::size_t>(L, support::kProfileMaxLevels));
           auto sink = make_sink(r);
           std::unique_ptr<support::TraceSpan> span;
           if (tracing) {
@@ -1185,6 +1300,10 @@ void ParallelRunner::run_parallel(MakeSink&& make_sink, RunStats* stats) {
             r0.fanout_local_[d][b] += workers_[w]->fanout_local_[d][b];
         for (auto& buckets : workers_[w]->fanout_local_)
           std::fill(buckets.begin(), buckets.end(), 0);
+        // Profile shards merge exactly like the counter shards: plain
+        // sums into the coordinator's scratch, flushed once below.
+        r0.prof_.merge(workers_[w]->prof_);
+        workers_[w]->prof_.reset(0);
       }
     }
     ++r0.fanout_local_[0][static_cast<std::size_t>(

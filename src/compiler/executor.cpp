@@ -9,6 +9,7 @@
 #include "support/histogram.hpp"
 #include "support/json_writer.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::compiler {
@@ -73,11 +74,24 @@ class Interpreter {
     // segments keep their capacity across invocations instead of
     // reallocating per call.
     merge_scratch_.resize(plan.levels.size());
+    prof_on_ = support::profiling_enabled();
+    if (prof_on_) {
+      prof_.levels = static_cast<int>(
+          std::min(plan.levels.size(),
+                   static_cast<std::size_t>(support::kProfileMaxLevels)));
+      prof_clock_.begin(&prof_);
+      prof_kind_.reserve(plan.levels.size());
+      for (const PlanLevel& lv : plan.levels)
+        prof_kind_.push_back(lv.method == JoinMethod::kMerge
+                                 ? support::kProfMerge
+                                 : support::kProfTuple);
+    }
   }
 
   void run() { level(0); }
 
   long long tuples() const { return tuples_; }
+  const support::ProfileScratch& profile_scratch() const { return prof_; }
   long long produced(std::size_t d) const {
     return produced_[d];
   }
@@ -155,6 +169,24 @@ class Interpreter {
     }
     const PlanLevel& lv = plan_.levels[d];
     const std::size_t slot = level_slot_[d];
+    // Sampled switch-clock (support/profile.hpp): every K-th level-1
+    // invocation — one per outer binding — opens a bracket; within it the
+    // recursion books one segment per level transition. A bracket stays
+    // open past its level-1 invocation so the trailing segment (the outer
+    // level's enumeration work up to the next binding) is booked to
+    // level 0 when the next level-1 invocation arrives.
+    bool prof_opened = false;
+    if (prof_on_) {
+      if (d == 1) {
+        if (prof_clock_.active()) {
+          prof_clock_.leave(0, prof_kind_[0], 1);
+          prof_clock_.close();
+        }
+        prof_opened = prof_clock_.maybe_open();
+      } else if (d > 1 && prof_clock_.active()) {
+        prof_clock_.enter(static_cast<int>(d), prof_kind_[d - 1]);
+      }
+    }
     // Bindings this invocation enumerated / passed on — one fan-out
     // histogram sample per invocation, per-level totals for the trace.
     long long inv_enumerated = 0;
@@ -236,6 +268,16 @@ class Interpreter {
     fanout_[d]->add(inv_produced);
     produced_[d] += inv_produced;
     enumerated_[d] += inv_enumerated;
+    if (prof_on_) {
+      prof_.add_work(static_cast<int>(d), prof_kind_[d], inv_produced);
+      if (prof_opened) {
+        // d == 1 here; the bracket stays open for the trailing level-0
+        // segment (closed at the next outer binding, dropped at run end).
+        prof_clock_.leave(1, prof_kind_[d], inv_produced);
+      } else if (d > 1 && prof_clock_.active()) {
+        prof_clock_.leave(static_cast<int>(d), prof_kind_[d], inv_produced);
+      }
+    }
   }
 
   std::vector<index_t> leaf_buffer_;
@@ -259,6 +301,10 @@ class Interpreter {
   std::vector<std::vector<std::vector<std::pair<index_t, index_t>>>>
       merge_scratch_;  // per depth, per driver
   long long tuples_ = 0;
+  support::ProfileScratch prof_;   // per-level attribution, flushed per run
+  support::ProfileClock prof_clock_;
+  std::vector<int> prof_kind_;     // tuple/merge kind per plan level
+  bool prof_on_ = false;
 };
 
 }  // namespace
@@ -320,6 +366,7 @@ void execute_interpreted(const Plan& plan, const Query& q,
   support::metric_rate("execute.wall_ns").add(wall_ns);
   support::time_counter("executor.wall_seconds")
       .add(static_cast<double>(wall_ns) * 1e-9);
+  support::profile_flush(interp.profile_scratch(), wall_ns);
   RunStats local;
   RunStats* st = (stats || tracing) ? (stats ? stats : &local) : nullptr;
   if (st) {

@@ -25,6 +25,7 @@
 
 #include "compiler/executor.hpp"
 #include "relation/cursor.hpp"
+#include "support/profile.hpp"
 
 namespace bernoulli::support {
 class Log2Histogram;
@@ -247,9 +248,11 @@ class LinkedRunner {
   // Innermost-level fast path: produces every binding of an enumerate leaf
   // frame in one tight loop (cursor kind dispatched once per invocation,
   // not per element) and fires the sink inline, instead of re-entering the
-  // level state machine per element.
+  // level state machine per element. `prof_time` brackets the invocation
+  // with one timestamp pair (set inside sampled profiler brackets only).
   template <class Sink>
-  void drain_enumerate_leaf(std::size_t d, LocalCounters& c, Sink&& sink);
+  void drain_enumerate_leaf(std::size_t d, LocalCounters& c, Sink&& sink,
+                            bool prof_time);
 
   void open_frame(std::size_t d);
   void close_frame(std::size_t d, LocalCounters& c, RunStats* stats);
@@ -334,6 +337,15 @@ class LinkedRunner {
   // level's produced count here instead of booking a fan-out sample per
   // chunk — the serial engine books exactly one sample per run.
   long long* chunk_outer_produced_ = nullptr;
+  // Per-run time-attribution scratch (support/profile.hpp): exact per-
+  // (level, drain-kind) work counts plus sampled level-transition
+  // intervals, flushed once per run by flush(). The ParallelRunner merges
+  // worker shards into the coordinator's scratch before its single flush,
+  // so work counts stay bitwise serial-identical for any thread count.
+  support::ProfileScratch prof_;
+  // Outer-binding counter driving the sampling gate (every
+  // kProfileSampleEvery-th outer binding opens a timing bracket).
+  long long prof_outer_ = 0;
 
   friend class ParallelRunner;
 };

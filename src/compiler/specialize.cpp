@@ -11,6 +11,7 @@
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -142,6 +143,7 @@ SpecializedKernel::SpecializedKernel(const LinkedPlan& lp,
       emission_.num_levels *
           static_cast<std::size_t>(support::Log2Histogram::kBuckets),
       0);
+  lvl_ns_.assign(emission_.num_levels * 3, 0);
 #endif
 }
 
@@ -171,10 +173,13 @@ void SpecializedKernel::run(RunStats* stats) {
   std::fill(lvl_enum_.begin(), lvl_enum_.end(), 0);
   std::fill(lvl_prod_.begin(), lvl_prod_.end(), 0);
   std::fill(fanout_.begin(), fanout_.end(), 0);
+  std::fill(lvl_ns_.begin(), lvl_ns_.end(), 0);
+  const bool profiling = support::profiling_enabled();
   const int rc =
       fn_(emission_.int_args.data(), emission_.const_args.data(),
           emission_.out_args.data(), ctr_.data(), lvl_enum_.data(),
-          lvl_prod_.data(), fanout_.data());
+          lvl_prod_.data(), fanout_.data(), lvl_ns_.data(),
+          profiling ? 1 : 0);
   BERNOULLI_CHECK_MSG(rc == 0,
                       "specialized kernel hit a non-filtering probe miss");
 
@@ -198,6 +203,45 @@ void SpecializedKernel::run(RunStats* stats) {
   if (lp_.footprint.exact) {
     support::metric_rate("execute.model_bytes").add(lp_.footprint.total_bytes());
     support::metric_rate("execute.model_flops").add(lp_.footprint.flops);
+  }
+  if (profiling) {
+    // Host half of the lvl_ns ABI (docs/CODEGEN.md): compensate each
+    // level's sampled bracket time, extrapolate to all invocations,
+    // enforce that inclusive time never exceeds the parent's, and commit
+    // self = incl[d] - incl[d+1] under the emitter's drain-kind
+    // attribution. The raw slots carry the derived values, so the
+    // self/inclusive invariant holds by construction for this engine.
+    const int L = static_cast<int>(
+        std::min(emission_.num_levels,
+                 static_cast<std::size_t>(support::kProfileMaxLevels)));
+    const long long timer = support::profile_timer_cost_ns();
+    long long incl[support::kProfileMaxLevels] = {};
+    for (int d = 0; d < L; ++d) {
+      const long long raw = lvl_ns_[3 * static_cast<std::size_t>(d)];
+      const long long samp = lvl_ns_[3 * static_cast<std::size_t>(d) + 1];
+      if (samp <= 0) continue;
+      const long long comp = std::max(0LL, raw - samp * timer);
+      const long long invocations =
+          d == 0 ? 1 : lvl_prod_[static_cast<std::size_t>(d - 1)];
+      incl[d] = static_cast<long long>(static_cast<double>(comp) /
+                                       static_cast<double>(samp) *
+                                       static_cast<double>(invocations));
+    }
+    incl[0] = std::min(incl[0], wall_ns);
+    for (int d = 1; d < L; ++d) incl[d] = std::min(incl[d], incl[d - 1]);
+    support::ProfileFlush f;
+    f.levels = L;
+    f.wall_ns = wall_ns;
+    for (int d = 0; d < L; ++d) {
+      const int kind = emission_.level_kinds[static_cast<std::size_t>(d)];
+      const long long self = incl[d] - (d + 1 < L ? incl[d + 1] : 0);
+      f.self_ns[d][kind] = self;
+      f.raw_ns[d][kind] = self;
+      f.raw_incl_ns[d] = incl[d];
+      f.samples[d][kind] = lvl_ns_[3 * static_cast<std::size_t>(d) + 1];
+      f.work[d][kind] = lvl_prod_[static_cast<std::size_t>(d)];
+    }
+    support::profile_commit(f);
   }
   support::counter("executor.runs").add(1);
   support::counter("executor.tuples").add(ctr_[0]);

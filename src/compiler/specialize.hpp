@@ -70,7 +70,7 @@ class SpecializedKernel {
  private:
   using KernelFn = int (*)(const index_t* const*, const value_t* const*,
                            value_t* const*, long long*, long long*,
-                           long long*, long long*);
+                           long long*, long long*, long long*, int);
 
   const LinkedPlan& lp_;
   LinkedEmission emission_;
@@ -83,6 +83,7 @@ class SpecializedKernel {
   std::vector<long long> lvl_enum_;
   std::vector<long long> lvl_prod_;
   std::vector<long long> fanout_;
+  std::vector<long long> lvl_ns_;  // 3 slots/level: raw_ns, samples, work
 };
 
 }  // namespace bernoulli::compiler

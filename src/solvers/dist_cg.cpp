@@ -7,6 +7,7 @@
 #include "support/counters.hpp"
 #include "support/error.hpp"
 #include "support/metrics.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::solvers {
@@ -38,8 +39,16 @@ DistCgResult run_pcg(runtime::Process& p, std::size_t n,
     return p.allreduce_sum(dot(u, v));
   };
 
+  // Phase attribution (support/profile.hpp): the matvec — exchange
+  // included — is the compute phase; the exchange inside it books its own
+  // nested interval, so compute-minus-exchange is the local flops share.
+  auto timed_matvec = [&](ConstVectorView in, VectorView out) {
+    support::ProfilePhaseScope prof(support::kProfPhaseCompute);
+    matvec(in, out);
+  };
+
   // r = b - A x
-  matvec(x_local, q);
+  timed_matvec(x_local, q);
   for (std::size_t i = 0; i < n; ++i) r[i] = b_local[i] - q[i];
   precond_local(r, z);
   pv = z;
@@ -71,7 +80,7 @@ DistCgResult run_pcg(runtime::Process& p, std::size_t n,
       book_iter();
       return result;
     }
-    matvec(pv, q);
+    timed_matvec(pv, q);
     value_t pq = gdot(pv, q);
     BERNOULLI_CHECK_MSG(pq != 0.0, "CG breakdown: p'Ap == 0");
     value_t alpha = rz / pq;

@@ -2,6 +2,7 @@
 
 #include "support/counters.hpp"
 #include "support/error.hpp"
+#include "support/profile.hpp"
 #include "support/trace.hpp"
 
 namespace bernoulli::spmd {
@@ -45,6 +46,7 @@ void CommSchedule::exchange(runtime::Process& p, VectorView x_full,
                             int tag) const {
   support::TraceSpan span("exchange", "comm");
   span.arg("ghosts", static_cast<long long>(ghosts));
+  support::ProfilePhaseScope prof(support::kProfPhaseExchange);
   support::phase_counter("comm", "exchanges").add();
   support::phase_counter("comm", "ghost_values").add(ghosts);
   post(p, x_full, tag);
@@ -56,6 +58,7 @@ void CommSchedule::exchange_block(runtime::Process& p, VectorView x_block,
   support::TraceSpan span("exchange_block", "comm");
   span.arg("ghosts", static_cast<long long>(ghosts))
       .arg("width", static_cast<long long>(width));
+  support::ProfilePhaseScope prof(support::kProfPhaseExchange);
   support::phase_counter("comm", "exchanges").add();
   support::phase_counter("comm", "ghost_values").add(ghosts * width);
   BERNOULLI_CHECK(width >= 1);

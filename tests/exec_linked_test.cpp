@@ -22,6 +22,7 @@
 #include "relation/sparse_vector_view.hpp"
 #include "support/counters.hpp"
 #include "support/histogram.hpp"
+#include "support/profile.hpp"
 #include "support/rng.hpp"
 
 namespace bernoulli::compiler {
@@ -570,6 +571,88 @@ TEST_P(BulkDrainSweep, BulkPathIndistinguishableFromPerTuple) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllStorages, BulkDrainSweep,
+                         ::testing::ValuesIn(make_cases()),
+                         [](const ::testing::TestParamInfo<Case>& info) {
+                           const Case& c = info.param;
+                           std::ostringstream os;
+                           os << storage_name(c.storage) << "_" << c.rows
+                              << "x" << c.cols << "_nnz" << c.nnz;
+                           return os.str();
+                         });
+
+// ---- Profiling is a pure observer -----------------------------------
+
+// Turning the per-level profiler on (support/profile.hpp) must not
+// perturb a single observable of the linked engine: outputs stay
+// bitwise-identical and executor.* counter deltas, fan-out histogram
+// deltas and per-level enumerated/produced totals are unchanged — the
+// profiler writes only to its own scratch, never to the run's state.
+class ProfilingSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ProfilingSweep, ProfiledRunIndistinguishableFromUnprofiled) {
+  const Case& c = GetParam();
+  SplitMix64 rng(c.seed);
+  Coo coo = random_matrix(c.rows, c.cols, c.nnz, c.seed);
+
+  Vector x(static_cast<std::size_t>(c.cols));
+  for (auto& v : x) v = rng.next_double(-1, 1);
+  Vector y(static_cast<std::size_t>(c.rows), 0.0);
+
+  formats::Csr csr = formats::Csr::from_coo(coo);
+  formats::Ccs ccs = formats::Ccs::from_coo(coo);
+  formats::Ell ell = formats::Ell::from_coo(coo);
+  formats::Bsr bsr = formats::Bsr::from_coo(coo, block_for(c.rows, c.cols));
+  formats::Sell sell = formats::Sell::from_coo(coo, 4, 8);
+  formats::Dense dm = formats::Dense::from_coo(coo);
+  relation::CsrView csr_base("A", csr);
+  relation::HashIndexedView hashed(csr_base, 1);
+
+  Bindings b;
+  switch (c.storage) {
+    case Storage::kCsr: b.bind_csr("A", csr); break;
+    case Storage::kCcs: b.bind_ccs("A", ccs); break;
+    case Storage::kCoo: b.bind_coo("A", coo); break;
+    case Storage::kEll: b.bind_ell("A", ell); break;
+    case Storage::kBsr: b.bind_bsr("A", bsr); break;
+    case Storage::kSell: b.bind_sell("A", sell); break;
+    case Storage::kDenseMatrix: b.bind_dense_matrix("A", dm); break;
+    case Storage::kCsrHashed:
+      b.bind_view("A", &hashed, {0, 1}, /*sparse=*/true);
+      break;
+  }
+  b.bind_dense_vector("X", ConstVectorView(x));
+  b.bind_dense_vector("Y", VectorView(y));
+
+  LoopNest nest{{{"i", c.rows}, {"j", c.cols}},
+                {{"Y", {"i"}}, {{"A", {"i", "j"}}, {"X", {"j"}}}, 1.0}};
+  CompiledKernel k = compile(nest, b);
+  const index_t target = 1;
+  const std::vector<index_t> factors{2, 3};
+
+  // Reference: profiling off (the process default).
+  auto hb_plain = support::histograms_snapshot();
+  EngineRun plain = run_linked_mac(k.plan(), k.query(), target, factors);
+  auto plain_fanout =
+      fanout_delta(hb_plain, support::histograms_snapshot());
+  Vector y_plain = y;
+
+  // Profiling on — restored before any assertion can bail out of the
+  // test body.
+  support::set_profiling(true);
+  std::fill(y.begin(), y.end(), 0.0);
+  auto hb_prof = support::histograms_snapshot();
+  EngineRun prof = run_linked_mac(k.plan(), k.query(), target, factors);
+  support::set_profiling(false);
+  support::profile_reset();
+
+  expect_same_work(plain, prof);
+  EXPECT_EQ(plain_fanout,
+            fanout_delta(hb_prof, support::histograms_snapshot()));
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_EQ(y[i], y_plain[i]) << "row " << i;  // bitwise
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStorages, ProfilingSweep,
                          ::testing::ValuesIn(make_cases()),
                          [](const ::testing::TestParamInfo<Case>& info) {
                            const Case& c = info.param;

@@ -18,7 +18,15 @@
 //   bernoulli_report regress <ledger.jsonl> <baseline.json>
 //                    [--tol=X | --tolerance=X] [--metrics=<substr>]
 //       Diff the NEWEST ledger entry against the committed baseline — the
-//       CI perf gate. Same semantics as --diff.
+//       CI perf gate. Same semantics as --diff. When the gate trips and
+//       both sides embed a per-level profile, the top-3 profile.level.*
+//       deltas are printed next to the failure so the regression comes
+//       with an attribution, not just a metric name.
+//   bernoulli_report profile <report.json>
+//       Render the report's per-level time-attribution table
+//       (profile_registry, schema bernoulli.profile.v1).
+//   bernoulli_report profile <base.json> <new.json>
+//       Top time movements between two profiled reports (next - base).
 //
 // Exit codes (all modes):
 //   0  success; for --diff/regress, no metric worsened beyond tolerance
@@ -35,6 +43,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/attribution.hpp"
 #include "analysis/report.hpp"
 #include "support/json_reader.hpp"
 
@@ -49,6 +58,7 @@ int usage() {
          "       bernoulli_report trend <ledger.jsonl> <metric-substr>\n"
          "       bernoulli_report regress <ledger.jsonl> <baseline.json>"
          " [--tol=X] [--metrics=<substr>]\n"
+         "       bernoulli_report profile <report.json> [<new.json>]\n"
          "exit codes: 0 ok; 1 regression / no common metrics / read or\n"
          "parse failure; 2 usage error. --tolerance=X is an alias for\n"
          "--tol=X (relative, default 0.25).\n";
@@ -79,6 +89,17 @@ bool parse_doc(const std::string& path, bernoulli::support::JsonValue* out) {
   return true;
 }
 
+/// The profile_registry block of a report document, or null when the
+/// document has none (e.g. a bernoulli.bench.exec.v1 snapshot) or the run
+/// never enabled profiling.
+const bernoulli::support::JsonValue* profile_block(
+    const bernoulli::support::JsonValue& doc) {
+  const bernoulli::support::JsonValue* prof = doc.find("profile_registry");
+  if (!prof || !bernoulli::analysis::profile_block_nonempty(*prof))
+    return nullptr;
+  return prof;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -92,8 +113,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--diff") {
       mode = "diff";
-    } else if (i == 1 &&
-               (arg == "append" || arg == "trend" || arg == "regress")) {
+    } else if (i == 1 && (arg == "append" || arg == "trend" ||
+                          arg == "regress" || arg == "profile")) {
       mode = arg;
     } else if (arg == "--help" || arg == "-h") {
       usage();
@@ -116,8 +137,12 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  const std::size_t want = mode == "render" ? 1 : 2;
-  if (paths.size() != want) return usage();
+  if (mode == "profile") {
+    if (paths.size() != 1 && paths.size() != 2) return usage();
+  } else {
+    const std::size_t want = mode == "render" ? 1 : 2;
+    if (paths.size() != want) return usage();
+  }
 
   try {
     if (mode == "render") {
@@ -145,6 +170,33 @@ int main(int argc, char** argv) {
       std::cerr << "appended " << paths[1] << " to " << paths[0] << "\n";
       return 0;
     }
+    if (mode == "profile") {
+      support::JsonValue doc;
+      if (!parse_doc(paths[0], &doc)) return 1;
+      const support::JsonValue* prof = profile_block(doc);
+      if (!prof) {
+        std::cerr << "bernoulli_report: " << paths[0]
+                  << " embeds no per-level profile (run the bench with "
+                     "--profile=<file> to record one)\n";
+        return 1;
+      }
+      if (paths.size() == 1) {
+        std::cout << analysis::profile_table_text(*prof);
+        return 0;
+      }
+      support::JsonValue next_doc;
+      if (!parse_doc(paths[1], &next_doc)) return 1;
+      const support::JsonValue* next = profile_block(next_doc);
+      if (!next) {
+        std::cerr << "bernoulli_report: " << paths[1]
+                  << " embeds no per-level profile\n";
+        return 1;
+      }
+      const std::string moved =
+          analysis::profile_diff_text(*prof, *next, /*top_n=*/10);
+      std::cout << (moved.empty() ? "profile: no time moved\n" : moved);
+      return 0;
+    }
     if (mode == "trend") {
       std::cout << analysis::ledger_trend_text(analysis::ledger_read(paths[0]),
                                                paths[1]);
@@ -163,10 +215,33 @@ int main(int argc, char** argv) {
     analysis::DiffResult d = analysis::diff_reports(
         base, entries.back(), tolerance, metric_filter);
     std::cout << analysis::diff_text(d, tolerance, /*only_changed=*/true);
-    if (!d.ok())
+    if (!d.ok()) {
       std::cerr << "bernoulli_report: REGRESSION — newest ledger entry "
                    "worsens vs "
                 << paths[1] << " beyond tol=" << tolerance << "\n";
+      // Attribution: point at the levels whose self-time moved the most
+      // between the two newest PROFILED ledger entries. The committed
+      // baseline (BENCH_exec.json) carries no profile, and older ledger
+      // entries may predate the profiler — fall back gracefully.
+      const support::JsonValue* next = profile_block(entries.back());
+      const support::JsonValue* prev = nullptr;
+      for (std::size_t i = entries.size() - 1; i-- > 0 && !prev;)
+        prev = profile_block(entries[i]);
+      if (!prev) prev = profile_block(base);
+      if (next && prev) {
+        const std::string moved =
+            analysis::profile_diff_text(*prev, *next, /*top_n=*/3);
+        if (!moved.empty())
+          std::cerr << "top per-level time movements (vs previous profiled "
+                       "entry):\n"
+                    << moved;
+      } else {
+        std::cerr << "(no per-level attribution: "
+                  << (next ? "no earlier profiled ledger entry or baseline"
+                           : "newest entry carries no profile")
+                  << " — run the bench with --profile to record one)\n";
+      }
+    }
     return d.ok() ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "bernoulli_report: " << e.what() << "\n";
