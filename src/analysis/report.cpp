@@ -250,6 +250,13 @@ std::map<std::string, double> report_metrics(const JsonValue& doc) {
         if (const JsonValue* v = c.find(key))
           out[base + "." + key] = v->as_number();
     }
+    // Optional serving section (bench_serve --exec-json=): every numeric
+    // member becomes exec.serve.<key>, same names bench_serve's run.v1
+    // report emits, so serve snapshots diff/regress like engine ones.
+    if (const JsonValue* serve = doc.find("serve"))
+      for (const auto& [key, v] : serve->members)
+        if (v.type == JsonValue::Type::kNumber)
+          out["exec.serve." + key] = v.as_number();
     return out;
   }
   BERNOULLI_CHECK_MSG(false, "cannot extract metrics from schema '"

@@ -314,6 +314,21 @@ void LinkedRunner::close_frame(std::size_t d, LocalCounters& c,
 
 void LinkedRunner::flush(const LocalCounters& c, RunStats* stats,
                          long long wall_ns) {
+  if (capture_ != nullptr) {
+    capture_->tuples = c.tuples;
+    capture_->enumerated = c.enumerated;
+    capture_->merge_steps = c.merge_steps;
+    capture_->probe_hits = c.probe_hits;
+    capture_->probe_misses = c.probe_misses;
+    capture_->fill_ins = c.fill_ins;
+    capture_->merge_segment_bytes = c.merge_segment_bytes;
+    capture_->fanout = fanout_local_;  // copy BEFORE booking zeroes it
+  }
+  // The whole group below — latency sample, wall_ns, counters, fan-out,
+  // profile — commits under the observability commit lock so a concurrent
+  // metrics_snapshot() can never see half of this run (the
+  // execute.latency.sum_ns == execute.wall_ns invariant).
+  const std::unique_lock<std::mutex> commit = support::metrics_commit_lock();
   ServeMetrics& m = serve_metrics();
   m.latency.record_ns(wall_ns);
   m.wall_ns.add(wall_ns);

@@ -362,11 +362,17 @@ void execute_interpreted(const Plan& plan, const Query& q,
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - wall_t0)
           .count();
-  support::metric_latency("execute.latency").record_ns(wall_ns);
-  support::metric_rate("execute.wall_ns").add(wall_ns);
-  support::time_counter("executor.wall_seconds")
-      .add(static_cast<double>(wall_ns) * 1e-9);
-  support::profile_flush(interp.profile_scratch(), wall_ns);
+  {
+    // One atomic group under the observability commit lock: a concurrent
+    // snapshot must not see the latency sample without the wall_ns delta.
+    const std::unique_lock<std::mutex> commit =
+        support::metrics_commit_lock();
+    support::metric_latency("execute.latency").record_ns(wall_ns);
+    support::metric_rate("execute.wall_ns").add(wall_ns);
+    support::time_counter("executor.wall_seconds")
+        .add(static_cast<double>(wall_ns) * 1e-9);
+    support::profile_flush(interp.profile_scratch(), wall_ns);
+  }
   RunStats local;
   RunStats* st = (stats || tracing) ? (stats ? stats : &local) : nullptr;
   if (st) {

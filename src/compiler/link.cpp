@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <numeric>
 #include <string>
+#include <string_view>
 
+#include "compiler/explain.hpp"
 #include "support/error.hpp"
 #include "support/histogram.hpp"
 
@@ -196,6 +198,30 @@ LinkedPlan link_plan(const Plan& plan, const Query& q) {
   lp.parallel_note = std::move(leg.note);
   lp.footprint = derive_footprint(plan, q);
   return lp;
+}
+
+std::uint64_t plan_fingerprint(const Plan& plan, const relation::Query& q) {
+  // FNV-1a 64 over the EXPLAIN document (join order/methods, access paths,
+  // level descriptors — everything structural the linker consumes) plus
+  // each relation's view name, bound variables and access role. EXPLAIN is
+  // deterministic for a given pair, so equal inputs hash equal across
+  // processes and runs.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::string_view s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+    h ^= 0xFFu;  // field separator: "ab"+"c" must not collide with "a"+"bc"
+    h *= 1099511628211ULL;
+  };
+  mix(explain_json(plan, q, 0));
+  for (const auto& rel : q.relations) {
+    mix(rel.view->name());
+    for (const std::string& v : rel.vars) mix(v);
+    mix(rel.writes ? "w" : (rel.filters ? "f" : "r"));
+  }
+  return h;
 }
 
 PlanFootprint derive_footprint(const Plan& plan, const Query& q) {

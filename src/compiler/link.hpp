@@ -19,6 +19,7 @@
 // iteration.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -138,6 +139,16 @@ struct LinkedPlan {
 /// Validates `q` and lowers the pair. The result borrows both arguments.
 LinkedPlan link_plan(const Plan& plan, const relation::Query& q);
 
+/// Structural fingerprint of a (Plan, Query) pair: a stable FNV-1a hash
+/// over the plan's EXPLAIN document plus each relation's view name,
+/// variable binding and access role. Two pairs with equal fingerprints
+/// link to the same program STRUCTURE — join order and methods, access
+/// paths, level descriptors and format kinds (all of which EXPLAIN
+/// renders). Deliberately excluded: storage identity and contents — a
+/// cache key layers those on top (the KernelServer appends the concrete
+/// array identity and the distribution tag; see docs/SERVING.md).
+std::uint64_t plan_fingerprint(const Plan& plan, const relation::Query& q);
+
 /// Whether the outermost plan level may be chunked across threads, and
 /// why (not). Legal iff the outer level is an enumerate (a chunked
 /// k-finger merge would change merge_steps), no access anywhere inserts
@@ -211,6 +222,31 @@ class LinkedRunner {
   /// One run of a lowered multiply-accumulate statement — the fast path
   /// that also skips the per-tuple std::function and virtual value access.
   void run(const LinkedMac& mac, RunStats* stats = nullptr);
+
+  /// One run's observability delta — exactly what flush() books into the
+  /// executor.* counters and the per-level fan-out histograms, captured as
+  /// plain numbers. The KernelServer records one of these from a cached
+  /// plan's first run and REPLAYS it (times k, under the metrics commit
+  /// lock) when a batched multi-vector sweep stands in for k engine runs,
+  /// so counters and histograms reconcile exactly with the unbatched path.
+  struct FlushDelta {
+    long long tuples = 0;
+    long long enumerated = 0;
+    long long merge_steps = 0;
+    long long probe_hits = 0;
+    long long probe_misses = 0;
+    long long fill_ins = 0;
+    long long merge_segment_bytes = 0;
+    /// Per-level fan-out bucket counts, kBuckets wide per level
+    /// (support/histogram.hpp); bucket b's representative value is
+    /// 0 for b == 0, else 1 << (b - 1).
+    std::vector<std::vector<long long>> fanout;
+  };
+
+  /// Installs (nullptr clears) a capture target the next flush fills
+  /// before booking. The captured run still books its own group normally —
+  /// capture is observation, not redirection.
+  void set_flush_capture(FlushDelta* capture) { capture_ = capture; }
 
  private:
   struct Frame {
@@ -346,6 +382,9 @@ class LinkedRunner {
   // Outer-binding counter driving the sampling gate (every
   // kProfileSampleEvery-th outer binding opens a timing bracket).
   long long prof_outer_ = 0;
+  // Optional per-run delta capture target (set_flush_capture); filled by
+  // flush() before it books, then left installed for the next run.
+  FlushDelta* capture_ = nullptr;
 
   friend class ParallelRunner;
 };

@@ -144,23 +144,58 @@ CompiledKernel compile(const LoopNest& nest, const Bindings& bindings,
   return kernel;
 }
 
-void CompiledKernel::relink() const {
-  linked_ = std::make_shared<LinkedProgram>(LinkedProgram{
+std::shared_ptr<CompiledKernel::LinkedProgram> CompiledKernel::build_program()
+    const {
+  return std::make_shared<LinkedProgram>(
       LinkedRunner(link_plan(plan_, query_)),
-      link_mac(query_, stmt_.target_rel, stmt_.factor_rels, stmt_.scale)});
+      link_mac(query_, stmt_.target_rel, stmt_.factor_rels, stmt_.scale));
+}
+
+void CompiledKernel::relink() const {
+  // Build outside the lock (linking is the expensive part), publish under
+  // it — linked_ is read concurrently by copies and runs.
+  std::shared_ptr<LinkedProgram> built = build_program();
+  std::lock_guard<std::mutex> lk(link_mu_);
+  linked_ = std::move(built);
 }
 
 void CompiledKernel::relink_noexcept() const noexcept {
   try {
     relink();
   } catch (...) {
-    linked_.reset();
+    reset_linked();
   }
 }
 
+void CompiledKernel::check_idle(const char* what) const {
+  BERNOULLI_CHECK_MSG(
+      active_runs_.load(std::memory_order_acquire) == 0,
+      "CompiledKernel " << what << " while a run() is in flight; the "
+      "linked program borrows this kernel's plan/query storage");
+}
+
 void CompiledKernel::run() const {
-  if (!linked_) relink();
-  linked_->runner.run(linked_->mac);
+  std::shared_ptr<LinkedProgram> sp = linked_snapshot();
+  if (!sp) {
+    std::shared_ptr<LinkedProgram> built = build_program();
+    std::lock_guard<std::mutex> lk(link_mu_);
+    if (!linked_) linked_ = std::move(built);
+    sp = linked_;
+  }
+  active_runs_.fetch_add(1, std::memory_order_acq_rel);
+  // Claim the cached program; a contended second run gets a private
+  // one-shot program instead of racing on the shared runner scratch.
+  const bool claimed = !sp->in_use.exchange(true, std::memory_order_acquire);
+  if (!claimed) sp = build_program();
+  try {
+    sp->runner.run(sp->mac);
+  } catch (...) {
+    if (claimed) sp->in_use.store(false, std::memory_order_release);
+    active_runs_.fetch_sub(1, std::memory_order_acq_rel);
+    throw;
+  }
+  if (claimed) sp->in_use.store(false, std::memory_order_release);
+  active_runs_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 std::string CompiledKernel::emit(const std::string& function_name) const {

@@ -11,8 +11,10 @@
 // yields a runnable/emittable kernel.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "compiler/emit.hpp"
 #include "compiler/executor.hpp"
@@ -108,38 +110,52 @@ class CompiledKernel {
   // re-link (and, worse, mutate a const kernel from what looks like a
   // steady-state call), so when the source was already linked the cache is
   // re-established eagerly against this object's own plan_/query_.
+  //
+  // Concurrency (PR 10): run() may be in flight on another thread while a
+  // copy is taken, so the source's linked_ cache is only ever read under
+  // its cache mutex — the copy looks at null-ness alone and re-links
+  // against its OWN plan_/query_, never the source's in-flux runner state.
+  // Moves and assignments REPLACE storage a concurrent run borrows, which
+  // no lock can make safe; they enforce a cheap ownership check instead
+  // (active_runs() == 0, std::terminate via the noexcept boundary on
+  // violation — a dangling runner would be memory corruption, not an
+  // error state).
   CompiledKernel(const CompiledKernel& o)
       : query_(o.query_), plan_(o.plan_), stmt_(o.stmt_),
         interval_(o.interval_) {
-    if (o.linked_) relink();
+    if (o.linked_snapshot() != nullptr) relink();
   }
   CompiledKernel(CompiledKernel&& o) noexcept
       : query_(std::move(o.query_)), plan_(std::move(o.plan_)),
         stmt_(std::move(o.stmt_)), interval_(std::move(o.interval_)) {
-    const bool had = o.linked_ != nullptr;
-    o.linked_.reset();
+    o.check_idle("moved from");
+    const bool had = o.linked_snapshot() != nullptr;
+    o.reset_linked();
     if (had) relink_noexcept();
   }
   CompiledKernel& operator=(const CompiledKernel& o) {
     if (this != &o) {
+      check_idle("reassigned");
       query_ = o.query_;
       plan_ = o.plan_;
       stmt_ = o.stmt_;
       interval_ = o.interval_;
-      linked_.reset();
-      if (o.linked_) relink();
+      reset_linked();
+      if (o.linked_snapshot() != nullptr) relink();
     }
     return *this;
   }
   CompiledKernel& operator=(CompiledKernel&& o) noexcept {
     if (this != &o) {
+      check_idle("reassigned");
+      o.check_idle("moved from");
       query_ = std::move(o.query_);
       plan_ = std::move(o.plan_);
       stmt_ = std::move(o.stmt_);
       interval_ = std::move(o.interval_);
-      const bool had = o.linked_ != nullptr;
-      linked_.reset();
-      o.linked_.reset();
+      const bool had = o.linked_snapshot() != nullptr;
+      reset_linked();
+      o.reset_linked();
       if (had) relink_noexcept();
     }
     return *this;
@@ -149,7 +165,19 @@ class CompiledKernel {
   /// linked on the first run and the linked program (runner scratch, the
   /// lowered multiply-accumulate) is cached, so solver loops that call
   /// run() per iteration pay name resolution and allocation once.
+  ///
+  /// Thread-safe against concurrent run() and copy-from on the same
+  /// kernel: the cached program is claimed with an atomic in-use flag;
+  /// a contended run falls back to a private one-shot program (correct,
+  /// just not amortized). Concurrent writes to the TARGET storage are
+  /// still the caller's problem, exactly as for two serial runs.
   void run() const;
+
+  /// Number of run() calls currently in flight (the ownership check moves
+  /// and assignments enforce).
+  int active_runs() const {
+    return active_runs_.load(std::memory_order_acquire);
+  }
 
   /// The C program the compiler generates for this plan.
   std::string emit(const std::string& function_name = "computed_kernel") const;
@@ -178,13 +206,36 @@ class CompiledKernel {
   struct LinkedProgram {
     LinkedRunner runner;
     LinkedMac mac;
+    // Claimed by run() for the duration of one execution; a second run
+    // arriving while set builds a private program instead of racing on
+    // the shared runner scratch. The atomic makes the struct non-movable,
+    // hence the explicit constructor for make_shared.
+    std::atomic<bool> in_use{false};
+    LinkedProgram(LinkedRunner r, LinkedMac m)
+        : runner(std::move(r)), mac(std::move(m)) {}
   };
   // Rebuilds linked_ against this object's plan_/query_. relink_noexcept
   // swallows failures (move operations are noexcept); run() re-links
   // lazily in that case.
   void relink() const;
   void relink_noexcept() const noexcept;
+  std::shared_ptr<LinkedProgram> build_program() const;
+  // The only sanctioned reads/writes of linked_ — it is shared mutable
+  // state between run() (lazy build) and copy/move (cache probe).
+  std::shared_ptr<LinkedProgram> linked_snapshot() const {
+    std::lock_guard<std::mutex> lk(link_mu_);
+    return linked_;
+  }
+  void reset_linked() const {
+    std::lock_guard<std::mutex> lk(link_mu_);
+    linked_.reset();
+  }
+  // Terminates (through the noexcept move boundary) when a move or
+  // assignment would rip storage out from under an in-flight run.
+  void check_idle(const char* what) const;
   mutable std::shared_ptr<LinkedProgram> linked_;  // built on first run()
+  mutable std::mutex link_mu_;                     // guards linked_
+  mutable std::atomic<int> active_runs_{0};
 };
 
 /// The compiler pipeline: extract query -> sparsity predicate -> plan.

@@ -196,6 +196,10 @@ void SpecializedKernel::run(RunStats* stats) {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - wall_t0)
           .count();
+  // The whole flush group (latency sample through the fan-out replay)
+  // commits under the observability commit lock; held to function end —
+  // everything after it is part of this run's booking.
+  const std::unique_lock<std::mutex> commit = support::metrics_commit_lock();
   support::metric_latency("execute.latency").record_ns(wall_ns);
   support::metric_rate("execute.wall_ns").add(wall_ns);
   support::time_counter("executor.wall_seconds")

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/json_writer.hpp"
+#include "support/metrics.hpp"
 
 namespace bernoulli::support {
 
@@ -53,6 +54,10 @@ TimeCounter& time_counter(const std::string& name) {
 
 CountersSnapshot counters_snapshot() {
   CountersSnapshot snap;
+  // Under the observability commit lock (metrics.hpp): counters are booked
+  // as part of per-run flush groups, and a snapshot must not observe half
+  // of one run's group.
+  const std::unique_lock<std::mutex> commit = metrics_commit_lock();
   {
     auto& r = count_registry();
     std::lock_guard<std::mutex> lk(r.mu);
@@ -67,6 +72,7 @@ CountersSnapshot counters_snapshot() {
 }
 
 void counters_reset() {
+  const std::unique_lock<std::mutex> commit = metrics_commit_lock();
   {
     auto& r = count_registry();
     std::lock_guard<std::mutex> lk(r.mu);

@@ -175,8 +175,15 @@ LatencyHistogram& metric_latency(const std::string& name) {
   return latency_registry().get(name);
 }
 
+std::mutex& metrics_commit_mutex() {
+  // Leaked like the registries: flush sites may run during late shutdown.
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
 MetricsSnapshot metrics_snapshot() {
   MetricsSnapshot snap;
+  const std::unique_lock<std::mutex> commit = metrics_commit_lock();
   {
     auto& r = rate_registry();
     std::lock_guard<std::mutex> lk(r.mu);
@@ -197,6 +204,7 @@ MetricsSnapshot metrics_snapshot() {
 }
 
 void metrics_reset() {
+  const std::unique_lock<std::mutex> commit = metrics_commit_lock();
   {
     auto& r = rate_registry();
     std::lock_guard<std::mutex> lk(r.mu);

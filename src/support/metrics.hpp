@@ -41,6 +41,7 @@
 #include <climits>
 #include <cmath>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -158,7 +159,27 @@ struct MetricsSnapshot {
   std::map<std::string, LatencySnapshot> latencies;
 };
 
-/// Snapshot of every registered metric (zero-valued ones included).
+/// The process-wide observability COMMIT lock. Individual metric and
+/// counter updates are atomic, but a per-run flush books a GROUP of them
+/// (one latency sample, the matching execute.wall_ns delta, the
+/// executor.* counters, the fan-out buckets) that must appear all-or-
+/// nothing to readers: a snapshot taken between two bookings of the same
+/// run would observe a torn state where
+/// execute.latency.sum_ns != execute.wall_ns. Every per-run flush site
+/// (linked, interpreted, specialized, server batches) holds this lock for
+/// the duration of its group booking, and metrics_snapshot()/
+/// counters_snapshot() hold it while merging — so snapshots only ever see
+/// whole runs. The hot path (recording inside a run) never touches it;
+/// only the once-per-run commit and the readers do.
+std::mutex& metrics_commit_mutex();
+
+/// RAII convenience over metrics_commit_mutex().
+inline std::unique_lock<std::mutex> metrics_commit_lock() {
+  return std::unique_lock<std::mutex>(metrics_commit_mutex());
+}
+
+/// Snapshot of every registered metric (zero-valued ones included), taken
+/// under the commit lock so concurrent per-run flushes appear atomic.
 MetricsSnapshot metrics_snapshot();
 
 /// Zeroes every registered metric; names and addresses survive.

@@ -14,6 +14,13 @@ namespace {
 // Backstop against runaway ensure() arguments; far above any sensible
 // worker count for this executor.
 constexpr int kMaxThreads = 256;
+
+// Set for the lifetime of every pool worker thread. run_slots consults it
+// to detect re-entrant invocation: a pool thread that forked a nested job
+// would block on job_mu while the job holding job_mu waits for that very
+// thread — a deadlock. The flag is per-thread, so it costs one TLS read
+// on the fast path and nothing else.
+thread_local bool tl_in_pool_worker = false;
 }  // namespace
 
 struct ThreadPool::Impl {
@@ -40,6 +47,7 @@ struct ThreadPool::Impl {
   std::exception_ptr error;
 
   void worker() {
+    tl_in_pool_worker = true;
     std::uint64_t seen = 0;
     for (;;) {
       const std::function<void(int)>* job = nullptr;
@@ -106,8 +114,27 @@ void ThreadPool::ensure(int threads) {
     impl_->threads.emplace_back([impl = impl_.get()] { impl->worker(); });
 }
 
+bool ThreadPool::on_pool_thread() { return tl_in_pool_worker; }
+
 void ThreadPool::run_slots(int nslots, const std::function<void(int)>& body) {
   if (nslots <= 0) return;
+  if (tl_in_pool_worker) {
+    // Re-entrant fork from a pool worker: the outer job holds job_mu and
+    // is waiting for THIS thread, so queuing a nested job can never make
+    // progress. Degrade to running every slot inline on the caller — the
+    // fork/join contract (all slots run, first exception rethrown after
+    // the rest finish) is preserved, just without extra parallelism.
+    std::exception_ptr error;
+    for (int slot = 0; slot < nslots; ++slot) {
+      try {
+        body(slot);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
   ensure(1);  // a job needs at least one worker to make progress
   std::lock_guard<std::mutex> job_lk(impl_->job_mu);
   {
