@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_spmm.dir/bench_ablation_spmm.cpp.o"
+  "CMakeFiles/bench_ablation_spmm.dir/bench_ablation_spmm.cpp.o.d"
+  "bench_ablation_spmm"
+  "bench_ablation_spmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_spmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

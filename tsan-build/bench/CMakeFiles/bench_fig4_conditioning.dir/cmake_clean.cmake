@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_conditioning.dir/bench_fig4_conditioning.cpp.o"
+  "CMakeFiles/bench_fig4_conditioning.dir/bench_fig4_conditioning.cpp.o.d"
+  "bench_fig4_conditioning"
+  "bench_fig4_conditioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_conditioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

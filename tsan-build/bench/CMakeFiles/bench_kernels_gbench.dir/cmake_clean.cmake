@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernels_gbench.dir/bench_kernels_gbench.cpp.o"
+  "CMakeFiles/bench_kernels_gbench.dir/bench_kernels_gbench.cpp.o.d"
+  "bench_kernels_gbench"
+  "bench_kernels_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernels_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

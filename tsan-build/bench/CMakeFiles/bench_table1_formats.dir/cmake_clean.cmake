@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_formats.dir/bench_table1_formats.cpp.o"
+  "CMakeFiles/bench_table1_formats.dir/bench_table1_formats.cpp.o.d"
+  "bench_table1_formats"
+  "bench_table1_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

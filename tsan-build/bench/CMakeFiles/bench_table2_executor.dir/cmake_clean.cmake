@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_executor.dir/bench_table2_executor.cpp.o"
+  "CMakeFiles/bench_table2_executor.dir/bench_table2_executor.cpp.o.d"
+  "bench_table2_executor"
+  "bench_table2_executor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_executor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

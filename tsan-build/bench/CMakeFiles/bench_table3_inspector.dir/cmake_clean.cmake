@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_inspector.dir/bench_table3_inspector.cpp.o"
+  "CMakeFiles/bench_table3_inspector.dir/bench_table3_inspector.cpp.o.d"
+  "bench_table3_inspector"
+  "bench_table3_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_codegen_demo.dir/codegen_demo.cpp.o"
+  "CMakeFiles/example_codegen_demo.dir/codegen_demo.cpp.o.d"
+  "example_codegen_demo"
+  "example_codegen_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_codegen_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_custom_format.dir/custom_format.cpp.o"
+  "CMakeFiles/example_custom_format.dir/custom_format.cpp.o.d"
+  "example_custom_format"
+  "example_custom_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_custom_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

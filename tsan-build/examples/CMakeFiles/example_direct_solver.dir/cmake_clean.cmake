@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_direct_solver.dir/direct_solver.cpp.o"
+  "CMakeFiles/example_direct_solver.dir/direct_solver.cpp.o.d"
+  "example_direct_solver"
+  "example_direct_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_direct_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributions.dir/distributions.cpp.o"
+  "CMakeFiles/example_distributions.dir/distributions.cpp.o.d"
+  "example_distributions"
+  "example_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

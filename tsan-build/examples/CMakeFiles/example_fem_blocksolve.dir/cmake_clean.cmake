@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fem_blocksolve.dir/fem_blocksolve.cpp.o"
+  "CMakeFiles/example_fem_blocksolve.dir/fem_blocksolve.cpp.o.d"
+  "example_fem_blocksolve"
+  "example_fem_blocksolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fem_blocksolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

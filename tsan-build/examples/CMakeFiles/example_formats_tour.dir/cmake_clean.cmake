@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_formats_tour.dir/formats_tour.cpp.o"
+  "CMakeFiles/example_formats_tour.dir/formats_tour.cpp.o.d"
+  "example_formats_tour"
+  "example_formats_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_formats_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

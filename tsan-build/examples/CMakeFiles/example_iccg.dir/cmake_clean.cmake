@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_iccg.dir/iccg.cpp.o"
+  "CMakeFiles/example_iccg.dir/iccg.cpp.o.d"
+  "example_iccg"
+  "example_iccg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_iccg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mm_tool.dir/mm_tool.cpp.o"
+  "CMakeFiles/example_mm_tool.dir/mm_tool.cpp.o.d"
+  "example_mm_tool"
+  "example_mm_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parallel_compile.dir/parallel_compile.cpp.o"
+  "CMakeFiles/example_parallel_compile.dir/parallel_compile.cpp.o.d"
+  "example_parallel_compile"
+  "example_parallel_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parallel_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,92 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/attribution.cpp" "src/CMakeFiles/bernoulli.dir/analysis/attribution.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/analysis/attribution.cpp.o.d"
+  "/root/repo/src/analysis/critical_path.cpp" "src/CMakeFiles/bernoulli.dir/analysis/critical_path.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/analysis/critical_path.cpp.o.d"
+  "/root/repo/src/analysis/hooks.cpp" "src/CMakeFiles/bernoulli.dir/analysis/hooks.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/analysis/hooks.cpp.o.d"
+  "/root/repo/src/analysis/model_check.cpp" "src/CMakeFiles/bernoulli.dir/analysis/model_check.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/analysis/model_check.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/CMakeFiles/bernoulli.dir/analysis/report.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/analysis/report.cpp.o.d"
+  "/root/repo/src/blas/spgemm.cpp" "src/CMakeFiles/bernoulli.dir/blas/spgemm.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/blas/spgemm.cpp.o.d"
+  "/root/repo/src/blas/spmm.cpp" "src/CMakeFiles/bernoulli.dir/blas/spmm.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/blas/spmm.cpp.o.d"
+  "/root/repo/src/blas/transpose.cpp" "src/CMakeFiles/bernoulli.dir/blas/transpose.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/blas/transpose.cpp.o.d"
+  "/root/repo/src/compiler/emit.cpp" "src/CMakeFiles/bernoulli.dir/compiler/emit.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/emit.cpp.o.d"
+  "/root/repo/src/compiler/emit_standalone.cpp" "src/CMakeFiles/bernoulli.dir/compiler/emit_standalone.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/emit_standalone.cpp.o.d"
+  "/root/repo/src/compiler/exec_linked.cpp" "src/CMakeFiles/bernoulli.dir/compiler/exec_linked.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/exec_linked.cpp.o.d"
+  "/root/repo/src/compiler/executor.cpp" "src/CMakeFiles/bernoulli.dir/compiler/executor.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/executor.cpp.o.d"
+  "/root/repo/src/compiler/explain.cpp" "src/CMakeFiles/bernoulli.dir/compiler/explain.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/explain.cpp.o.d"
+  "/root/repo/src/compiler/link.cpp" "src/CMakeFiles/bernoulli.dir/compiler/link.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/link.cpp.o.d"
+  "/root/repo/src/compiler/loopnest.cpp" "src/CMakeFiles/bernoulli.dir/compiler/loopnest.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/loopnest.cpp.o.d"
+  "/root/repo/src/compiler/planner.cpp" "src/CMakeFiles/bernoulli.dir/compiler/planner.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/planner.cpp.o.d"
+  "/root/repo/src/compiler/specialize.cpp" "src/CMakeFiles/bernoulli.dir/compiler/specialize.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/compiler/specialize.cpp.o.d"
+  "/root/repo/src/distrib/chaos.cpp" "src/CMakeFiles/bernoulli.dir/distrib/chaos.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/distrib/chaos.cpp.o.d"
+  "/root/repo/src/distrib/distribution.cpp" "src/CMakeFiles/bernoulli.dir/distrib/distribution.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/distrib/distribution.cpp.o.d"
+  "/root/repo/src/formats/blocksolve.cpp" "src/CMakeFiles/bernoulli.dir/formats/blocksolve.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/blocksolve.cpp.o.d"
+  "/root/repo/src/formats/bsr.cpp" "src/CMakeFiles/bernoulli.dir/formats/bsr.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/bsr.cpp.o.d"
+  "/root/repo/src/formats/ccs.cpp" "src/CMakeFiles/bernoulli.dir/formats/ccs.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/ccs.cpp.o.d"
+  "/root/repo/src/formats/coo.cpp" "src/CMakeFiles/bernoulli.dir/formats/coo.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/coo.cpp.o.d"
+  "/root/repo/src/formats/csr.cpp" "src/CMakeFiles/bernoulli.dir/formats/csr.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/csr.cpp.o.d"
+  "/root/repo/src/formats/dense.cpp" "src/CMakeFiles/bernoulli.dir/formats/dense.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/dense.cpp.o.d"
+  "/root/repo/src/formats/dia.cpp" "src/CMakeFiles/bernoulli.dir/formats/dia.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/dia.cpp.o.d"
+  "/root/repo/src/formats/ell.cpp" "src/CMakeFiles/bernoulli.dir/formats/ell.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/ell.cpp.o.d"
+  "/root/repo/src/formats/formats.cpp" "src/CMakeFiles/bernoulli.dir/formats/formats.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/formats.cpp.o.d"
+  "/root/repo/src/formats/jds.cpp" "src/CMakeFiles/bernoulli.dir/formats/jds.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/jds.cpp.o.d"
+  "/root/repo/src/formats/sell.cpp" "src/CMakeFiles/bernoulli.dir/formats/sell.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/sell.cpp.o.d"
+  "/root/repo/src/formats/skyline.cpp" "src/CMakeFiles/bernoulli.dir/formats/skyline.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/skyline.cpp.o.d"
+  "/root/repo/src/formats/sparse_vector.cpp" "src/CMakeFiles/bernoulli.dir/formats/sparse_vector.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/formats/sparse_vector.cpp.o.d"
+  "/root/repo/src/mm/matrix_market.cpp" "src/CMakeFiles/bernoulli.dir/mm/matrix_market.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/mm/matrix_market.cpp.o.d"
+  "/root/repo/src/relation/array_views.cpp" "src/CMakeFiles/bernoulli.dir/relation/array_views.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/array_views.cpp.o.d"
+  "/root/repo/src/relation/bsr_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/bsr_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/bsr_view.cpp.o.d"
+  "/root/repo/src/relation/descriptor.cpp" "src/CMakeFiles/bernoulli.dir/relation/descriptor.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/descriptor.cpp.o.d"
+  "/root/repo/src/relation/ell_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/ell_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/ell_view.cpp.o.d"
+  "/root/repo/src/relation/format_spec.cpp" "src/CMakeFiles/bernoulli.dir/relation/format_spec.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/format_spec.cpp.o.d"
+  "/root/repo/src/relation/hash_index.cpp" "src/CMakeFiles/bernoulli.dir/relation/hash_index.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/hash_index.cpp.o.d"
+  "/root/repo/src/relation/jds_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/jds_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/jds_view.cpp.o.d"
+  "/root/repo/src/relation/query.cpp" "src/CMakeFiles/bernoulli.dir/relation/query.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/query.cpp.o.d"
+  "/root/repo/src/relation/sell_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/sell_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/sell_view.cpp.o.d"
+  "/root/repo/src/relation/spa_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/spa_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/spa_view.cpp.o.d"
+  "/root/repo/src/relation/sparse_vector_view.cpp" "src/CMakeFiles/bernoulli.dir/relation/sparse_vector_view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/sparse_vector_view.cpp.o.d"
+  "/root/repo/src/relation/view.cpp" "src/CMakeFiles/bernoulli.dir/relation/view.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/relation/view.cpp.o.d"
+  "/root/repo/src/runtime/machine.cpp" "src/CMakeFiles/bernoulli.dir/runtime/machine.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/runtime/machine.cpp.o.d"
+  "/root/repo/src/server/kernel_server.cpp" "src/CMakeFiles/bernoulli.dir/server/kernel_server.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/server/kernel_server.cpp.o.d"
+  "/root/repo/src/solvers/cg.cpp" "src/CMakeFiles/bernoulli.dir/solvers/cg.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/cg.cpp.o.d"
+  "/root/repo/src/solvers/dist_cg.cpp" "src/CMakeFiles/bernoulli.dir/solvers/dist_cg.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/dist_cg.cpp.o.d"
+  "/root/repo/src/solvers/dist_gmres.cpp" "src/CMakeFiles/bernoulli.dir/solvers/dist_gmres.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/dist_gmres.cpp.o.d"
+  "/root/repo/src/solvers/gauss_seidel.cpp" "src/CMakeFiles/bernoulli.dir/solvers/gauss_seidel.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/gauss_seidel.cpp.o.d"
+  "/root/repo/src/solvers/gmres.cpp" "src/CMakeFiles/bernoulli.dir/solvers/gmres.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/gmres.cpp.o.d"
+  "/root/repo/src/solvers/ic.cpp" "src/CMakeFiles/bernoulli.dir/solvers/ic.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/solvers/ic.cpp.o.d"
+  "/root/repo/src/spmd/comm.cpp" "src/CMakeFiles/bernoulli.dir/spmd/comm.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/spmd/comm.cpp.o.d"
+  "/root/repo/src/spmd/dist_compile.cpp" "src/CMakeFiles/bernoulli.dir/spmd/dist_compile.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/spmd/dist_compile.cpp.o.d"
+  "/root/repo/src/spmd/matvec.cpp" "src/CMakeFiles/bernoulli.dir/spmd/matvec.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/spmd/matvec.cpp.o.d"
+  "/root/repo/src/spmd/redistribute.cpp" "src/CMakeFiles/bernoulli.dir/spmd/redistribute.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/spmd/redistribute.cpp.o.d"
+  "/root/repo/src/spmd/spmm.cpp" "src/CMakeFiles/bernoulli.dir/spmd/spmm.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/spmd/spmm.cpp.o.d"
+  "/root/repo/src/support/counters.cpp" "src/CMakeFiles/bernoulli.dir/support/counters.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/counters.cpp.o.d"
+  "/root/repo/src/support/dynlib.cpp" "src/CMakeFiles/bernoulli.dir/support/dynlib.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/dynlib.cpp.o.d"
+  "/root/repo/src/support/histogram.cpp" "src/CMakeFiles/bernoulli.dir/support/histogram.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/histogram.cpp.o.d"
+  "/root/repo/src/support/metrics.cpp" "src/CMakeFiles/bernoulli.dir/support/metrics.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/metrics.cpp.o.d"
+  "/root/repo/src/support/profile.cpp" "src/CMakeFiles/bernoulli.dir/support/profile.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/profile.cpp.o.d"
+  "/root/repo/src/support/text_table.cpp" "src/CMakeFiles/bernoulli.dir/support/text_table.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/text_table.cpp.o.d"
+  "/root/repo/src/support/thread_pool.cpp" "src/CMakeFiles/bernoulli.dir/support/thread_pool.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/thread_pool.cpp.o.d"
+  "/root/repo/src/support/trace.cpp" "src/CMakeFiles/bernoulli.dir/support/trace.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/support/trace.cpp.o.d"
+  "/root/repo/src/workloads/bs_order.cpp" "src/CMakeFiles/bernoulli.dir/workloads/bs_order.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/bs_order.cpp.o.d"
+  "/root/repo/src/workloads/cliques.cpp" "src/CMakeFiles/bernoulli.dir/workloads/cliques.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/cliques.cpp.o.d"
+  "/root/repo/src/workloads/coloring.cpp" "src/CMakeFiles/bernoulli.dir/workloads/coloring.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/coloring.cpp.o.d"
+  "/root/repo/src/workloads/grid.cpp" "src/CMakeFiles/bernoulli.dir/workloads/grid.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/grid.cpp.o.d"
+  "/root/repo/src/workloads/inode.cpp" "src/CMakeFiles/bernoulli.dir/workloads/inode.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/inode.cpp.o.d"
+  "/root/repo/src/workloads/rcm.cpp" "src/CMakeFiles/bernoulli.dir/workloads/rcm.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/rcm.cpp.o.d"
+  "/root/repo/src/workloads/stats.cpp" "src/CMakeFiles/bernoulli.dir/workloads/stats.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/stats.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/CMakeFiles/bernoulli.dir/workloads/suite.cpp.o" "gcc" "src/CMakeFiles/bernoulli.dir/workloads/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

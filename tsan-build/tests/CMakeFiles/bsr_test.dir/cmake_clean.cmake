@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsr_test.dir/bsr_test.cpp.o"
+  "CMakeFiles/bsr_test.dir/bsr_test.cpp.o.d"
+  "bsr_test"
+  "bsr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_edge_test.dir/compiler_edge_test.cpp.o"
+  "CMakeFiles/compiler_edge_test.dir/compiler_edge_test.cpp.o.d"
+  "compiler_edge_test"
+  "compiler_edge_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

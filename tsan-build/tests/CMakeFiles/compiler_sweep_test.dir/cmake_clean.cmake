@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compiler_sweep_test.dir/compiler_sweep_test.cpp.o"
+  "CMakeFiles/compiler_sweep_test.dir/compiler_sweep_test.cpp.o.d"
+  "compiler_sweep_test"
+  "compiler_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compiler_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counters_test.dir/counters_test.cpp.o"
+  "CMakeFiles/counters_test.dir/counters_test.cpp.o.d"
+  "counters_test"
+  "counters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_compile_test.dir/dist_compile_test.cpp.o"
+  "CMakeFiles/dist_compile_test.dir/dist_compile_test.cpp.o.d"
+  "dist_compile_test"
+  "dist_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_iccg_test.dir/dist_iccg_test.cpp.o"
+  "CMakeFiles/dist_iccg_test.dir/dist_iccg_test.cpp.o.d"
+  "dist_iccg_test"
+  "dist_iccg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_iccg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

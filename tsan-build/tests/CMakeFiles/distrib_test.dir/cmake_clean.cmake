@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distrib_test.dir/distrib_test.cpp.o"
+  "CMakeFiles/distrib_test.dir/distrib_test.cpp.o.d"
+  "distrib_test"
+  "distrib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distrib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_compile_test.dir/emit_compile_test.cpp.o"
+  "CMakeFiles/emit_compile_test.dir/emit_compile_test.cpp.o.d"
+  "emit_compile_test"
+  "emit_compile_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_linked_test.dir/exec_linked_test.cpp.o"
+  "CMakeFiles/exec_linked_test.dir/exec_linked_test.cpp.o.d"
+  "exec_linked_test"
+  "exec_linked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_linked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/footprint_test.dir/footprint_test.cpp.o"
+  "CMakeFiles/footprint_test.dir/footprint_test.cpp.o.d"
+  "footprint_test"
+  "footprint_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

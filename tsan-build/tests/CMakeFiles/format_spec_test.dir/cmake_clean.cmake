@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_spec_test.dir/format_spec_test.cpp.o"
+  "CMakeFiles/format_spec_test.dir/format_spec_test.cpp.o.d"
+  "format_spec_test"
+  "format_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

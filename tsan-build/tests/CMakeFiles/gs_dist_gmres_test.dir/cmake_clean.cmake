@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gs_dist_gmres_test.dir/gs_dist_gmres_test.cpp.o"
+  "CMakeFiles/gs_dist_gmres_test.dir/gs_dist_gmres_test.cpp.o.d"
+  "gs_dist_gmres_test"
+  "gs_dist_gmres_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gs_dist_gmres_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gs_dist_gmres_test.
+# This may be replaced when dependencies are built.

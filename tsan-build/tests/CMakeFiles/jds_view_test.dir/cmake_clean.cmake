@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jds_view_test.dir/jds_view_test.cpp.o"
+  "CMakeFiles/jds_view_test.dir/jds_view_test.cpp.o.d"
+  "jds_view_test"
+  "jds_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jds_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_copy_test.dir/kernel_copy_test.cpp.o"
+  "CMakeFiles/kernel_copy_test.dir/kernel_copy_test.cpp.o.d"
+  "kernel_copy_test"
+  "kernel_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_test.dir/ledger_test.cpp.o"
+  "CMakeFiles/ledger_test.dir/ledger_test.cpp.o.d"
+  "ledger_test"
+  "ledger_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_flush_test.dir/metrics_flush_test.cpp.o"
+  "CMakeFiles/metrics_flush_test.dir/metrics_flush_test.cpp.o.d"
+  "metrics_flush_test"
+  "metrics_flush_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

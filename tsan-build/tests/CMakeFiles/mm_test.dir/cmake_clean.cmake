@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mm_test.dir/mm_test.cpp.o"
+  "CMakeFiles/mm_test.dir/mm_test.cpp.o.d"
+  "mm_test"
+  "mm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcm_test.dir/rcm_test.cpp.o"
+  "CMakeFiles/rcm_test.dir/rcm_test.cpp.o.d"
+  "rcm_test"
+  "rcm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

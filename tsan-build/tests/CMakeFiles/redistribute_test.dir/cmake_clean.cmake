@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribute_test.dir/redistribute_test.cpp.o"
+  "CMakeFiles/redistribute_test.dir/redistribute_test.cpp.o.d"
+  "redistribute_test"
+  "redistribute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

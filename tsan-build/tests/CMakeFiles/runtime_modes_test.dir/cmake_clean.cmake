@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_modes_test.dir/runtime_modes_test.cpp.o"
+  "CMakeFiles/runtime_modes_test.dir/runtime_modes_test.cpp.o.d"
+  "runtime_modes_test"
+  "runtime_modes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_test.dir/skyline_test.cpp.o"
+  "CMakeFiles/skyline_test.dir/skyline_test.cpp.o.d"
+  "skyline_test"
+  "skyline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solvers_test.dir/solvers_test.cpp.o"
+  "CMakeFiles/solvers_test.dir/solvers_test.cpp.o.d"
+  "solvers_test"
+  "solvers_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solvers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

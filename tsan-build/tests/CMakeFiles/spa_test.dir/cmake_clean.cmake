@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spa_test.dir/spa_test.cpp.o"
+  "CMakeFiles/spa_test.dir/spa_test.cpp.o.d"
+  "spa_test"
+  "spa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

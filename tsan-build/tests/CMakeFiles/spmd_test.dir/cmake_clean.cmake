@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmd_test.dir/spmd_test.cpp.o"
+  "CMakeFiles/spmd_test.dir/spmd_test.cpp.o.d"
+  "spmd_test"
+  "spmd_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

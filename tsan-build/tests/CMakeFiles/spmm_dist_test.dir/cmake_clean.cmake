@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmm_dist_test.dir/spmm_dist_test.cpp.o"
+  "CMakeFiles/spmm_dist_test.dir/spmm_dist_test.cpp.o.d"
+  "spmm_dist_test"
+  "spmm_dist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmm_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_overhead_test.dir/trace_overhead_test.cpp.o"
+  "CMakeFiles/trace_overhead_test.dir/trace_overhead_test.cpp.o.d"
+  "trace_overhead_test"
+  "trace_overhead_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_overhead_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

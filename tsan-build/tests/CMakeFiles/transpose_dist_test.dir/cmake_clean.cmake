@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_dist_test.dir/transpose_dist_test.cpp.o"
+  "CMakeFiles/transpose_dist_test.dir/transpose_dist_test.cpp.o.d"
+  "transpose_dist_test"
+  "transpose_dist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bernoulli_report.dir/bernoulli_report.cpp.o"
+  "CMakeFiles/bernoulli_report.dir/bernoulli_report.cpp.o.d"
+  "bernoulli_report"
+  "bernoulli_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bernoulli_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
